@@ -1,0 +1,389 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (§3), plus microbenchmarks of the mechanisms and
+// ablations of the design choices called out in DESIGN.md.
+//
+// The figure benchmarks run scaled-down but structurally identical
+// experiments per iteration (short virtual durations, few repeats);
+// `cmd/karsim` runs the full-fidelity versions with the paper's
+// parameters. Reported custom metrics carry the experiment's headline
+// result so `go test -bench` output doubles as a results summary.
+package kar
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/packet"
+	"repro/internal/rns"
+	"repro/internal/topology"
+	"repro/internal/udpsim"
+)
+
+// ---------------------------------------------------------------------------
+// Microbenchmarks: the KAR mechanisms themselves.
+
+// BenchmarkCRTEncodeSmall measures route-ID encoding for the paper's
+// partial-protection basis (native uint64 path).
+func BenchmarkCRTEncodeSmall(b *testing.B) {
+	sys, err := rns.NewSystem([]uint64{10, 7, 13, 29, 11, 19, 27})
+	if err != nil {
+		b.Fatal(err)
+	}
+	residues := []uint64{0, 2, 1, 0, 0, 1, 2}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Encode(residues); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCRTEncodeWide measures encoding with M ≥ 2^64 (math/big
+// path) — long full-protection sets.
+func BenchmarkCRTEncodeWide(b *testing.B) {
+	moduli := []uint64{7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67}
+	sys, err := rns.NewSystem(moduli)
+	if err != nil {
+		b.Fatal(err)
+	}
+	residues := make([]uint64, len(moduli))
+	for i, m := range moduli {
+		residues[i] = uint64(i) % m
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Encode(residues); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkForwardModulo measures the entire per-packet data plane:
+// one modulo.
+func BenchmarkForwardModulo(b *testing.B) {
+	r := rns.RouteIDFromUint64(4402485597509) // a 43-bit route ID
+	sink := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink += core.Forward(r, 29)
+	}
+	_ = sink
+}
+
+// BenchmarkForwardModuloWide measures forwarding with a >64-bit route
+// ID.
+func BenchmarkForwardModuloWide(b *testing.B) {
+	moduli := []uint64{7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67}
+	sys, err := rns.NewSystem(moduli)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := sys.Encode(make([]uint64, len(moduli)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sink := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink += core.Forward(r, 67)
+	}
+	_ = sink
+}
+
+// BenchmarkHeaderCodec measures the shim header marshal+unmarshal
+// round trip for a full-protection route ID.
+func BenchmarkHeaderCodec(b *testing.B) {
+	h := packet.Header{Version: 1, TTL: 64, RouteID: rns.RouteIDFromUint64(4402485597509)}
+	buf := make([]byte, 0, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := h.Marshal(buf[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		var got packet.Header
+		if _, err := got.Unmarshal(out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSwitchPipeline measures simulated forwarding throughput:
+// packets per second through the full edge→core→edge pipeline on the
+// Fig. 1 network.
+func BenchmarkSwitchPipeline(b *testing.B) {
+	g, err := topology.Fig1()
+	if err != nil {
+		b.Fatal(err)
+	}
+	policy, _ := PolicyByName("nip")
+	w := experiment.NewWorld(g, policy, 1)
+	if _, err := w.InstallRoute("S", "D", nil); err != nil {
+		b.Fatal(err)
+	}
+	flow := packet.FlowID{Src: "S", Dst: "D"}
+	delivered := 0
+	w.Edges["D"].Attach(flow, edgeCounter{&delivered})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := &packet.Packet{Flow: flow, Kind: packet.KindData, Seq: uint64(i), Size: 1500}
+		if err := w.Edges["S"].Inject(p); err != nil {
+			b.Fatal(err)
+		}
+		// Drain so queues never overflow: virtual time is free.
+		w.Net.Scheduler().RunUntil(time.Duration(i+1) * time.Millisecond)
+	}
+	// Drain the tail (the last packets are still in flight).
+	w.Net.Scheduler().RunUntil(time.Duration(b.N+100) * time.Millisecond)
+	if delivered != b.N {
+		b.Fatalf("delivered %d of %d", delivered, b.N)
+	}
+}
+
+type edgeCounter struct{ n *int }
+
+func (c edgeCounter) Deliver(*packet.Packet) { *c.n++ }
+
+// ---------------------------------------------------------------------------
+// Table and figure benchmarks.
+
+// BenchmarkTable1EncodingSize regenerates Table 1 per iteration and
+// reports the full-protection bit length as a custom metric.
+func BenchmarkTable1EncodingSize(b *testing.B) {
+	var bits int
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiment.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		bits = len(tbl.Rows)
+		if tbl.Rows[2][1] != "43" {
+			b.Fatalf("full protection bits = %s, want 43", tbl.Rows[2][1])
+		}
+	}
+	b.ReportMetric(43, "fullprot-bits")
+	_ = bits
+}
+
+// BenchmarkFig4ThroughputTimeline runs a compressed Fig. 4 (NIP
+// timeline with a mid-run failure) per iteration and reports the
+// during-failure goodput.
+func BenchmarkFig4ThroughputTimeline(b *testing.B) {
+	var during float64
+	for i := 0; i < b.N; i++ {
+		series, err := experiment.Fig4(experiment.Fig4Config{
+			PreFailure: 4 * time.Second,
+			FailureFor: 4 * time.Second,
+			PostRepair: 2 * time.Second,
+			Seed:       int64(i),
+			Policies:   []string{"nip"},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		during = series[0].DuringMbps
+	}
+	b.ReportMetric(during, "nip-during-Mbps")
+}
+
+// BenchmarkFig5ProtectionSweep runs a one-repeat Fig. 5 sweep per
+// iteration (all 18 cells) and reports the full/NIP mean.
+func BenchmarkFig5ProtectionSweep(b *testing.B) {
+	var fullNip float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiment.Fig5(experiment.Fig5Config{
+			Runs: 1, RunDuration: 3 * time.Second, WarmUp: time.Second,
+			Seed: int64(i), Workers: 8,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Protection == "full" && r.Policy == "nip" && r.Failure == "SW7-SW13" {
+				fullNip = r.Goodput.Mean
+			}
+		}
+	}
+	b.ReportMetric(fullNip, "full-nip-Mbps")
+}
+
+// BenchmarkFig7RNPFailureSweep runs a one-repeat Fig. 7 sweep per
+// iteration and reports the worst-case drop percentage.
+func BenchmarkFig7RNPFailureSweep(b *testing.B) {
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiment.Fig7(experiment.Fig7Config{
+			Runs: 1, RunDuration: 4 * time.Second, WarmUp: time.Second,
+			Seed: int64(i), Workers: 4,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst = 0
+		for _, r := range rows {
+			if r.DropPct > worst {
+				worst = r.DropPct
+			}
+		}
+	}
+	b.ReportMetric(worst, "worst-drop-pct")
+}
+
+// BenchmarkFig8RedundantPath runs a one-repeat Fig. 8 per iteration
+// and reports the with-failure/nominal throughput ratio.
+func BenchmarkFig8RedundantPath(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.Fig8(experiment.Fig8Config{
+			Runs: 1, RunDuration: 4 * time.Second, WarmUp: time.Second,
+			Seed: int64(i), Workers: 2,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = res.RatioPct
+	}
+	b.ReportMetric(ratio, "ratio-pct")
+}
+
+// BenchmarkTable2StateComparison runs the stateless-vs-stateful
+// comparison per iteration and reports the baseline's per-switch
+// state.
+func BenchmarkTable2StateComparison(b *testing.B) {
+	var entries int
+	for i := 0; i < b.N; i++ {
+		row, err := experiment.Table2Quantitative()
+		if err != nil {
+			b.Fatal(err)
+		}
+		entries = row.TableEntriesPerSW
+	}
+	b.ReportMetric(float64(entries), "table-entries-per-sw")
+}
+
+// BenchmarkCoverageAnalysis runs the full closed-form walk analysis
+// (both topologies, NIP) per iteration.
+func BenchmarkCoverageAnalysis(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.Coverage([]string{"nip"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ablations.
+
+// BenchmarkAblationProtectionBudget sweeps the §2.3 bit budget on the
+// Net15 route and reports planned protection hops per budget — the
+// partial-protection trade-off of DESIGN.md.
+func BenchmarkAblationProtectionBudget(b *testing.B) {
+	g, err := topology.Net15()
+	if err != nil {
+		b.Fatal(err)
+	}
+	path, err := topology.ShortestPath(g, "AS1", "AS3", nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	budgets := []int{15, 20, 28, 36, 43, 64}
+	var last int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, budget := range budgets {
+			hops, err := core.PlanProtection(g, path, core.PlanOptions{MaxBits: budget})
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = len(hops)
+		}
+	}
+	b.ReportMetric(float64(last), "hops-at-64-bits")
+}
+
+// BenchmarkAblationDeflectionPolicies compares delivered fraction and
+// mean path stretch per policy on a CBR flow through the failed Fig. 1
+// network — HP as the paper's lower bound.
+func BenchmarkAblationDeflectionPolicies(b *testing.B) {
+	for _, policyName := range []string{"hp", "avp", "nip"} {
+		b.Run(policyName, func(b *testing.B) {
+			var ratio float64
+			for i := 0; i < b.N; i++ {
+				g, err := topology.Fig1()
+				if err != nil {
+					b.Fatal(err)
+				}
+				policy, _ := PolicyByName(policyName)
+				w := experiment.NewWorld(g, policy, int64(i))
+				if _, err := w.InstallRoute("S", "D", [][2]string{{"SW5", "SW11"}}); err != nil {
+					b.Fatal(err)
+				}
+				l, _ := g.LinkBetween("SW7", "SW11")
+				w.Net.FailLink(l)
+				flow := packet.FlowID{Src: "S", Dst: "D"}
+				send, recv := udpsim.NewFlow(w.Net, w.Edges["S"], w.Edges["D"], flow, udpsim.Config{
+					Interval: 500 * time.Microsecond, Count: 2000,
+				})
+				send.Start()
+				w.Run(20 * time.Second)
+				st := recv.Stats(send)
+				ratio = st.DeliveryRatio()
+			}
+			b.ReportMetric(ratio*100, "delivered-pct")
+		})
+	}
+}
+
+// BenchmarkAblationReencodeDelay sweeps the controller round-trip
+// paid by misdelivered packets (edge → controller → edge), the only
+// control-plane dependence left in KAR's failure path.
+func BenchmarkAblationReencodeDelay(b *testing.B) {
+	for _, delay := range []time.Duration{0, 2 * time.Millisecond, 20 * time.Millisecond} {
+		b.Run(delay.String(), func(b *testing.B) {
+			var mean float64
+			for i := 0; i < b.N; i++ {
+				g, err := topology.Net15()
+				if err != nil {
+					b.Fatal(err)
+				}
+				policy, _ := PolicyByName("nip")
+				w := experiment.NewWorld(g, policy, int64(i), experiment.WithReencodeDelay(delay))
+				if _, err := w.InstallRoute("AS1", "AS3", topology.Net15PartialProtection); err != nil {
+					b.Fatal(err)
+				}
+				l, _ := g.LinkBetween("SW10", "SW7")
+				w.Net.FailLink(l)
+				flow := packet.FlowID{Src: "AS1", Dst: "AS3"}
+				send, recv := udpsim.NewFlow(w.Net, w.Edges["AS1"], w.Edges["AS3"], flow, udpsim.Config{
+					Interval: time.Millisecond, Count: 1000,
+				})
+				send.Start()
+				w.Run(30 * time.Second)
+				mean = recv.Stats(send).MeanHops()
+			}
+			b.ReportMetric(mean, "mean-hops")
+		})
+	}
+}
+
+// BenchmarkWorldConstruction measures world assembly cost (topology +
+// switches + edges + controller) for the RNP backbone.
+func BenchmarkWorldConstruction(b *testing.B) {
+	policy, _ := PolicyByName("nip")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g, err := topology.RNP28()
+		if err != nil {
+			b.Fatal(err)
+		}
+		w := experiment.NewWorld(g, policy, int64(i))
+		if _, err := w.InstallRoute("EDGE-N", "EDGE-SP", topology.RNP28PartialProtection); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,199 @@
+// Command karsim runs the KAR reproduction experiments — one per
+// table and figure of the paper's evaluation — at full fidelity and
+// prints the resulting tables (optionally CSV).
+//
+// Usage:
+//
+//	karsim -exp table1                 # encoding sizes (Table 1)
+//	karsim -exp fig4                   # failure timeline, 30s/30s/30s
+//	karsim -exp fig5 -runs 30          # protection sweep, 95% CIs
+//	karsim -exp fig7                   # RNP backbone sweep
+//	karsim -exp fig8                   # redundant-path worst case
+//	karsim -exp table2                 # stateless-vs-stateful contrast
+//	karsim -exp coverage               # closed-form walk analysis
+//	karsim -exp all -runs 10 -duration 6s
+//
+// Runs are deterministic for a given -seed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiment"
+	"repro/internal/measure"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "karsim:", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	exp      string
+	runs     int
+	duration time.Duration
+	seed     int64
+	workers  int
+	csv      bool
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("karsim", flag.ContinueOnError)
+	opts := options{}
+	fs.StringVar(&opts.exp, "exp", "all", "experiment: table1, fig4, fig5, fig7, fig8, table2, coverage, all")
+	fs.IntVar(&opts.runs, "runs", 30, "repetitions for fig5/fig7/fig8 (the paper used 30)")
+	fs.DurationVar(&opts.duration, "duration", 6*time.Second, "virtual duration per fig5/fig7/fig8 run (paper: 5s + ramp)")
+	fs.Int64Var(&opts.seed, "seed", 1, "base random seed")
+	fs.IntVar(&opts.workers, "workers", 8, "parallel simulation workers")
+	fs.BoolVar(&opts.csv, "csv", false, "emit CSV instead of aligned tables")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	experiments := map[string]func(options) error{
+		"table1":   runTable1,
+		"fig4":     runFig4,
+		"fig5":     runFig5,
+		"fig7":     runFig7,
+		"fig8":     runFig8,
+		"table2":   runTable2,
+		"coverage": runCoverage,
+		"ablation": runAblation,
+	}
+	order := []string{"table1", "fig4", "fig5", "fig7", "fig8", "table2", "coverage", "ablation"}
+
+	if opts.exp == "all" {
+		for _, name := range order {
+			fmt.Printf("==> %s\n", name)
+			if err := experiments[name](opts); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+			fmt.Println()
+		}
+		return nil
+	}
+	fn, ok := experiments[opts.exp]
+	if !ok {
+		return fmt.Errorf("unknown experiment %q (want one of %s, all)", opts.exp, strings.Join(order, ", "))
+	}
+	return fn(opts)
+}
+
+func emit(opts options, tbl *measure.Table) {
+	if opts.csv {
+		fmt.Print(tbl.CSV())
+		return
+	}
+	fmt.Print(tbl.String())
+}
+
+func runTable1(opts options) error {
+	tbl, err := experiment.Table1()
+	if err != nil {
+		return err
+	}
+	emit(opts, tbl)
+	return nil
+}
+
+func runFig4(opts options) error {
+	series, err := experiment.Fig4(experiment.Fig4Config{
+		Seed:    opts.seed,
+		Workers: opts.workers,
+	})
+	if err != nil {
+		return err
+	}
+	emit(opts, experiment.Fig4Table(series))
+	// Also print the timelines the figure plots.
+	for _, s := range series {
+		fmt.Printf("\n# timeline %s (t[s] -> Mb/s)\n", s.Policy)
+		for _, p := range s.Goodput.Points {
+			fmt.Printf("%6.1f %8.2f\n", p.T.Seconds(), p.V)
+		}
+	}
+	return nil
+}
+
+func runFig5(opts options) error {
+	rows, err := experiment.Fig5(experiment.Fig5Config{
+		Runs:        opts.runs,
+		RunDuration: opts.duration,
+		Seed:        opts.seed,
+		Workers:     opts.workers,
+	})
+	if err != nil {
+		return err
+	}
+	emit(opts, experiment.Fig5Table(rows))
+	return nil
+}
+
+func runFig7(opts options) error {
+	rows, err := experiment.Fig7(experiment.Fig7Config{
+		Runs:        opts.runs,
+		RunDuration: opts.duration,
+		Seed:        opts.seed,
+		Workers:     opts.workers,
+	})
+	if err != nil {
+		return err
+	}
+	emit(opts, experiment.Fig7Table(rows))
+	return nil
+}
+
+func runFig8(opts options) error {
+	res, err := experiment.Fig8(experiment.Fig8Config{
+		Runs:        opts.runs,
+		RunDuration: opts.duration,
+		Seed:        opts.seed,
+		Workers:     opts.workers,
+	})
+	if err != nil {
+		return err
+	}
+	emit(opts, experiment.Fig8Table(res))
+	return nil
+}
+
+func runTable2(opts options) error {
+	emit(opts, experiment.Table2Qualitative())
+	fmt.Println()
+	row, err := experiment.Table2Quantitative()
+	if err != nil {
+		return err
+	}
+	emit(opts, experiment.Table2QuantTable(row))
+	return nil
+}
+
+func runAblation(opts options) error {
+	reno, err := experiment.RenoAblation(opts.seed)
+	if err != nil {
+		return err
+	}
+	emit(opts, experiment.RenoAblationTable(reno))
+	fmt.Println()
+	reaction, err := experiment.ReactionComparison(250*time.Millisecond, opts.seed)
+	if err != nil {
+		return err
+	}
+	emit(opts, experiment.ReactionTable(reaction))
+	return nil
+}
+
+func runCoverage(opts options) error {
+	rows, err := experiment.Coverage(nil)
+	if err != nil {
+		return err
+	}
+	emit(opts, experiment.CoverageTable(rows))
+	return nil
+}

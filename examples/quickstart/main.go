@@ -1,0 +1,110 @@
+// Quickstart walks through the paper's Fig. 1 example end to end:
+// the RNS route-ID arithmetic of §2.2 (R = 44 and R = 660), then a
+// live simulation of the six-node network showing driven deflection
+// delivering every packet across a failed link.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/deflect"
+	"repro/internal/experiment"
+	"repro/internal/packet"
+	"repro/internal/rns"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fmt.Println("== Step 1: the RNS encoding of §2.2 ==")
+	// Primary path S-SW4-SW7-SW11-D: switches {4,7,11}, ports {0,2,0}.
+	sys, err := rns.NewSystem([]uint64{4, 7, 11})
+	if err != nil {
+		return err
+	}
+	r, err := sys.Encode([]uint64{0, 2, 0})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("switches {4,7,11}, ports {0,2,0}  ->  route ID R = %s (paper: 44)\n", r)
+
+	// Driven deflection: add SW5 with its port 0 toward SW11.
+	sysProt, err := rns.NewSystem([]uint64{4, 7, 11, 5})
+	if err != nil {
+		return err
+	}
+	rProt, err := sysProt.Encode([]uint64{0, 2, 0, 0})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("adding SW5->SW11 protection        ->  route ID R = %s (paper: 660)\n", rProt)
+	for _, sw := range []uint64{4, 7, 11, 5} {
+		fmt.Printf("  switch %2d forwards out of port %s mod %d = %d\n", sw, rProt, sw, core.Forward(rProt, sw))
+	}
+
+	fmt.Println("\n== Step 2: the live six-node network ==")
+	g, err := topology.Fig1()
+	if err != nil {
+		return err
+	}
+	policy, _ := deflect.ByName("nip")
+	w := experiment.NewWorld(g, policy, 7)
+	route, err := w.InstallRoute("S", "D", [][2]string{{"SW5", "SW11"}})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("installed: %s\n", route)
+
+	// Capture every hop of the flow, tcpdump style.
+	flow := packet.FlowID{Src: "S", Dst: "D"}
+	capture := trace.New(w.Net, 64, trace.FlowFilter(flow))
+
+	delivered := 0
+	w.Edges["D"].Attach(flow, deliverFunc(func(p *packet.Packet) { delivered++ }))
+
+	fmt.Println("\nsending 3 packets on the healthy network:")
+	for i := 0; i < 3; i++ {
+		p := &packet.Packet{Flow: flow, Kind: packet.KindData, Seq: uint64(i), Size: 1500}
+		if err := w.Edges["S"].Inject(p); err != nil {
+			return err
+		}
+	}
+	w.Run(time.Second)
+	fmt.Print(capture)
+
+	fmt.Println("\nfailing link SW7-SW11 and sending 3 more:")
+	link, _ := g.LinkBetween("SW7", "SW11")
+	w.Net.FailLink(link)
+	capture = trace.New(w.Net, 64, trace.FlowFilter(flow))
+	for i := 3; i < 6; i++ {
+		p := &packet.Packet{Flow: flow, Kind: packet.KindData, Seq: uint64(i), Size: 1500}
+		if err := w.Edges["S"].Inject(p); err != nil {
+			return err
+		}
+	}
+	w.Run(2 * time.Second)
+	fmt.Print(capture)
+
+	fmt.Printf("\ndelivered %d/6 packets — the deflected ones went SW7→SW5→SW11, driven by the\n", delivered)
+	fmt.Println("extra residue in the same route ID: no controller involvement, no packet loss.")
+	if delivered != 6 {
+		return fmt.Errorf("expected 6 deliveries, got %d", delivered)
+	}
+	return nil
+}
+
+type deliverFunc func(*packet.Packet)
+
+func (f deliverFunc) Deliver(p *packet.Packet) { f(p) }

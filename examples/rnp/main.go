@@ -1,0 +1,90 @@
+// RNP runs the paper's national-backbone scenario (§3.2, Figs. 6-7):
+// the Boa Vista (SW7) → São Paulo (SW73) route across the
+// reconstructed 28-PoP RNP topology, protected by the partial
+// driven-deflection segments of Fig. 6, measured with NIP under
+// three failure locations — and cross-checked against the exact
+// Markov-chain analysis of each deflection walk.
+//
+// Run with: go run ./examples/rnp [-runs 10]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/controller"
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/topology"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "rnp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("rnp", flag.ContinueOnError)
+	var (
+		runs = fs.Int("runs", 10, "repetitions per scenario (paper: 30)")
+		dur  = fs.Duration("duration", 6*time.Second, "virtual duration per run")
+		seed = fs.Int64("seed", 1, "random seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	g, err := topology.RNP28()
+	if err != nil {
+		return err
+	}
+	fmt.Println(g.Summary())
+	fmt.Printf("route: %v\n", topology.RNP28Route)
+	fmt.Printf("partial protection (Fig. 6): %v\n\n", topology.RNP28PartialProtection)
+
+	// Measured throughput (the paper's Fig. 7).
+	rows, err := experiment.Fig7(experiment.Fig7Config{
+		Runs: *runs, RunDuration: *dur, Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiment.Fig7Table(rows))
+
+	// Exact expectations for each deflection walk.
+	fmt.Println("\nclosed-form deflection-walk analysis (NIP):")
+	ctrl := controller.New(g)
+	prot, err := core.HopsFromPairs(g, topology.RNP28PartialProtection)
+	if err != nil {
+		return err
+	}
+	if _, err := ctrl.InstallRoute("EDGE-N", "EDGE-SP", prot); err != nil {
+		return err
+	}
+	for _, fail := range [][2]string{{"SW7", "SW13"}, {"SW13", "SW41"}, {"SW41", "SW73"}} {
+		l, ok := g.LinkBetween(fail[0], fail[1])
+		if !ok {
+			return fmt.Errorf("no link %v", fail)
+		}
+		an, err := analysis.New(ctrl, "nip", []*topology.Link{l})
+		if err != nil {
+			return err
+		}
+		res, err := an.Analyze("EDGE-N", "EDGE-SP")
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  fail %-10s  P(deliver)=%.4f  E[hops]=%.2f (nominal %d)  stretch=%.3f\n",
+			fail[0]+"-"+fail[1], res.PDeliver, res.ExpectedHops, res.BaselineHops, res.Stretch())
+	}
+
+	fmt.Println("\nreading: the SW7-SW13 failure detours deterministically (+1 hop, tiny cost);")
+	fmt.Println("SW13-SW41 deflects 5 ways and wanders (largest drop and variance);")
+	fmt.Println("SW41-SW73 deflects 2 ways, both protection-covered (moderate cost).")
+	return nil
+}

@@ -1,0 +1,247 @@
+// Package controller implements the KAR network controller: it owns
+// the topology, assigns routes, computes route IDs via the RNS
+// encoding, plans driven-deflection protection, and serves re-encode
+// requests for misdelivered packets.
+//
+// Mirroring the paper's evaluation setup (§3), the controller ignores
+// data-plane failure notifications by default — resilience must come
+// from deflection alone. Failure-reactive rerouting is available as an
+// opt-in (the "traditional approach" the paper contrasts against).
+package controller
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/rns"
+	"repro/internal/topology"
+)
+
+type pair struct {
+	src, dst string
+}
+
+// Controller is the routing brain. It is not safe for concurrent use;
+// each simulated world owns one controller.
+type Controller struct {
+	g      *topology.Graph
+	weight topology.WeightFunc
+
+	reactToFailures bool
+	failed          map[*topology.Link]bool
+
+	routes     map[pair]*core.Route
+	protection map[pair][]core.Hop // protection requested at install time
+
+	notifications int64
+}
+
+// Option configures a Controller.
+type Option func(*Controller)
+
+// WithWeight sets the link weight used for path selection (hop count
+// when unset).
+func WithWeight(w topology.WeightFunc) Option {
+	return func(c *Controller) { c.weight = w }
+}
+
+// WithFailureReaction makes the controller react to failure
+// notifications by recomputing affected routes — the traditional
+// approach the paper contrasts with (off by default: the paper's
+// experiments deliberately ignore notifications).
+func WithFailureReaction() Option {
+	return func(c *Controller) { c.reactToFailures = true }
+}
+
+// New builds a controller over a validated topology.
+func New(g *topology.Graph, opts ...Option) *Controller {
+	c := &Controller{
+		g:          g,
+		weight:     topology.HopWeight,
+		failed:     make(map[*topology.Link]bool),
+		routes:     make(map[pair]*core.Route),
+		protection: make(map[pair][]core.Hop),
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// Graph returns the controller's topology.
+func (c *Controller) Graph() *topology.Graph { return c.g }
+
+// pathWeight wraps the configured weight, pricing failed links out of
+// the market when failure reaction is enabled.
+func (c *Controller) pathWeight() topology.WeightFunc {
+	if !c.reactToFailures || len(c.failed) == 0 {
+		return c.weight
+	}
+	const prohibitive = 1e12
+	return func(l *topology.Link) float64 {
+		if c.failed[l] {
+			return prohibitive
+		}
+		return c.weight(l)
+	}
+}
+
+// InstallRoute selects the best path from src to dst (both edge
+// nodes), encodes it together with the given protection hops, and
+// remembers it. Reinstalling a pair overwrites it.
+func (c *Controller) InstallRoute(src, dst string, protection []core.Hop) (*core.Route, error) {
+	path, err := topology.ShortestPath(c.g, src, dst, c.pathWeight())
+	if err != nil {
+		return nil, fmt.Errorf("controller: route %s->%s: %w", src, dst, err)
+	}
+	route, err := core.EncodeRoute(path, protection)
+	if err != nil {
+		return nil, fmt.Errorf("controller: route %s->%s: %w", src, dst, err)
+	}
+	k := pair{src: src, dst: dst}
+	c.routes[k] = route
+	c.protection[k] = append([]core.Hop(nil), protection...)
+	return route, nil
+}
+
+// InstallRouteOnPath installs an explicitly chosen path (the paper's
+// controller "by any reason selects" specific routes) instead of the
+// shortest one.
+func (c *Controller) InstallRouteOnPath(nodeNames []string, protection []core.Hop) (*core.Route, error) {
+	nodes := make([]*topology.Node, len(nodeNames))
+	for i, name := range nodeNames {
+		n, ok := c.g.Node(name)
+		if !ok {
+			return nil, fmt.Errorf("controller: path node %q: %w", name, topology.ErrUnknownNode)
+		}
+		nodes[i] = n
+	}
+	path := topology.Path{Nodes: nodes}
+	route, err := core.EncodeRoute(path, protection)
+	if err != nil {
+		return nil, fmt.Errorf("controller: explicit route %s: %w", path, err)
+	}
+	src, dst := nodeNames[0], nodeNames[len(nodeNames)-1]
+	k := pair{src: src, dst: dst}
+	c.routes[k] = route
+	c.protection[k] = append([]core.Hop(nil), protection...)
+	return route, nil
+}
+
+// Route returns the installed route for a pair.
+func (c *Controller) Route(src, dst string) (*core.Route, bool) {
+	r, ok := c.routes[pair{src: src, dst: dst}]
+	return r, ok
+}
+
+// IngressPort returns the port the ingress edge uses to reach the
+// first core switch of an installed route.
+func (c *Controller) IngressPort(route *core.Route) (int, error) {
+	src := route.Path.Nodes[0]
+	port, ok := src.PortToward(route.Path.Nodes[1].Name())
+	if !ok {
+		return 0, fmt.Errorf("controller: edge %s has no port toward %s", src, route.Path.Nodes[1])
+	}
+	return port, nil
+}
+
+// ReencodeRoute implements edge.Reencoder: a fresh route ID (and the
+// edge's output port) for reaching dstEdge from fromEdge. Used when a
+// deflected packet lands at the wrong edge; per the paper, the
+// controller recalculates based on the best path from that edge,
+// reusing the destination's protection hops where they do not collide
+// with the new path (single-residue constraint).
+func (c *Controller) ReencodeRoute(fromEdge, dstEdge string) (rns.RouteID, int, error) {
+	k := pair{src: fromEdge, dst: dstEdge}
+	if r, ok := c.routes[k]; ok {
+		port, err := c.IngressPort(r)
+		if err != nil {
+			return rns.RouteID{}, 0, err
+		}
+		return r.ID, port, nil
+	}
+	protection := c.protectionToward(dstEdge)
+	path, err := topology.ShortestPath(c.g, fromEdge, dstEdge, c.pathWeight())
+	if err != nil {
+		return rns.RouteID{}, 0, fmt.Errorf("controller: re-encode %s->%s: %w", fromEdge, dstEdge, err)
+	}
+	route, err := core.EncodeRoute(path, filterHops(protection, path))
+	if err != nil {
+		return rns.RouteID{}, 0, fmt.Errorf("controller: re-encode %s->%s: %w", fromEdge, dstEdge, err)
+	}
+	c.routes[k] = route
+	c.protection[k] = route.Protection
+	port, err := c.IngressPort(route)
+	if err != nil {
+		return rns.RouteID{}, 0, err
+	}
+	return route.ID, port, nil
+}
+
+// protectionToward returns the protection hops of any installed route
+// ending at dstEdge (they form a tree toward the destination, so they
+// remain valid from any ingress).
+func (c *Controller) protectionToward(dstEdge string) []core.Hop {
+	for k, hops := range c.protection {
+		if k.dst == dstEdge && len(hops) > 0 {
+			return hops
+		}
+	}
+	return nil
+}
+
+// filterHops removes hops whose switch lies on the path (it already
+// carries a primary residue there).
+func filterHops(hops []core.Hop, path topology.Path) []core.Hop {
+	out := make([]core.Hop, 0, len(hops))
+	for _, h := range hops {
+		if !path.Contains(h.Switch.Name()) {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// NotifyFailure receives a data-plane failure report. In the paper's
+// evaluation mode (default) it only counts; with failure reaction
+// enabled it reroutes every installed route that crosses the link.
+func (c *Controller) NotifyFailure(l *topology.Link) error {
+	c.notifications++
+	if !c.reactToFailures {
+		return nil
+	}
+	c.failed[l] = true
+	return c.reinstallAll()
+}
+
+// NotifyRepair clears a failure.
+func (c *Controller) NotifyRepair(l *topology.Link) error {
+	c.notifications++
+	if !c.reactToFailures {
+		return nil
+	}
+	delete(c.failed, l)
+	return c.reinstallAll()
+}
+
+// reinstallAll recomputes every installed route under the current
+// failure set. A failure may detour routes that crossed the link; a
+// repair may restore shortest paths for routes that no longer do —
+// recomputing everything covers both.
+func (c *Controller) reinstallAll() error {
+	for k := range c.routes {
+		path, err := topology.ShortestPath(c.g, k.src, k.dst, c.pathWeight())
+		if err != nil {
+			return fmt.Errorf("controller: reroute %s->%s: %w", k.src, k.dst, err)
+		}
+		newRoute, err := core.EncodeRoute(path, filterHops(c.protection[k], path))
+		if err != nil {
+			return fmt.Errorf("controller: reroute %s->%s: %w", k.src, k.dst, err)
+		}
+		c.routes[k] = newRoute
+	}
+	return nil
+}
+
+// Notifications returns how many failure/repair reports arrived.
+func (c *Controller) Notifications() int64 { return c.notifications }

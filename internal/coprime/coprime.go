@@ -1,0 +1,125 @@
+// Package coprime allocates KAR switch IDs. Every core switch needs an
+// ID such that (a) the IDs in use are pairwise coprime — the RNS basis
+// requirement — and (b) the ID is strictly greater than the switch's
+// highest port index, so a residue can address every port.
+//
+// IDs need not be prime (the paper's Fig. 1 uses 4, the reconstructed
+// 15-node network uses 10 and 27); they only need to be mutually
+// coprime. The Allocator therefore hands out the smallest integer that
+// satisfies both constraints, which keeps M = ∏ IDs (and hence the
+// route-ID bit length, paper §2.3) as small as possible.
+package coprime
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/rns"
+)
+
+// Allocator hands out pairwise-coprime IDs. The zero value is ready to
+// use. Allocator is not safe for concurrent use.
+type Allocator struct {
+	used []uint64
+}
+
+// NewAllocator returns an allocator pre-seeded with IDs already in use
+// (e.g. when extending an existing deployment). It returns an error if
+// the seed set itself is not pairwise coprime.
+func NewAllocator(used []uint64) (*Allocator, error) {
+	if len(used) > 0 {
+		if err := rns.CheckPairwiseCoprime(used); err != nil {
+			return nil, fmt.Errorf("seed IDs: %w", err)
+		}
+	}
+	return &Allocator{used: append([]uint64(nil), used...)}, nil
+}
+
+// Next returns the smallest id ≥ min (and ≥ 2) coprime with every
+// previously allocated ID, and records it as used.
+func (a *Allocator) Next(min uint64) (uint64, error) {
+	if min < 2 {
+		min = 2
+	}
+	for v := min; ; v++ {
+		if v == 0 { // wrapped around uint64; practically unreachable
+			return 0, fmt.Errorf("coprime: ID space exhausted above %d", min)
+		}
+		if a.coprimeWithUsed(v) {
+			a.used = append(a.used, v)
+			return v, nil
+		}
+	}
+}
+
+// Used returns a copy of all allocated IDs in allocation order.
+func (a *Allocator) Used() []uint64 { return append([]uint64(nil), a.used...) }
+
+func (a *Allocator) coprimeWithUsed(v uint64) bool {
+	for _, u := range a.used {
+		if rns.GCD(u, v) != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// Assign allocates one ID per entry of mins, where mins[i] is the
+// minimum acceptable ID for node i (typically its port count). To keep
+// the overall products small, nodes are served in descending order of
+// their minimum, but results are returned in input order.
+func Assign(mins []uint64) ([]uint64, error) {
+	type req struct {
+		idx int
+		min uint64
+	}
+	reqs := make([]req, len(mins))
+	for i, m := range mins {
+		reqs[i] = req{idx: i, min: m}
+	}
+	sort.SliceStable(reqs, func(i, j int) bool { return reqs[i].min > reqs[j].min })
+
+	var alloc Allocator
+	out := make([]uint64, len(mins))
+	for _, r := range reqs {
+		id, err := alloc.Next(r.min)
+		if err != nil {
+			return nil, err
+		}
+		out[r.idx] = id
+	}
+	return out, nil
+}
+
+// Primes returns the first n primes greater than or equal to min.
+// KAR deployments that prefer prime IDs (like the reconstructed RNP28
+// topology, whose IDs are the first 28 primes ≥ 7) use this directly.
+func Primes(min uint64, n int) []uint64 {
+	out := make([]uint64, 0, n)
+	if min < 2 {
+		min = 2
+	}
+	for v := min; len(out) < n; v++ {
+		if IsPrime(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// IsPrime reports primality by trial division; IDs are small (they fit
+// in packet headers), so this is never a bottleneck.
+func IsPrime(v uint64) bool {
+	if v < 2 {
+		return false
+	}
+	if v%2 == 0 {
+		return v == 2
+	}
+	for d := uint64(3); d*d <= v; d += 2 {
+		if v%d == 0 {
+			return false
+		}
+	}
+	return true
+}

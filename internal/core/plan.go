@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+
+	"repro/internal/topology"
+)
+
+// PlanOptions tunes automatic driven-deflection protection planning.
+type PlanOptions struct {
+	// MaxBits caps the route-ID bit length (the header budget of
+	// §2.3). Zero means unlimited — complete protection: every core
+	// switch off the route receives a residue.
+	MaxBits int
+	// Weight scores links when building the protection tree toward
+	// the destination (HopWeight when nil).
+	Weight topology.WeightFunc
+}
+
+// PlanProtection computes driven-deflection forwarding hops for a
+// route, implementing the paper's protection concept generally:
+//
+//   - A shortest-path tree rooted at the destination core switch gives
+//     every off-route switch one output port that leads to the
+//     destination — the "logical tree with its root at destination"
+//     of §2 and the one-port-per-switch constraint of §3.2.
+//   - Candidates are ranked by deflection reachability: direct
+//     neighbours of route switches first (they receive deflected
+//     packets with one hop), then their neighbours, and so on.
+//   - Hops are added greedily while the route-ID bit length stays
+//     within MaxBits, realising §2.3's partial protection ("instead of
+//     setting the alternative paths entirely, one can set part of
+//     them").
+//
+// The returned hops never duplicate a route switch.
+func PlanProtection(g *topology.Graph, path topology.Path, opts PlanOptions) ([]Hop, error) {
+	primary, err := primaryHops(path)
+	if err != nil {
+		return nil, err
+	}
+	dstCore := primary[len(primary)-1].Switch
+	tree, err := topology.ShortestPathTree(g, dstCore.Name(), opts.Weight)
+	if err != nil {
+		return nil, err
+	}
+
+	onRoute := make(map[*topology.Node]bool, len(primary))
+	product := big.NewInt(1)
+	for _, h := range primary {
+		onRoute[h.Switch] = true
+		product.Mul(product, new(big.Int).SetUint64(h.Switch.ID()))
+	}
+	if opts.MaxBits > 0 && bitLen(product) > opts.MaxBits {
+		return nil, fmt.Errorf("route alone needs %d bits, budget %d: %w",
+			bitLen(product), opts.MaxBits, ErrBudgetTooSmall)
+	}
+
+	var hops []Hop
+	trial := new(big.Int)
+	for _, cand := range deflectionOrder(g, primary, onRoute) {
+		link, ok := tree[cand]
+		if !ok {
+			continue // cannot reach the destination at all
+		}
+		trial.Mul(product, new(big.Int).SetUint64(cand.ID()))
+		if opts.MaxBits > 0 && bitLen(trial) > opts.MaxBits {
+			continue // try a cheaper candidate further down the ranking
+		}
+		product.Set(trial)
+		hops = append(hops, Hop{Switch: cand, Port: link.PortOf(cand)})
+	}
+	return hops, nil
+}
+
+// bitLen is the route-ID size of a basis with product m: the bit
+// length of m-1 (Eq. 9).
+func bitLen(m *big.Int) int {
+	return new(big.Int).Sub(m, big.NewInt(1)).BitLen()
+}
+
+// deflectionOrder ranks off-route core switches by BFS distance from
+// the route switches — a proxy for how likely a deflected packet is to
+// land there. Ties break on node insertion order for determinism.
+func deflectionOrder(g *topology.Graph, primary []Hop, onRoute map[*topology.Node]bool) []*topology.Node {
+	visited := make(map[*topology.Node]bool, len(g.Nodes()))
+	frontier := make([]*topology.Node, 0, len(primary))
+	for _, h := range primary {
+		visited[h.Switch] = true
+		frontier = append(frontier, h.Switch)
+	}
+	var order []*topology.Node
+	for len(frontier) > 0 {
+		var next []*topology.Node
+		var layer []*topology.Node
+		for _, n := range frontier {
+			for _, l := range n.Links() {
+				nb := l.Other(n)
+				if visited[nb] || nb.Kind() != topology.KindCore {
+					continue
+				}
+				visited[nb] = true
+				layer = append(layer, nb)
+			}
+		}
+		sort.Slice(layer, func(i, j int) bool { return layer[i].Index() < layer[j].Index() })
+		for _, n := range layer {
+			if !onRoute[n] {
+				order = append(order, n)
+			}
+		}
+		next = append(next, layer...)
+		frontier = next
+	}
+	return order
+}

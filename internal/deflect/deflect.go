@@ -1,0 +1,186 @@
+// Package deflect implements the paper's three deflection routing
+// techniques (§2.1) plus the no-deflection baseline, behind a single
+// Policy interface:
+//
+//   - None: forward by modulo; drop when the computed port is down.
+//   - HP (Hot-Potato): once a packet has been deflected, every
+//     subsequent hop is uniformly random — the paper's lower bound.
+//   - AVP (Any Valid Port): always compute the modulo; when the result
+//     is not a valid, healthy port, pick a random healthy port (the
+//     input port included).
+//   - NIP (Not the Input Port): AVP, additionally excluding the input
+//     port both when validating the modulo result and when drawing a
+//     random port (Algorithm 1).
+//
+// Policies are pure decision functions over a SwitchView; all
+// randomness comes from the *rand.Rand the caller injects, keeping
+// simulations reproducible.
+package deflect
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/rns"
+)
+
+// SwitchView is what a deflection policy may observe about a switch:
+// its KAR ID and the state of its ports. Implemented by the simulated
+// switch; small on purpose so policies stay decoupled from the
+// simulator.
+type SwitchView interface {
+	// SwitchID returns the switch's coprime KAR ID.
+	SwitchID() uint64
+	// NumPorts returns the size of the port index space.
+	NumPorts() int
+	// PortUp reports whether port i exists, is attached and healthy.
+	PortUp(i int) bool
+}
+
+// Decision is the outcome of a forwarding decision.
+type Decision struct {
+	// Port is the chosen output port (meaningless when Drop is set).
+	Port int
+	// Deflected is true when Port is not the healthy modulo-computed
+	// port, i.e. the packet leaves its encoded path here.
+	Deflected bool
+	// Drop is true when no viable output port exists.
+	Drop bool
+}
+
+// Policy decides the output port for a packet carrying routeID that
+// entered the switch on inPort. wasDeflected carries the packet's
+// deflection flag (hot-potato keeps random-walking such packets).
+// inPort is -1 for packets originated by a locally attached edge
+// function (nothing to exclude).
+type Policy interface {
+	// Name returns the short name used in experiment output
+	// ("none", "hp", "avp", "nip").
+	Name() string
+	Decide(view SwitchView, routeID rns.RouteID, inPort int, wasDeflected bool, rng *rand.Rand) Decision
+}
+
+// Compile-time interface compliance.
+var (
+	_ Policy = None{}
+	_ Policy = HotPotato{}
+	_ Policy = AnyValidPort{}
+	_ Policy = NotInputPort{}
+)
+
+// ByName returns the policy with the given short name.
+func ByName(name string) (Policy, bool) {
+	switch name {
+	case "none":
+		return None{}, true
+	case "hp":
+		return HotPotato{}, true
+	case "avp":
+		return AnyValidPort{}, true
+	case "nip":
+		return NotInputPort{}, true
+	default:
+		return nil, false
+	}
+}
+
+// All returns the four policies in presentation order.
+func All() []Policy {
+	return []Policy{None{}, HotPotato{}, AnyValidPort{}, NotInputPort{}}
+}
+
+// None is the no-deflection baseline: pure modulo forwarding, packets
+// to a down or invalid port are dropped.
+type None struct{}
+
+// Name implements Policy.
+func (None) Name() string { return "none" }
+
+// Decide implements Policy.
+func (None) Decide(view SwitchView, routeID rns.RouteID, inPort int, wasDeflected bool, rng *rand.Rand) Decision {
+	port := core.Forward(routeID, view.SwitchID())
+	if !view.PortUp(port) {
+		return Decision{Drop: true}
+	}
+	return Decision{Port: port}
+}
+
+// HotPotato implements the HP technique: the first deflection switches
+// the packet into a permanent uniform random walk.
+type HotPotato struct{}
+
+// Name implements Policy.
+func (HotPotato) Name() string { return "hp" }
+
+// Decide implements Policy.
+func (HotPotato) Decide(view SwitchView, routeID rns.RouteID, inPort int, wasDeflected bool, rng *rand.Rand) Decision {
+	if !wasDeflected {
+		if port := core.Forward(routeID, view.SwitchID()); view.PortUp(port) {
+			return Decision{Port: port}
+		}
+	}
+	// Complete random path: uniform over healthy ports, the input
+	// port included.
+	port, ok := randomPort(view, rng, -1)
+	if !ok {
+		return Decision{Drop: true}
+	}
+	return Decision{Port: port, Deflected: true}
+}
+
+// AnyValidPort implements AVP: modulo first, random healthy port (the
+// input port allowed) when the modulo result is invalid or down.
+type AnyValidPort struct{}
+
+// Name implements Policy.
+func (AnyValidPort) Name() string { return "avp" }
+
+// Decide implements Policy.
+func (AnyValidPort) Decide(view SwitchView, routeID rns.RouteID, inPort int, wasDeflected bool, rng *rand.Rand) Decision {
+	if port := core.Forward(routeID, view.SwitchID()); view.PortUp(port) {
+		return Decision{Port: port}
+	}
+	port, ok := randomPort(view, rng, -1)
+	if !ok {
+		return Decision{Drop: true}
+	}
+	return Decision{Port: port, Deflected: true}
+}
+
+// NotInputPort implements NIP (Algorithm 1): like AVP but the input
+// port is never used, neither as an accepted modulo result nor as a
+// random draw — avoiding two-node routing loops.
+type NotInputPort struct{}
+
+// Name implements Policy.
+func (NotInputPort) Name() string { return "nip" }
+
+// Decide implements Policy.
+func (NotInputPort) Decide(view SwitchView, routeID rns.RouteID, inPort int, wasDeflected bool, rng *rand.Rand) Decision {
+	if port := core.Forward(routeID, view.SwitchID()); view.PortUp(port) && port != inPort {
+		return Decision{Port: port}
+	}
+	port, ok := randomPort(view, rng, inPort)
+	if !ok {
+		return Decision{Drop: true}
+	}
+	return Decision{Port: port, Deflected: true}
+}
+
+// randomPort draws uniformly among healthy ports, excluding exclude
+// (pass -1 to exclude nothing). It reports failure when no candidate
+// exists. Reservoir-style single pass keeps the draw uniform without
+// allocating.
+func randomPort(view SwitchView, rng *rand.Rand, exclude int) (int, bool) {
+	chosen, seen := -1, 0
+	for i := 0; i < view.NumPorts(); i++ {
+		if i == exclude || !view.PortUp(i) {
+			continue
+		}
+		seen++
+		if rng.Intn(seen) == 0 {
+			chosen = i
+		}
+	}
+	return chosen, chosen >= 0
+}

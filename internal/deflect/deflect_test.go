@@ -1,0 +1,243 @@
+package deflect
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/rns"
+)
+
+// fakeView is a test SwitchView: a switch ID plus per-port health.
+type fakeView struct {
+	id    uint64
+	ports []bool // up/down per port; length = NumPorts
+}
+
+func (f fakeView) SwitchID() uint64 { return f.id }
+func (f fakeView) NumPorts() int    { return len(f.ports) }
+func (f fakeView) PortUp(i int) bool {
+	return i >= 0 && i < len(f.ports) && f.ports[i]
+}
+
+func rid(v uint64) rns.RouteID { return rns.RouteIDFromUint64(v) }
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"none", "hp", "avp", "nip"} {
+		p, ok := ByName(name)
+		if !ok {
+			t.Fatalf("ByName(%q) not found", name)
+		}
+		if p.Name() != name {
+			t.Errorf("ByName(%q).Name() = %q", name, p.Name())
+		}
+	}
+	if _, ok := ByName("bogus"); ok {
+		t.Error("ByName(bogus) succeeded")
+	}
+	if got := len(All()); got != 4 {
+		t.Errorf("All() returned %d policies, want 4", got)
+	}
+}
+
+// TestHealthyPathAllPoliciesAgree: with the encoded port healthy,
+// every policy (except NIP when the modulo points backwards) forwards
+// by modulo without deflecting.
+func TestHealthyPathAllPoliciesAgree(t *testing.T) {
+	// Paper example: R=660 at SW7 → port 2.
+	view := fakeView{id: 7, ports: []bool{true, true, true}}
+	rng := rand.New(rand.NewSource(1))
+	for _, p := range All() {
+		d := p.Decide(view, rid(660), 0, false, rng)
+		if d.Drop || d.Deflected || d.Port != 2 {
+			t.Errorf("%s: decision = %+v, want healthy forward to port 2", p.Name(), d)
+		}
+	}
+}
+
+func TestNoneDropsOnFailure(t *testing.T) {
+	view := fakeView{id: 7, ports: []bool{true, true, false}} // port 2 down
+	rng := rand.New(rand.NewSource(1))
+	d := (None{}).Decide(view, rid(660), 0, false, rng)
+	if !d.Drop {
+		t.Errorf("decision = %+v, want drop", d)
+	}
+}
+
+func TestNoneDropsOnInvalidPort(t *testing.T) {
+	// R mod 11 = 660 mod 11 = 0; make the switch have port 0 down.
+	view := fakeView{id: 11, ports: []bool{false, true}}
+	rng := rand.New(rand.NewSource(1))
+	if d := (None{}).Decide(view, rid(660), 1, false, rng); !d.Drop {
+		t.Errorf("decision = %+v, want drop", d)
+	}
+	// A modulo result beyond the port space is also a drop.
+	view = fakeView{id: 97, ports: []bool{true, true}} // 660 mod 97 = 78
+	if d := (None{}).Decide(view, rid(660), 1, false, rng); !d.Drop {
+		t.Errorf("decision = %+v, want drop for out-of-range port", d)
+	}
+}
+
+// TestAVPDeflectsUniformly: with the encoded port down, AVP picks
+// among ALL healthy ports, including the input port.
+func TestAVPDeflectsUniformly(t *testing.T) {
+	view := fakeView{id: 7, ports: []bool{true, true, false}} // encoded port 2 down
+	rng := rand.New(rand.NewSource(42))
+	counts := map[int]int{}
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		d := AnyValidPort{}.Decide(view, rid(660), 0, false, rng)
+		if d.Drop || !d.Deflected {
+			t.Fatalf("decision = %+v, want deflection", d)
+		}
+		counts[d.Port]++
+	}
+	if len(counts) != 2 {
+		t.Fatalf("AVP used ports %v, want exactly {0, 1}", counts)
+	}
+	for port, c := range counts {
+		frac := float64(c) / trials
+		if frac < 0.45 || frac > 0.55 {
+			t.Errorf("port %d drawn with frequency %.3f, want ~0.5 (uniform)", port, frac)
+		}
+	}
+	if counts[0] == 0 {
+		t.Error("AVP never used the input port; it must be allowed to")
+	}
+}
+
+// TestNIPExcludesInputPort: same scenario, NIP must never pick port 0
+// (the input port) — the paper's two-node loop avoidance.
+func TestNIPExcludesInputPort(t *testing.T) {
+	view := fakeView{id: 7, ports: []bool{true, true, false}}
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 5000; i++ {
+		d := NotInputPort{}.Decide(view, rid(660), 0, false, rng)
+		if d.Drop {
+			t.Fatal("NIP dropped with a healthy candidate available")
+		}
+		if d.Port == 0 {
+			t.Fatal("NIP chose the input port")
+		}
+		if d.Port != 1 {
+			t.Fatalf("NIP chose port %d, want 1 (only non-input healthy port)", d.Port)
+		}
+	}
+}
+
+// TestNIPRejectsModuloEqualInput: when the modulo result equals the
+// input port, NIP re-draws even though the port is healthy (Algorithm
+// 1's "or output = in_port" clause).
+func TestNIPRejectsModuloEqualInput(t *testing.T) {
+	// R=660, switch 7 → port 2; make 2 the input port.
+	view := fakeView{id: 7, ports: []bool{true, true, true}}
+	rng := rand.New(rand.NewSource(7))
+	seen := map[int]bool{}
+	for i := 0; i < 2000; i++ {
+		d := NotInputPort{}.Decide(view, rid(660), 2, false, rng)
+		if d.Drop {
+			t.Fatal("unexpected drop")
+		}
+		if !d.Deflected {
+			t.Fatal("NIP must mark the re-draw as a deflection")
+		}
+		if d.Port == 2 {
+			t.Fatal("NIP returned the input port")
+		}
+		seen[d.Port] = true
+	}
+	if !seen[0] || !seen[1] {
+		t.Errorf("NIP random draw covered ports %v, want both 0 and 1", seen)
+	}
+}
+
+// TestAVPAcceptsModuloEqualInput: AVP, by contrast, happily bounces
+// the packet back out of its incoming port (the paper's only stated
+// difference between AVP and NIP).
+func TestAVPAcceptsModuloEqualInput(t *testing.T) {
+	view := fakeView{id: 7, ports: []bool{true, true, true}}
+	rng := rand.New(rand.NewSource(7))
+	d := AnyValidPort{}.Decide(view, rid(660), 2, false, rng)
+	if d.Drop || d.Deflected || d.Port != 2 {
+		t.Errorf("decision = %+v, want undeflected forward to port 2", d)
+	}
+}
+
+// TestHotPotatoRandomWalkIsSticky: once deflected, HP ignores the
+// modulo even when the encoded port is healthy.
+func TestHotPotatoRandomWalkIsSticky(t *testing.T) {
+	view := fakeView{id: 7, ports: []bool{true, true, true}}
+	rng := rand.New(rand.NewSource(3))
+	sawNonModulo := false
+	for i := 0; i < 200; i++ {
+		d := HotPotato{}.Decide(view, rid(660), 0, true, rng)
+		if d.Drop {
+			t.Fatal("unexpected drop")
+		}
+		if !d.Deflected {
+			t.Fatal("HP walk decision must stay flagged as deflected")
+		}
+		if d.Port != 2 {
+			sawNonModulo = true
+		}
+	}
+	if !sawNonModulo {
+		t.Error("HP random walk always followed the modulo port; it must roam")
+	}
+}
+
+// TestHotPotatoFollowsModuloBeforeDeflection: an undeflected packet on
+// a healthy path is forwarded normally.
+func TestHotPotatoFollowsModuloBeforeDeflection(t *testing.T) {
+	view := fakeView{id: 7, ports: []bool{true, true, true}}
+	rng := rand.New(rand.NewSource(3))
+	d := HotPotato{}.Decide(view, rid(660), 0, false, rng)
+	if d.Drop || d.Deflected || d.Port != 2 {
+		t.Errorf("decision = %+v, want modulo forward to port 2", d)
+	}
+}
+
+// TestAllPoliciesDropWhenNoPortViable: a switch whose only healthy
+// port is the input port leaves NIP with nothing; a switch with no
+// healthy ports leaves everyone with nothing.
+func TestAllPoliciesDropWhenNoPortViable(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	dead := fakeView{id: 7, ports: []bool{false, false, false}}
+	for _, p := range All() {
+		if d := p.Decide(dead, rid(660), 0, false, rng); !d.Drop {
+			t.Errorf("%s on a dead switch: decision = %+v, want drop", p.Name(), d)
+		}
+	}
+	onlyInput := fakeView{id: 7, ports: []bool{true, false, false}}
+	if d := (NotInputPort{}).Decide(onlyInput, rid(660), 0, false, rng); !d.Drop {
+		t.Errorf("NIP with only the input port healthy: decision = %+v, want drop", d)
+	}
+	// AVP can still bounce it back.
+	if d := (AnyValidPort{}).Decide(onlyInput, rid(660), 0, false, rng); d.Drop || d.Port != 0 {
+		t.Errorf("AVP with only the input port healthy: decision = %+v, want bounce to port 0", d)
+	}
+}
+
+// TestDrivenDeflectionAtSW5: the paper's Fig. 1 contrast — at SW5 with
+// R=660 every policy forwards to port 0 (toward SW11) because SW5 is
+// encoded; deflected packets cease their random walk there under
+// AVP/NIP but NOT under HP.
+func TestDrivenDeflectionAtSW5(t *testing.T) {
+	view := fakeView{id: 5, ports: []bool{true, true}}
+	rng := rand.New(rand.NewSource(11))
+	for _, p := range []Policy{AnyValidPort{}, NotInputPort{}} {
+		d := p.Decide(view, rid(660), 1, true, rng)
+		if d.Drop || d.Port != 0 {
+			t.Errorf("%s at SW5: decision = %+v, want driven forward to port 0", p.Name(), d)
+		}
+	}
+	// HP keeps roaming: over many draws it must sometimes pick port 1.
+	sawOther := false
+	for i := 0; i < 500; i++ {
+		if d := (HotPotato{}).Decide(view, rid(660), 1, true, rng); d.Port != 0 {
+			sawOther = true
+		}
+	}
+	if !sawOther {
+		t.Error("HP at SW5 always chose the driven port; its walk must stay random")
+	}
+}

@@ -1,0 +1,187 @@
+// Package edge implements KAR edge nodes: they stamp route IDs onto
+// packets entering the core, strip them at the egress, and handle
+// misdelivered packets by asking the controller for a fresh route ID
+// (the paper's "second approach", used in all its tests).
+package edge
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/rns"
+	"repro/internal/simnet"
+	"repro/internal/topology"
+)
+
+// Reencoder is the slice of the controller an edge needs: fresh route
+// IDs for packets that arrived at the wrong edge.
+type Reencoder interface {
+	// ReencodeRoute returns the route ID and output port for reaching
+	// dstEdge from fromEdge.
+	ReencodeRoute(fromEdge, dstEdge string) (rns.RouteID, int, error)
+}
+
+// Receiver consumes decapsulated packets at the egress edge —
+// implemented by transport endpoints (TCP/UDP receivers).
+type Receiver interface {
+	Deliver(pkt *packet.Packet)
+}
+
+// ReceiverFunc adapts a function to Receiver.
+type ReceiverFunc func(pkt *packet.Packet)
+
+// Deliver implements Receiver.
+func (f ReceiverFunc) Deliver(pkt *packet.Packet) { f(pkt) }
+
+// routeEntry is an installed ingress route.
+type routeEntry struct {
+	id      rns.RouteID
+	outPort int
+}
+
+// Edge is one KAR edge node.
+type Edge struct {
+	net  *simnet.Network
+	node *topology.Node
+	ctrl Reencoder
+
+	// reencodeDelay models the control-plane round trip for
+	// misdelivered packets.
+	reencodeDelay time.Duration
+
+	routes map[string]routeEntry      // destination edge → route
+	local  map[packet.FlowID]Receiver // attached transport endpoints
+
+	// Counters.
+	encapped     int64
+	delivered    int64
+	misdelivered int64
+	reencoded    int64
+	unclaimed    int64
+	noRoute      int64
+}
+
+var _ simnet.Handler = (*Edge)(nil)
+
+// Option configures an Edge.
+type Option func(*Edge)
+
+// WithReencodeDelay sets the simulated control-plane latency for
+// re-encoding misdelivered packets (default 2 ms).
+func WithReencodeDelay(d time.Duration) Option {
+	return func(e *Edge) { e.reencodeDelay = d }
+}
+
+// DefaultReencodeDelay approximates a LAN controller round trip.
+const DefaultReencodeDelay = 2 * time.Millisecond
+
+// New builds an edge node and binds it to the network. ctrl may be
+// nil, in which case misdelivered packets are dropped.
+func New(net *simnet.Network, node *topology.Node, ctrl Reencoder, opts ...Option) *Edge {
+	e := &Edge{
+		net:           net,
+		node:          node,
+		ctrl:          ctrl,
+		reencodeDelay: DefaultReencodeDelay,
+		routes:        make(map[string]routeEntry),
+		local:         make(map[packet.FlowID]Receiver),
+	}
+	for _, opt := range opts {
+		opt(e)
+	}
+	net.Bind(node, e)
+	return e
+}
+
+// Node returns the bound topology node.
+func (e *Edge) Node() *topology.Node { return e.node }
+
+// InstallRoute programs the ingress mapping: packets for dstEdge get
+// route ID id and leave through outPort.
+func (e *Edge) InstallRoute(dstEdge string, id rns.RouteID, outPort int) {
+	e.routes[dstEdge] = routeEntry{id: id, outPort: outPort}
+}
+
+// Attach registers the local receiver for a flow (the transport
+// endpoint terminating at this edge).
+func (e *Edge) Attach(flow packet.FlowID, r Receiver) {
+	e.local[flow] = r
+}
+
+// Inject encapsulates a locally originated packet — stamps the route
+// ID and TTL — and sends it into the core. It returns an error when
+// no route is installed for the packet's destination edge.
+func (e *Edge) Inject(pkt *packet.Packet) error {
+	entry, ok := e.routes[pkt.Flow.Dst]
+	if !ok {
+		e.noRoute++
+		return fmt.Errorf("edge %s: no route installed for %s", e.node.Name(), pkt.Flow.Dst)
+	}
+	pkt.RouteID = entry.id
+	pkt.TTL = packet.DefaultTTL
+	pkt.Deflected = false
+	e.encapped++
+	e.net.Send(e.node, entry.outPort, pkt)
+	return nil
+}
+
+// HandlePacket implements simnet.Handler. Packets addressed to this
+// edge are decapsulated and handed to the attached receiver; others
+// are misdeliveries, re-encoded via the controller after the
+// control-plane delay and returned to the network.
+func (e *Edge) HandlePacket(pkt *packet.Packet, inPort int) {
+	if pkt.Flow.Dst == e.node.Name() {
+		pkt.RouteID = rns.RouteID{} // decap
+		r, ok := e.local[pkt.Flow]
+		if !ok {
+			e.unclaimed++
+			e.net.Drop(pkt, simnet.DropNoPort, e.node.Name())
+			return
+		}
+		e.delivered++
+		r.Deliver(pkt)
+		return
+	}
+
+	// Misdelivery: a deflected packet random-walked to the wrong edge.
+	e.misdelivered++
+	if e.ctrl == nil {
+		e.net.Drop(pkt, simnet.DropNoViablePort, e.node.Name())
+		return
+	}
+	e.net.Scheduler().After(e.reencodeDelay, func() {
+		id, outPort, err := e.ctrl.ReencodeRoute(e.node.Name(), pkt.Flow.Dst)
+		if err != nil {
+			e.net.Drop(pkt, simnet.DropNoViablePort, e.node.Name())
+			return
+		}
+		pkt.RouteID = id
+		pkt.TTL = packet.DefaultTTL
+		pkt.Deflected = false // back on an encoded path
+		e.reencoded++
+		e.net.Send(e.node, outPort, pkt)
+	})
+}
+
+// Stats is a snapshot of edge counters.
+type Stats struct {
+	Encapped     int64 // packets stamped and injected
+	Delivered    int64 // packets decapsulated to a local receiver
+	Misdelivered int64 // packets for another edge that landed here
+	Reencoded    int64 // misdeliveries returned with a fresh route ID
+	Unclaimed    int64 // packets for this edge with no attached flow
+	NoRoute      int64 // injections refused for lack of a route
+}
+
+// Stats returns the counters.
+func (e *Edge) Stats() Stats {
+	return Stats{
+		Encapped:     e.encapped,
+		Delivered:    e.delivered,
+		Misdelivered: e.misdelivered,
+		Reencoded:    e.reencoded,
+		Unclaimed:    e.unclaimed,
+		NoRoute:      e.noRoute,
+	}
+}

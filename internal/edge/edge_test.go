@@ -1,0 +1,210 @@
+package edge
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/rns"
+	"repro/internal/simnet"
+	"repro/internal/topology"
+)
+
+// threeNode builds E1 - SW7 - E2 with a pass-through switch handler.
+func threeNode(t *testing.T) (*simnet.Network, *topology.Graph) {
+	t.Helper()
+	g := topology.New("edges")
+	if _, err := g.AddEdge("E1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddEdge("E2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddCore("SW7", 7); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Connect("SW7", "E1"); err != nil { // SW7 port 0 -> E1
+		t.Fatal(err)
+	}
+	if _, err := g.Connect("SW7", "E2"); err != nil { // SW7 port 1 -> E2
+		t.Fatal(err)
+	}
+	net := simnet.New(g)
+	sw, _ := g.Node("SW7")
+	net.Bind(sw, modSwitch{net: net, node: sw})
+	return net, g
+}
+
+// modSwitch is a minimal modulo-only switch for edge tests.
+type modSwitch struct {
+	net  *simnet.Network
+	node *topology.Node
+}
+
+func (m modSwitch) HandlePacket(pkt *packet.Packet, inPort int) {
+	m.net.Send(m.node, int(pkt.RouteID.Mod(m.node.ID())), pkt)
+}
+
+// fixedReencoder returns a canned route ID.
+type fixedReencoder struct {
+	id      rns.RouteID
+	port    int
+	err     error
+	calls   int
+	lastSrc string
+	lastDst string
+}
+
+func (f *fixedReencoder) ReencodeRoute(from, dst string) (rns.RouteID, int, error) {
+	f.calls++
+	f.lastSrc, f.lastDst = from, dst
+	return f.id, f.port, f.err
+}
+
+func TestEdgeEncapDecap(t *testing.T) {
+	net, g := threeNode(t)
+	e1n, _ := g.Node("E1")
+	e2n, _ := g.Node("E2")
+	e1 := New(net, e1n, nil)
+	e2 := New(net, e2n, nil)
+
+	// Route E1→E2: at SW7 we need port 1, so R mod 7 = 1, e.g. R=8.
+	e1.InstallRoute("E2", rns.RouteIDFromUint64(8), 0)
+	flow := packet.FlowID{Src: "E1", Dst: "E2"}
+	var got []*packet.Packet
+	e2.Attach(flow, ReceiverFunc(func(p *packet.Packet) { got = append(got, p) }))
+
+	p := &packet.Packet{Flow: flow, Kind: packet.KindData, Size: 1000}
+	if err := e1.Inject(p); err != nil {
+		t.Fatalf("Inject: %v", err)
+	}
+	net.Scheduler().RunUntil(time.Second)
+
+	if len(got) != 1 {
+		t.Fatalf("delivered %d packets, want 1", len(got))
+	}
+	if rid := got[0].RouteID; !rid.Equal(rns.RouteID{}) {
+		t.Errorf("route ID not stripped at egress: %v", rid)
+	}
+	if got[0].TTL <= 0 || got[0].TTL > packet.DefaultTTL {
+		t.Errorf("TTL = %d, want stamped near %d", got[0].TTL, packet.DefaultTTL)
+	}
+	st := e1.Stats()
+	if st.Encapped != 1 {
+		t.Errorf("ingress stats = %+v, want 1 encapped", st)
+	}
+	if st2 := e2.Stats(); st2.Delivered != 1 {
+		t.Errorf("egress stats = %+v, want 1 delivered", st2)
+	}
+}
+
+func TestEdgeInjectWithoutRoute(t *testing.T) {
+	net, g := threeNode(t)
+	e1n, _ := g.Node("E1")
+	e1 := New(net, e1n, nil)
+	p := &packet.Packet{Flow: packet.FlowID{Src: "E1", Dst: "E2"}, Size: 100}
+	if err := e1.Inject(p); err == nil {
+		t.Fatal("Inject succeeded without an installed route")
+	}
+	if st := e1.Stats(); st.NoRoute != 1 {
+		t.Errorf("NoRoute = %d, want 1", st.NoRoute)
+	}
+}
+
+// TestEdgeMisdeliveryReencode: a packet for E2 that lands on E1 is
+// re-encoded via the controller after the control-plane delay and then
+// delivered — the paper's second approach.
+func TestEdgeMisdeliveryReencode(t *testing.T) {
+	net, g := threeNode(t)
+	e1n, _ := g.Node("E1")
+	e2n, _ := g.Node("E2")
+	// Re-encoder: fresh route toward E2 is R=8 out of E1's port 0.
+	re := &fixedReencoder{id: rns.RouteIDFromUint64(8), port: 0}
+	e1 := New(net, e1n, re, WithReencodeDelay(3*time.Millisecond))
+	e2 := New(net, e2n, nil)
+
+	flow := packet.FlowID{Src: "E9", Dst: "E2"}
+	var deliveredAt time.Duration
+	var got []*packet.Packet
+	e2.Attach(flow, ReceiverFunc(func(p *packet.Packet) {
+		got = append(got, p)
+		deliveredAt = net.Scheduler().Now()
+	}))
+
+	// Simulate a deflected packet arriving at the wrong edge E1.
+	stray := &packet.Packet{
+		Flow: flow, Kind: packet.KindData, Size: 1000, TTL: 9,
+		RouteID: rns.RouteIDFromUint64(3), Deflected: true,
+	}
+	sw, _ := g.Node("SW7")
+	net.Send(sw, 0, stray) // SW7 port 0 leads to E1
+	net.Scheduler().RunUntil(time.Second)
+
+	if len(got) != 1 {
+		t.Fatalf("delivered %d packets, want 1 after re-encode", len(got))
+	}
+	if re.calls != 1 || re.lastSrc != "E1" || re.lastDst != "E2" {
+		t.Errorf("re-encoder called %d times with (%s, %s), want 1 with (E1, E2)", re.calls, re.lastSrc, re.lastDst)
+	}
+	if got[0].Deflected {
+		t.Error("re-encoded packet still flagged deflected; it is back on an encoded path")
+	}
+	if got[0].TTL != packet.DefaultTTL {
+		t.Errorf("TTL = %d, want refreshed to %d (test switch does not decrement)", got[0].TTL, packet.DefaultTTL)
+	}
+	if deliveredAt < 3*time.Millisecond {
+		t.Errorf("delivered at %v, before the 3ms control-plane delay", deliveredAt)
+	}
+	if st := e1.Stats(); st.Misdelivered != 1 || st.Reencoded != 1 {
+		t.Errorf("E1 stats = %+v, want 1 misdelivered, 1 reencoded", st)
+	}
+}
+
+func TestEdgeMisdeliveryWithoutController(t *testing.T) {
+	net, g := threeNode(t)
+	e1n, _ := g.Node("E1")
+	New(net, e1n, nil)
+	var drops []simnet.Drop
+	net.SetDropHook(func(d simnet.Drop) { drops = append(drops, d) })
+	stray := &packet.Packet{Flow: packet.FlowID{Src: "X", Dst: "E2"}, Size: 100, TTL: 5}
+	sw, _ := g.Node("SW7")
+	net.Send(sw, 0, stray)
+	net.Scheduler().RunUntil(time.Second)
+	if len(drops) != 1 {
+		t.Fatalf("drops = %d, want 1 (no controller to re-encode)", len(drops))
+	}
+}
+
+func TestEdgeMisdeliveryReencodeFails(t *testing.T) {
+	net, g := threeNode(t)
+	e1n, _ := g.Node("E1")
+	re := &fixedReencoder{err: errors.New("no path")}
+	e1 := New(net, e1n, re)
+	var drops []simnet.Drop
+	net.SetDropHook(func(d simnet.Drop) { drops = append(drops, d) })
+	stray := &packet.Packet{Flow: packet.FlowID{Src: "X", Dst: "E2"}, Size: 100, TTL: 5}
+	sw, _ := g.Node("SW7")
+	net.Send(sw, 0, stray)
+	net.Scheduler().RunUntil(time.Second)
+	if len(drops) != 1 {
+		t.Fatalf("drops = %d, want 1 (re-encode failed)", len(drops))
+	}
+	if st := e1.Stats(); st.Reencoded != 0 {
+		t.Errorf("Reencoded = %d, want 0", st.Reencoded)
+	}
+}
+
+func TestEdgeUnclaimedFlow(t *testing.T) {
+	net, g := threeNode(t)
+	e2n, _ := g.Node("E2")
+	e2 := New(net, e2n, nil)
+	// Addressed to E2, but no receiver attached for the flow.
+	p := &packet.Packet{Flow: packet.FlowID{Src: "E1", Dst: "E2"}, Size: 100, TTL: 5}
+	sw, _ := g.Node("SW7")
+	net.Send(sw, 1, p)
+	net.Scheduler().RunUntil(time.Second)
+	if st := e2.Stats(); st.Unclaimed != 1 {
+		t.Errorf("Unclaimed = %d, want 1", st.Unclaimed)
+	}
+}

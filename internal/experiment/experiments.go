@@ -1,0 +1,551 @@
+package experiment
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/deflect"
+	"repro/internal/measure"
+	"repro/internal/tcpsim"
+	"repro/internal/topology"
+)
+
+// Receive-window caps matched to each topology's bandwidth-delay
+// product plus queueing headroom (the role the OS receive window
+// played in the paper's emulation).
+const (
+	net15MaxCwnd = 256
+	rnpMaxCwnd   = 540
+)
+
+func net15TCP() tcpsim.Config { return tcpsim.Config{MaxCwnd: net15MaxCwnd} }
+func rnpTCP() tcpsim.Config   { return tcpsim.Config{MaxCwnd: rnpMaxCwnd} }
+
+// protectionPairs returns the Net15 protection set for a named level.
+func protectionPairs(level string) ([][2]string, error) {
+	switch level {
+	case "unprotected":
+		return nil, nil
+	case "partial":
+		return topology.Net15PartialProtection, nil
+	case "full":
+		return topology.Net15FullProtection, nil
+	default:
+		return nil, fmt.Errorf("experiment: unknown protection level %q", level)
+	}
+}
+
+// reverseBudget mirrors the forward protection level onto the ACK
+// path via the §2.3 bit-budget planner (Table 1's budgets).
+func reverseBudget(level string) int {
+	switch level {
+	case "partial":
+		return 28
+	case "full":
+		return 43
+	default:
+		return 0
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Table 1 — encoding sizes.
+
+// Table1 regenerates the paper's Table 1: maximum route-ID bit length
+// per protection mechanism on the 15-node network.
+func Table1() (*measure.Table, error) {
+	g, err := topology.Net15()
+	if err != nil {
+		return nil, err
+	}
+	path, err := topology.ShortestPath(g, "AS1", "AS3", nil)
+	if err != nil {
+		return nil, err
+	}
+	tbl := &measure.Table{
+		Title:   "Table 1: maximum bit length required by each protection mechanism (15-node network)",
+		Headers: []string{"Protection mechanism", "Bit length", "Switches in route ID"},
+	}
+	for _, level := range []string{"unprotected", "partial", "full"} {
+		pairs, err := protectionPairs(level)
+		if err != nil {
+			return nil, err
+		}
+		hops, err := core.HopsFromPairs(g, pairs)
+		if err != nil {
+			return nil, err
+		}
+		route, err := core.EncodeRoute(path, hops)
+		if err != nil {
+			return nil, err
+		}
+		tbl.AddRow(level, fmt.Sprint(route.BitLength()), fmt.Sprint(route.SwitchCount()))
+	}
+	return tbl, nil
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 4 — TCP throughput timeline under a SW7–SW13 failure.
+
+// Fig4Config scales the Fig. 4 timeline; zero values take the paper's
+// parameters (30 s before, 30 s failure, 30 s after; 1 s samples).
+type Fig4Config struct {
+	PreFailure  time.Duration
+	FailureFor  time.Duration
+	PostRepair  time.Duration
+	SampleEvery time.Duration
+	Seed        int64
+	Policies    []string
+	Workers     int
+}
+
+func (c Fig4Config) defaults() Fig4Config {
+	if c.PreFailure == 0 {
+		c.PreFailure = 30 * time.Second
+	}
+	if c.FailureFor == 0 {
+		c.FailureFor = 30 * time.Second
+	}
+	if c.PostRepair == 0 {
+		c.PostRepair = 30 * time.Second
+	}
+	if c.SampleEvery == 0 {
+		c.SampleEvery = time.Second
+	}
+	if len(c.Policies) == 0 {
+		c.Policies = []string{"none", "hp", "avp", "nip"}
+	}
+	if c.Workers == 0 {
+		c.Workers = 4
+	}
+	return c
+}
+
+// Fig4Series is one policy's throughput timeline plus phase means.
+type Fig4Series struct {
+	Policy     string
+	Goodput    *measure.Series
+	PreMbps    float64
+	DuringMbps float64
+	PostMbps   float64
+	Sender     tcpsim.SenderStats
+	Receiver   tcpsim.ReceiverStats
+}
+
+// Fig4 regenerates the paper's Fig. 4: one AS1→AS3 flow on the
+// 15-node network with full protection, link SW7–SW13 failing
+// mid-run, one timeline per deflection technique.
+func Fig4(cfg Fig4Config) ([]Fig4Series, error) {
+	cfg = cfg.defaults()
+	total := cfg.PreFailure + cfg.FailureFor + cfg.PostRepair
+	out := make([]Fig4Series, len(cfg.Policies))
+	errs := make([]error, len(cfg.Policies))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.Workers)
+	for i, policy := range cfg.Policies {
+		i, policy := i, policy
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			res, err := RunTCP(TCPRunConfig{
+				Graph:            topology.Net15,
+				Policy:           policy,
+				Seed:             cfg.Seed + int64(i),
+				Src:              "AS1",
+				Dst:              "AS3",
+				Protection:       topology.Net15FullProtection,
+				ReverseBitBudget: reverseBudget("full"),
+				Failures: []FailureSpec{{
+					A: "SW7", B: "SW13", From: cfg.PreFailure, Duration: cfg.FailureFor,
+				}},
+				Duration:    total,
+				SampleEvery: cfg.SampleEvery,
+				TCP:         net15TCP(),
+			})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			warm := cfg.PreFailure / 10
+			out[i] = Fig4Series{
+				Policy:     policy,
+				Goodput:    res.Goodput,
+				PreMbps:    res.MeanMbps(warm, cfg.PreFailure),
+				DuringMbps: res.MeanMbps(cfg.PreFailure+cfg.SampleEvery, cfg.PreFailure+cfg.FailureFor),
+				PostMbps:   res.MeanMbps(cfg.PreFailure+cfg.FailureFor+2*cfg.SampleEvery, total),
+				Sender:     res.Sender,
+				Receiver:   res.Receiver,
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Fig4Table renders phase means per policy.
+func Fig4Table(series []Fig4Series) *measure.Table {
+	tbl := &measure.Table{
+		Title:   "Fig. 4: TCP throughput (Mb/s) for failed link SW7-SW13, full protection",
+		Headers: []string{"Deflection", "Before failure", "During failure", "After repair"},
+	}
+	for _, s := range series {
+		tbl.AddRow(s.Policy,
+			fmt.Sprintf("%.1f", s.PreMbps),
+			fmt.Sprintf("%.1f", s.DuringMbps),
+			fmt.Sprintf("%.1f", s.PostMbps))
+	}
+	return tbl
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 5 — protection × deflection × failure location sweep.
+
+// Fig5Config scales the sweep; zero values take the paper's 30 runs
+// of 5 s each.
+type Fig5Config struct {
+	Runs        int
+	RunDuration time.Duration
+	WarmUp      time.Duration // excluded from each run's mean
+	Seed        int64
+	Workers     int
+	Policies    []string
+	Protections []string
+	Failures    [][2]string
+}
+
+func (c Fig5Config) defaults() Fig5Config {
+	if c.Runs == 0 {
+		c.Runs = 30
+	}
+	if c.RunDuration == 0 {
+		c.RunDuration = 6 * time.Second
+	}
+	if c.WarmUp == 0 {
+		c.WarmUp = time.Second
+	}
+	if c.Workers == 0 {
+		c.Workers = 8
+	}
+	if len(c.Policies) == 0 {
+		c.Policies = []string{"avp", "nip"}
+	}
+	if len(c.Protections) == 0 {
+		c.Protections = []string{"unprotected", "partial", "full"}
+	}
+	if len(c.Failures) == 0 {
+		c.Failures = [][2]string{{"SW10", "SW7"}, {"SW7", "SW13"}, {"SW13", "SW29"}}
+	}
+	return c
+}
+
+// Fig5Row is one bar of the paper's Fig. 5.
+type Fig5Row struct {
+	Failure    string
+	Protection string
+	Policy     string
+	Goodput    measure.Summary // Mb/s over the paper's repeated runs
+}
+
+// Fig5 regenerates the paper's Fig. 5: mean TCP throughput with 95%
+// confidence intervals for every combination of failure location,
+// protection level and deflection technique (AVP/NIP), the failed
+// link down for the whole run.
+func Fig5(cfg Fig5Config) ([]Fig5Row, error) {
+	cfg = cfg.defaults()
+	var rows []Fig5Row
+	for _, fail := range cfg.Failures {
+		for _, prot := range cfg.Protections {
+			pairs, err := protectionPairs(prot)
+			if err != nil {
+				return nil, err
+			}
+			for _, policy := range cfg.Policies {
+				runCfg := TCPRunConfig{
+					Graph:            topology.Net15,
+					Policy:           policy,
+					Src:              "AS1",
+					Dst:              "AS3",
+					Protection:       pairs,
+					ReverseBitBudget: reverseBudget(prot),
+					Failures: []FailureSpec{{
+						A: fail[0], B: fail[1], From: 0, Duration: cfg.RunDuration,
+					}},
+					Duration: cfg.RunDuration,
+					TCP:      net15TCP(),
+				}
+				means, err := RunTCPRepeats(runCfg, RepeatSpec{
+					Runs:     cfg.Runs,
+					BaseSeed: cfg.Seed + int64(len(rows))*7_777_777,
+					Workers:  cfg.Workers,
+					From:     cfg.WarmUp,
+					To:       cfg.RunDuration,
+				})
+				if err != nil {
+					return nil, err
+				}
+				rows = append(rows, Fig5Row{
+					Failure:    fail[0] + "-" + fail[1],
+					Protection: prot,
+					Policy:     policy,
+					Goodput:    measure.Summarize(means),
+				})
+			}
+		}
+	}
+	return rows, nil
+}
+
+// Fig5Table renders the sweep.
+func Fig5Table(rows []Fig5Row) *measure.Table {
+	tbl := &measure.Table{
+		Title:   "Fig. 5: TCP throughput (Mb/s, mean ± 95% CI) by failure location, protection and deflection",
+		Headers: []string{"Failed link", "Protection", "Deflection", "Goodput (Mb/s)"},
+	}
+	for _, r := range rows {
+		tbl.AddRow(r.Failure, r.Protection, r.Policy,
+			fmt.Sprintf("%.1f ± %.1f", r.Goodput.Mean, r.Goodput.CI95))
+	}
+	return tbl
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 7 — RNP national topology failure sweep.
+
+// Fig7Config scales the RNP sweep.
+type Fig7Config struct {
+	Runs        int
+	RunDuration time.Duration
+	WarmUp      time.Duration
+	Seed        int64
+	Workers     int
+}
+
+func (c Fig7Config) defaults() Fig7Config {
+	if c.Runs == 0 {
+		c.Runs = 30
+	}
+	if c.RunDuration == 0 {
+		c.RunDuration = 6 * time.Second
+	}
+	if c.WarmUp == 0 {
+		c.WarmUp = time.Second
+	}
+	if c.Workers == 0 {
+		c.Workers = 8
+	}
+	return c
+}
+
+// Fig7Row is one bar of the paper's Fig. 7.
+type Fig7Row struct {
+	Scenario string // "no failure" or the failed link
+	Goodput  measure.Summary
+	// DropPct is the mean reduction relative to the no-failure mean.
+	DropPct float64
+}
+
+// Fig7 regenerates the paper's Fig. 7: the Boa Vista (SW7) → São
+// Paulo (SW73) route on the 28-node RNP backbone with the Fig. 6
+// partial-protection segments and NIP deflection, measured with no
+// failure and with each of three failure locations.
+func Fig7(cfg Fig7Config) ([]Fig7Row, error) {
+	cfg = cfg.defaults()
+	scenarios := []struct {
+		name string
+		fail [][2]string
+	}{
+		{name: "no failure"},
+		{name: "SW7-SW13", fail: [][2]string{{"SW7", "SW13"}}},
+		{name: "SW13-SW41", fail: [][2]string{{"SW13", "SW41"}}},
+		{name: "SW41-SW73", fail: [][2]string{{"SW41", "SW73"}}},
+	}
+	rows := make([]Fig7Row, 0, len(scenarios))
+	for i, sc := range scenarios {
+		runCfg := TCPRunConfig{
+			Graph:            topology.RNP28,
+			Policy:           "nip",
+			Src:              "EDGE-N",
+			Dst:              "EDGE-SP",
+			Protection:       topology.RNP28PartialProtection,
+			ReverseBitBudget: 41, // the partial set's own footprint, mirrored
+			Duration:         cfg.RunDuration,
+			TCP:              rnpTCP(),
+		}
+		for _, f := range sc.fail {
+			runCfg.Failures = append(runCfg.Failures, FailureSpec{
+				A: f[0], B: f[1], From: 0, Duration: cfg.RunDuration,
+			})
+		}
+		means, err := RunTCPRepeats(runCfg, RepeatSpec{
+			Runs:     cfg.Runs,
+			BaseSeed: cfg.Seed + int64(i)*13_131_313,
+			Workers:  cfg.Workers,
+			From:     cfg.WarmUp,
+			To:       cfg.RunDuration,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig7Row{Scenario: sc.name, Goodput: measure.Summarize(means)})
+	}
+	base := rows[0].Goodput.Mean
+	for i := range rows {
+		if base > 0 {
+			rows[i].DropPct = (base - rows[i].Goodput.Mean) / base * 100
+		}
+	}
+	return rows, nil
+}
+
+// Fig7Table renders the sweep.
+func Fig7Table(rows []Fig7Row) *measure.Table {
+	tbl := &measure.Table{
+		Title:   "Fig. 7: RNP 28-node backbone, NIP + partial protection (Mb/s, mean ± 95% CI)",
+		Headers: []string{"Scenario", "Goodput (Mb/s)", "Reduction vs no failure"},
+	}
+	for _, r := range rows {
+		tbl.AddRow(r.Scenario,
+			fmt.Sprintf("%.1f ± %.1f", r.Goodput.Mean, r.Goodput.CI95),
+			fmt.Sprintf("%.1f%%", r.DropPct))
+	}
+	return tbl
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 8 — redundant-path worst case.
+
+// Fig8Config scales the redundant-path experiment.
+type Fig8Config struct {
+	Runs        int
+	RunDuration time.Duration
+	WarmUp      time.Duration
+	Seed        int64
+	Workers     int
+}
+
+func (c Fig8Config) defaults() Fig8Config {
+	if c.Runs == 0 {
+		c.Runs = 30
+	}
+	if c.RunDuration == 0 {
+		c.RunDuration = 6 * time.Second
+	}
+	if c.WarmUp == 0 {
+		c.WarmUp = time.Second
+	}
+	if c.Workers == 0 {
+		c.Workers = 8
+	}
+	return c
+}
+
+// Fig8Result reports the measured throughput ratio plus the exact
+// analytic expectation for the retry loop of §3.2.
+type Fig8Result struct {
+	NoFailure   measure.Summary
+	WithFailure measure.Summary
+	// RatioPct is measured throughput with failure as % of nominal
+	// (the paper reports 54.8%).
+	RatioPct float64
+	// Analytic is the closed-form walk analysis under the failure.
+	Analytic analysis.Result
+}
+
+// Fig8 regenerates the paper's Fig. 8 scenario: the route extended
+// beyond São Paulo to SW113 with the redundant pair SW73–SW109–SW113
+// unusable as a default path (single-residue constraint), protection
+// SW71→SW17→SW41 returning deflected packets to SW73, and link
+// SW73–SW107 failing.
+func Fig8(cfg Fig8Config) (*Fig8Result, error) {
+	cfg = cfg.defaults()
+	base := TCPRunConfig{
+		Graph:            topology.RNP28Fig8,
+		Policy:           "nip",
+		Src:              "EDGE-N",
+		Dst:              "EDGE-SUL",
+		Path:             topology.RNP28Fig8Route,
+		Protection:       topology.RNP28Fig8Protection,
+		ReverseBitBudget: 0,
+		Duration:         cfg.RunDuration,
+		TCP:              rnpTCP(),
+	}
+	spec := RepeatSpec{
+		Runs: cfg.Runs, BaseSeed: cfg.Seed, Workers: cfg.Workers,
+		From: cfg.WarmUp, To: cfg.RunDuration,
+	}
+	nominal, err := RunTCPRepeats(base, spec)
+	if err != nil {
+		return nil, err
+	}
+	failCfg := base
+	failCfg.Failures = []FailureSpec{{A: "SW73", B: "SW107", From: 0, Duration: cfg.RunDuration}}
+	spec.BaseSeed = cfg.Seed + 55_555
+	failed, err := RunTCPRepeats(failCfg, spec)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Fig8Result{
+		NoFailure:   measure.Summarize(nominal),
+		WithFailure: measure.Summarize(failed),
+	}
+	if res.NoFailure.Mean > 0 {
+		res.RatioPct = res.WithFailure.Mean / res.NoFailure.Mean * 100
+	}
+
+	// Closed-form expectation for the same scenario.
+	g, err := topology.RNP28Fig8()
+	if err != nil {
+		return nil, err
+	}
+	w := NewWorld(g, mustPolicy("nip"), cfg.Seed)
+	if _, err := w.InstallRouteOnPath(topology.RNP28Fig8Route, topology.RNP28Fig8Protection); err != nil {
+		return nil, err
+	}
+	l, ok := g.LinkBetween("SW73", "SW107")
+	if !ok {
+		return nil, fmt.Errorf("experiment: fig8 link missing")
+	}
+	an, err := analysis.New(w.Ctrl, "nip", []*topology.Link{l})
+	if err != nil {
+		return nil, err
+	}
+	res.Analytic, err = an.Analyze("EDGE-N", "EDGE-SUL")
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Fig8Table renders the scenario.
+func Fig8Table(r *Fig8Result) *measure.Table {
+	tbl := &measure.Table{
+		Title:   "Fig. 8: redundant-path worst case (SW73-SW107 failure, NIP)",
+		Headers: []string{"Metric", "Value"},
+	}
+	tbl.AddRow("goodput, no failure (Mb/s)", fmt.Sprintf("%.1f ± %.1f", r.NoFailure.Mean, r.NoFailure.CI95))
+	tbl.AddRow("goodput, with failure (Mb/s)", fmt.Sprintf("%.1f ± %.1f", r.WithFailure.Mean, r.WithFailure.CI95))
+	tbl.AddRow("ratio (paper: 54.8%)", fmt.Sprintf("%.1f%%", r.RatioPct))
+	tbl.AddRow("analytic delivery probability", fmt.Sprintf("%.3f", r.Analytic.PDeliver))
+	tbl.AddRow("analytic expected hops (nominal 7)", fmt.Sprintf("%.2f", r.Analytic.ExpectedHops))
+	tbl.AddRow("analytic path stretch", fmt.Sprintf("%.3f", r.Analytic.Stretch()))
+	return tbl
+}
+
+func mustPolicy(name string) deflect.Policy {
+	p, err := PolicyByName(name)
+	if err != nil {
+		panic(err) // static names only
+	}
+	return p
+}

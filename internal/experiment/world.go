@@ -1,0 +1,135 @@
+// Package experiment assembles complete KAR worlds (topology +
+// switches + edges + controller over the simulator) and implements one
+// named experiment per table and figure of the paper's evaluation
+// (§3): table1, fig4, fig5, fig7, fig8, plus the table2 state
+// comparison and the deflection coverage analysis.
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/controller"
+	"repro/internal/core"
+	"repro/internal/deflect"
+	"repro/internal/edge"
+	"repro/internal/kswitch"
+	"repro/internal/simnet"
+	"repro/internal/topology"
+)
+
+// World is one fully wired simulated KAR network.
+type World struct {
+	Net      *simnet.Network
+	Ctrl     *controller.Controller
+	Switches map[string]*kswitch.Switch
+	Edges    map[string]*edge.Edge
+}
+
+// NewWorld wires a network over g: one KAR switch per core node (all
+// running policy, with per-switch RNGs derived from seed) and one edge
+// node per edge, connected to a controller in the paper's
+// ignore-failures mode.
+func NewWorld(g *topology.Graph, policy deflect.Policy, seed int64, opts ...WorldOption) *World {
+	w := &World{Net: simnet.New(g)}
+	cfg := worldConfig{reencodeDelay: edge.DefaultReencodeDelay}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	var ctrlOpts []controller.Option
+	if cfg.reactToFailures {
+		ctrlOpts = append(ctrlOpts, controller.WithFailureReaction())
+	}
+	w.Ctrl = controller.New(g, ctrlOpts...)
+	w.Switches = kswitch.InstallAll(w.Net, policy, seed)
+	w.Edges = make(map[string]*edge.Edge, len(g.EdgeNodes()))
+	for _, n := range g.EdgeNodes() {
+		w.Edges[n.Name()] = edge.New(w.Net, n, w.Ctrl, edge.WithReencodeDelay(cfg.reencodeDelay))
+	}
+	return w
+}
+
+type worldConfig struct {
+	reencodeDelay   time.Duration
+	reactToFailures bool
+}
+
+// WorldOption tunes world assembly.
+type WorldOption func(*worldConfig)
+
+// WithReencodeDelay sets the edge↔controller round trip for
+// misdelivered packets.
+func WithReencodeDelay(d time.Duration) WorldOption {
+	return func(c *worldConfig) { c.reencodeDelay = d }
+}
+
+// WithFailureReaction builds the controller in reactive mode (the
+// non-paper baseline).
+func WithFailureReaction() WorldOption {
+	return func(c *worldConfig) { c.reactToFailures = true }
+}
+
+// InstallRoute computes, encodes and installs the shortest route from
+// src to dst with the given protection pairs, programming the ingress
+// edge.
+func (w *World) InstallRoute(src, dst string, protection [][2]string) (*core.Route, error) {
+	hops, err := core.HopsFromPairs(w.Net.Topology(), protection)
+	if err != nil {
+		return nil, err
+	}
+	route, err := w.Ctrl.InstallRoute(src, dst, hops)
+	if err != nil {
+		return nil, err
+	}
+	return route, w.programIngress(src, dst, route)
+}
+
+// InstallRouteOnPath installs an explicit path (first and last names
+// are edges) with protection pairs.
+func (w *World) InstallRouteOnPath(names []string, protection [][2]string) (*core.Route, error) {
+	hops, err := core.HopsFromPairs(w.Net.Topology(), protection)
+	if err != nil {
+		return nil, err
+	}
+	route, err := w.Ctrl.InstallRouteOnPath(names, hops)
+	if err != nil {
+		return nil, err
+	}
+	return route, w.programIngress(names[0], names[len(names)-1], route)
+}
+
+func (w *World) programIngress(src, dst string, route *core.Route) error {
+	e, ok := w.Edges[src]
+	if !ok {
+		return fmt.Errorf("experiment: no edge %q in world", src)
+	}
+	port, err := w.Ctrl.IngressPort(route)
+	if err != nil {
+		return err
+	}
+	e.InstallRoute(dst, route.ID, port)
+	return nil
+}
+
+// FailLinkBetween schedules a failure of the named link.
+func (w *World) FailLinkBetween(a, b string, from, duration time.Duration) error {
+	l, ok := w.Net.Topology().LinkBetween(a, b)
+	if !ok {
+		return fmt.Errorf("experiment: no link %s-%s", a, b)
+	}
+	w.Net.ScheduleFailure(l, from, duration)
+	return nil
+}
+
+// Run drives the world to the given virtual time.
+func (w *World) Run(until time.Duration) { w.Net.Scheduler().RunUntil(until) }
+
+// PolicyByName resolves a deflection policy or fails loudly; it exists
+// so experiment definitions can be table-driven on policy names.
+func PolicyByName(name string) (deflect.Policy, error) {
+	p, ok := deflect.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("experiment: unknown deflection policy %q", name)
+	}
+	return p, nil
+}

@@ -1,0 +1,120 @@
+// Package kswitch implements the KAR core switch for the simulated
+// network: the stateless modulo-forwarding pipeline of the paper plus
+// a pluggable deflection policy. It corresponds to the authors'
+// modified OpenFlow 1.3 user-space software switch (§3) — the entire
+// "table" is the switch's own ID.
+package kswitch
+
+import (
+	"math/rand"
+
+	"repro/internal/deflect"
+	"repro/internal/packet"
+	"repro/internal/simnet"
+	"repro/internal/topology"
+)
+
+// Switch is a KAR core switch bound to one topology node. It keeps no
+// per-flow state: forwarding is route ID mod switch ID, with the
+// deflection policy handling failed or invalid ports.
+type Switch struct {
+	net    *simnet.Network
+	node   *topology.Node
+	policy deflect.Policy
+	rng    *rand.Rand
+
+	// Counters.
+	received    int64
+	forwarded   int64
+	deflections int64
+	ttlDrops    int64
+	policyDrops int64
+}
+
+// Compile-time interface compliance.
+var (
+	_ simnet.Handler     = (*Switch)(nil)
+	_ deflect.SwitchView = view{}
+)
+
+// New builds a switch for node using the given deflection policy and
+// a dedicated, seeded RNG. It binds itself to the network.
+func New(net *simnet.Network, node *topology.Node, policy deflect.Policy, seed int64) *Switch {
+	s := &Switch{
+		net:    net,
+		node:   node,
+		policy: policy,
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+	net.Bind(node, s)
+	return s
+}
+
+// view adapts the switch for deflection policies.
+type view struct {
+	s *Switch
+}
+
+func (v view) SwitchID() uint64 { return v.s.node.ID() }
+func (v view) NumPorts() int    { return v.s.node.PortSpan() }
+func (v view) PortUp(i int) bool {
+	return v.s.net.PortUp(v.s.node, i)
+}
+
+// HandlePacket implements simnet.Handler: decrement TTL, decide the
+// output port, forward.
+func (s *Switch) HandlePacket(pkt *packet.Packet, inPort int) {
+	s.received++
+	pkt.TTL--
+	if pkt.TTL <= 0 {
+		s.ttlDrops++
+		s.net.Drop(pkt, simnet.DropTTL, s.node.Name())
+		return
+	}
+	d := s.policy.Decide(view{s}, pkt.RouteID, inPort, pkt.Deflected, s.rng)
+	if d.Drop {
+		s.policyDrops++
+		s.net.Drop(pkt, simnet.DropNoViablePort, s.node.Name())
+		return
+	}
+	if d.Deflected {
+		pkt.Deflected = true
+		s.deflections++
+	}
+	s.forwarded++
+	s.net.Send(s.node, d.Port, pkt)
+}
+
+// Stats is a snapshot of switch counters.
+type Stats struct {
+	Received    int64
+	Forwarded   int64
+	Deflections int64
+	TTLDrops    int64
+	PolicyDrops int64
+}
+
+// Stats returns the counters.
+func (s *Switch) Stats() Stats {
+	return Stats{
+		Received:    s.received,
+		Forwarded:   s.forwarded,
+		Deflections: s.deflections,
+		TTLDrops:    s.ttlDrops,
+		PolicyDrops: s.policyDrops,
+	}
+}
+
+// Node returns the bound topology node.
+func (s *Switch) Node() *topology.Node { return s.node }
+
+// InstallAll builds one switch per core node of the network's
+// topology, all using the same policy, with per-switch seeds derived
+// from baseSeed. It returns them keyed by node name.
+func InstallAll(net *simnet.Network, policy deflect.Policy, baseSeed int64) map[string]*Switch {
+	out := make(map[string]*Switch)
+	for i, n := range net.Topology().CoreNodes() {
+		out[n.Name()] = New(net, n, policy, baseSeed+int64(i)*7919)
+	}
+	return out
+}

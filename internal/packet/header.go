@@ -1,0 +1,85 @@
+package packet
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/rns"
+)
+
+// Header is the KAR shim header as it would appear on the wire,
+// between the outer Ethernet frame and the tenant payload. Layout:
+//
+//	byte 0      version (high nibble) | flags (low nibble)
+//	byte 1      TTL
+//	byte 2      route ID length in bytes (n)
+//	bytes 3..   route ID, n bytes, big-endian
+//
+// A 43-bit route ID (the paper's full-protection Table 1 row) costs
+// 3 + 6 = 9 bytes of shim — the kind of overhead §2.3 accounts for.
+type Header struct {
+	Version uint8 // 4 bits
+	Flags   uint8 // 4 bits
+	TTL     uint8
+	RouteID rns.RouteID
+}
+
+// Version1 is the only defined header version.
+const Version1 = 1
+
+// Flag bits.
+const (
+	// FlagDeflected marks a packet that has left its encoded path; a
+	// hot-potato core keeps random-walking such packets.
+	FlagDeflected uint8 = 1 << 0
+)
+
+// Codec errors.
+var (
+	ErrHeaderTooShort = errors.New("packet: header truncated")
+	ErrBadVersion     = errors.New("packet: unsupported header version")
+	ErrRouteIDTooLong = errors.New("packet: route ID exceeds 255 bytes")
+	ErrFieldOverflow  = errors.New("packet: field out of range")
+)
+
+// headerFixed is the fixed part of the header preceding the route ID.
+const headerFixed = 3
+
+// WireSize returns the encoded size in bytes.
+func (h *Header) WireSize() int {
+	return headerFixed + len(h.RouteID.Bytes())
+}
+
+// Marshal appends the wire encoding to dst and returns the result.
+func (h *Header) Marshal(dst []byte) ([]byte, error) {
+	if h.Version > 0xf || h.Flags > 0xf {
+		return nil, fmt.Errorf("version %d flags %#x: %w", h.Version, h.Flags, ErrFieldOverflow)
+	}
+	id := h.RouteID.Bytes()
+	if len(id) > 255 {
+		return nil, fmt.Errorf("route ID is %d bytes: %w", len(id), ErrRouteIDTooLong)
+	}
+	dst = append(dst, h.Version<<4|h.Flags, h.TTL, uint8(len(id)))
+	return append(dst, id...), nil
+}
+
+// Unmarshal parses a header from the front of buf and returns the
+// number of bytes consumed.
+func (h *Header) Unmarshal(buf []byte) (int, error) {
+	if len(buf) < headerFixed {
+		return 0, fmt.Errorf("%d bytes: %w", len(buf), ErrHeaderTooShort)
+	}
+	version := buf[0] >> 4
+	if version != Version1 {
+		return 0, fmt.Errorf("version %d: %w", version, ErrBadVersion)
+	}
+	n := int(buf[2])
+	if len(buf) < headerFixed+n {
+		return 0, fmt.Errorf("route ID needs %d bytes, have %d: %w", n, len(buf)-headerFixed, ErrHeaderTooShort)
+	}
+	h.Version = version
+	h.Flags = buf[0] & 0xf
+	h.TTL = buf[1]
+	h.RouteID = rns.RouteIDFromBytes(buf[headerFixed : headerFixed+n])
+	return headerFixed + n, nil
+}

@@ -1,0 +1,92 @@
+// Package packet models the packets that traverse a KAR network and
+// the KAR header wire format. Edge nodes attach a header containing
+// the route ID when a packet enters the core and strip it on egress
+// (paper §2); core switches only ever read RouteID and TTL.
+package packet
+
+import (
+	"time"
+
+	"repro/internal/rns"
+)
+
+// Kind discriminates transport payload types carried through the core.
+type Kind int
+
+const (
+	// KindData is a transport data segment.
+	KindData Kind = iota + 1
+	// KindAck is a transport acknowledgement.
+	KindAck
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindData:
+		return "data"
+	case KindAck:
+		return "ack"
+	default:
+		return "unknown"
+	}
+}
+
+// FlowID identifies a unidirectional transport flow between two edge
+// nodes.
+type FlowID struct {
+	Src string // ingress edge name
+	Dst string // egress edge name
+	ID  uint32 // flow number, distinguishing parallel flows
+}
+
+func (f FlowID) String() string {
+	return f.Src + "->" + f.Dst
+}
+
+// Reverse returns the flow ID of the opposite direction (ACK path).
+func (f FlowID) Reverse() FlowID {
+	return FlowID{Src: f.Dst, Dst: f.Src, ID: f.ID}
+}
+
+// Packet is one simulated packet. The KAR header fields (RouteID, TTL)
+// are what the wire codec serialises; the rest models the inner
+// transport segment plus simulation bookkeeping.
+type Packet struct {
+	// KAR header.
+	RouteID rns.RouteID
+	TTL     int
+
+	// Inner transport segment.
+	Flow    FlowID
+	Kind    Kind
+	Seq     uint64        // data: segment number; ack: next expected segment
+	Size    int           // total bytes on the wire
+	SentAt  time.Duration // virtual send time (for RTT estimation)
+	Retrans bool          // retransmission (Karn's rule)
+	// ReorderExtent (ACKs only) carries the receiver's most recently
+	// observed reordering distance in segments — the information a
+	// SACK scoreboard/DSACK gives a real sender, which Linux uses to
+	// adapt its fast-retransmit threshold (tcp_reordering).
+	ReorderExtent int
+	// DSACK (ACKs only) reports that the receiver just saw a segment
+	// it already had — the duplicate-SACK signal real stacks use to
+	// detect spurious retransmissions and undo the window reduction.
+	DSACK bool
+	// SACKBlocks (ACKs only) carries up to three selective-ACK ranges
+	// describing out-of-order data the receiver holds.
+	SACKBlocks []SACKBlock
+
+	// Simulation bookkeeping (not on the wire).
+	Hops      int  // links traversed so far
+	Deflected bool // has left its encoded path at least once
+}
+
+// SACKBlock is one selective-acknowledgement range: segments
+// [From, To) have been received.
+type SACKBlock struct {
+	From, To uint64
+}
+
+// DefaultTTL bounds random walks; hot-potato deflection relies on it
+// to terminate hopeless packets.
+const DefaultTTL = 64

@@ -1,0 +1,15 @@
+// Package rns implements the Residue Number System arithmetic that
+// underpins KAR route encoding (Gomes et al., DSN-W 2016, §2.2–2.3).
+//
+// A System is a basis of pairwise-coprime moduli (the switch IDs on a
+// route plus its protection switches). Encode applies the Chinese
+// Remainder Theorem to a residue vector (the desired output ports) and
+// yields the unique route ID R with 0 ≤ R < M = ∏ moduli such that
+// R mod sᵢ = pᵢ for every i. Core switches recover their output port
+// with a single modulo operation (RouteID.Mod).
+//
+// Route IDs are kept in a compact RouteID value that uses native
+// uint64 arithmetic whenever M fits in 64 bits and falls back to
+// math/big words otherwise, so encoding-size experiments (Table 1 of
+// the paper) can exercise arbitrarily long protection sets.
+package rns

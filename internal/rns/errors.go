@@ -1,0 +1,46 @@
+package rns
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors reported by basis validation and encoding. They are
+// matched with errors.Is; rich context is attached via wrapping.
+var (
+	// ErrEmptyBasis indicates an empty modulus set.
+	ErrEmptyBasis = errors.New("rns: empty modulus basis")
+
+	// ErrModulusTooSmall indicates a modulus < 2. Switch IDs must be at
+	// least 2 for the residue to address any port at all.
+	ErrModulusTooSmall = errors.New("rns: modulus must be >= 2")
+
+	// ErrNotCoprime indicates two moduli share a common factor.
+	ErrNotCoprime = errors.New("rns: moduli are not pairwise coprime")
+
+	// ErrResidueRange indicates a residue pᵢ ≥ sᵢ, which is
+	// unrepresentable: R mod sᵢ is always < sᵢ.
+	ErrResidueRange = errors.New("rns: residue out of range for modulus")
+
+	// ErrLengthMismatch indicates the residue vector length differs
+	// from the basis length.
+	ErrLengthMismatch = errors.New("rns: residue count does not match modulus count")
+
+	// ErrNoInverse indicates a modular inverse does not exist (the
+	// operands are not coprime).
+	ErrNoInverse = errors.New("rns: modular inverse does not exist")
+)
+
+// CoprimeError reports the specific pair of moduli that violates
+// pairwise coprimality, including their common factor.
+type CoprimeError struct {
+	A, B uint64 // offending moduli
+	GCD  uint64 // their common factor (> 1)
+}
+
+func (e *CoprimeError) Error() string {
+	return fmt.Sprintf("rns: moduli %d and %d are not coprime (gcd %d)", e.A, e.B, e.GCD)
+}
+
+// Unwrap makes errors.Is(err, ErrNotCoprime) hold.
+func (e *CoprimeError) Unwrap() error { return ErrNotCoprime }

@@ -1,0 +1,291 @@
+package simnet
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/topology"
+)
+
+// Handler consumes packets delivered to a node. Implementations are
+// the simulated switch and edge types.
+type Handler interface {
+	// HandlePacket processes a packet arriving on inPort at the
+	// node's current virtual time.
+	HandlePacket(pkt *packet.Packet, inPort int)
+}
+
+// DropReason classifies packet losses.
+type DropReason int
+
+const (
+	// DropNoPort: the chosen output port has no link attached.
+	DropNoPort DropReason = iota + 1
+	// DropLinkDown: the output link is administratively down.
+	DropLinkDown
+	// DropQueueFull: tail drop at a full transmission queue.
+	DropQueueFull
+	// DropInFlight: the link failed while the packet was in flight.
+	DropInFlight
+	// DropTTL: the packet's TTL reached zero.
+	DropTTL
+	// DropNoViablePort: the deflection policy found no usable port.
+	DropNoViablePort
+)
+
+func (r DropReason) String() string {
+	switch r {
+	case DropNoPort:
+		return "no-port"
+	case DropLinkDown:
+		return "link-down"
+	case DropQueueFull:
+		return "queue-full"
+	case DropInFlight:
+		return "in-flight"
+	case DropTTL:
+		return "ttl"
+	case DropNoViablePort:
+		return "no-viable-port"
+	default:
+		return "unknown"
+	}
+}
+
+// Drop describes one lost packet.
+type Drop struct {
+	Packet *packet.Packet
+	Reason DropReason
+	Where  string // node or link name
+	At     time.Duration
+}
+
+// dirState models one direction of a link: a FIFO transmission queue
+// feeding a fixed-rate serializer.
+type dirState struct {
+	busyUntil time.Duration
+	queued    int
+
+	// Counters.
+	sentPackets int64
+	sentBytes   int64
+	queueDrops  int64
+}
+
+// Line is the live state of one topology link inside a Network.
+type Line struct {
+	link       *topology.Link
+	up         bool
+	lastDownAt time.Duration // most recent failure instant (for in-flight kills)
+	everDown   bool
+	dirs       [2]dirState // 0: A→B, 1: B→A
+	inFlight   [2]int64    // in-flight drop counters per direction
+}
+
+// Up reports link health.
+func (l *Line) Up() bool { return l.up }
+
+// LineStats is a snapshot of one link's counters, summed over both
+// directions.
+type LineStats struct {
+	SentPackets   int64
+	SentBytes     int64
+	QueueDrops    int64
+	InFlightDrops int64
+}
+
+// Network binds a topology to node handlers and simulates packet
+// transport. Create with New, Bind a handler per node, then drive the
+// Scheduler.
+type Network struct {
+	sched       *Scheduler
+	topo        *topology.Graph
+	lines       map[*topology.Link]*Line
+	handlers    map[*topology.Node]Handler
+	dropHook    func(Drop)
+	deliverHook func(pkt *packet.Packet, at *topology.Node, inPort int)
+
+	// Global counters.
+	delivered int64
+	dropped   int64
+}
+
+// New builds a Network over a validated topology. Every topology link
+// starts up.
+func New(topo *topology.Graph) *Network {
+	n := &Network{
+		sched:    &Scheduler{},
+		topo:     topo,
+		lines:    make(map[*topology.Link]*Line, len(topo.Links())),
+		handlers: make(map[*topology.Node]Handler, len(topo.Nodes())),
+	}
+	for _, l := range topo.Links() {
+		n.lines[l] = &Line{link: l, up: true}
+	}
+	return n
+}
+
+// Scheduler returns the network's virtual clock and event queue.
+func (n *Network) Scheduler() *Scheduler { return n.sched }
+
+// Topology returns the underlying graph.
+func (n *Network) Topology() *topology.Graph { return n.topo }
+
+// Bind attaches the handler for a node. All nodes that can receive
+// packets must be bound before traffic starts.
+func (n *Network) Bind(node *topology.Node, h Handler) {
+	n.handlers[node] = h
+}
+
+// SetDropHook registers a callback invoked on every packet loss
+// (tracing, loss accounting). Pass nil to disable.
+func (n *Network) SetDropHook(fn func(Drop)) { n.dropHook = fn }
+
+// SetDeliverHook registers a callback invoked on every per-node packet
+// delivery (the tcpdump attachment point). Pass nil to disable.
+func (n *Network) SetDeliverHook(fn func(pkt *packet.Packet, at *topology.Node, inPort int)) {
+	n.deliverHook = fn
+}
+
+// Drop records a packet loss originating at a node (TTL expiry,
+// no-viable-port). Links report their own drops internally.
+func (n *Network) Drop(pkt *packet.Packet, reason DropReason, where string) {
+	n.dropped++
+	if n.dropHook != nil {
+		n.dropHook(Drop{Packet: pkt, Reason: reason, Where: where, At: n.sched.now})
+	}
+}
+
+// PortUp reports whether node's port i exists and its link is up —
+// the switch-local failure detection of the paper (a switch "realizes
+// a link failure" on its own ports, with no control-plane round trip).
+func (n *Network) PortUp(node *topology.Node, i int) bool {
+	l, ok := node.PortLink(i)
+	if !ok {
+		return false
+	}
+	return n.lines[l].up
+}
+
+// Send transmits pkt out of node's port i: FIFO queueing, fixed-rate
+// serialization, propagation delay, then delivery to the neighbour's
+// handler. Losses are recorded, never returned — the data plane has
+// nobody to report to.
+func (n *Network) Send(node *topology.Node, i int, pkt *packet.Packet) {
+	l, ok := node.PortLink(i)
+	if !ok {
+		n.Drop(pkt, DropNoPort, fmt.Sprintf("%s:%d", node.Name(), i))
+		return
+	}
+	line := n.lines[l]
+	if !line.up {
+		n.Drop(pkt, DropLinkDown, l.Name())
+		return
+	}
+	dir := 0
+	if l.B() == node {
+		dir = 1
+	}
+	ds := &line.dirs[dir]
+	if ds.queued >= l.QueuePackets() {
+		ds.queueDrops++
+		n.Drop(pkt, DropQueueFull, l.Name())
+		return
+	}
+
+	now := n.sched.now
+	txTime := transmissionTime(pkt.Size, l.RateMbps())
+	start := ds.busyUntil
+	if start < now {
+		start = now
+	}
+	done := start + txTime
+	ds.busyUntil = done
+	ds.queued++
+	ds.sentPackets++
+	ds.sentBytes += int64(pkt.Size)
+
+	dst := l.Other(node)
+	dstPort := l.PortOf(dst)
+	txStart := start
+	n.sched.At(done, func() { ds.queued-- })
+	n.sched.At(done+l.Delay(), func() {
+		// The packet dies if the link failed at any point after its
+		// transmission began.
+		if !line.up || (line.everDown && line.lastDownAt >= txStart) {
+			line.inFlight[dir]++
+			n.Drop(pkt, DropInFlight, l.Name())
+			return
+		}
+		n.Deliver(pkt, dst, dstPort)
+	})
+}
+
+// Deliver hands a packet to a node's handler immediately (used by
+// Send, and by edges looping a packet back into themselves).
+func (n *Network) Deliver(pkt *packet.Packet, dst *topology.Node, inPort int) {
+	h, ok := n.handlers[dst]
+	if !ok {
+		n.Drop(pkt, DropNoPort, dst.Name())
+		return
+	}
+	pkt.Hops++
+	n.delivered++
+	if n.deliverHook != nil {
+		n.deliverHook(pkt, dst, inPort)
+	}
+	h.HandlePacket(pkt, inPort)
+}
+
+// transmissionTime returns size bytes at rate Mb/s as a duration.
+func transmissionTime(size int, rateMbps float64) time.Duration {
+	return time.Duration(float64(size*8) / rateMbps * float64(time.Microsecond))
+}
+
+// FailLink takes a link down; queued and in-flight packets die.
+func (n *Network) FailLink(l *topology.Link) {
+	line := n.lines[l]
+	if !line.up {
+		return
+	}
+	line.up = false
+	line.everDown = true
+	line.lastDownAt = n.sched.now
+}
+
+// RepairLink brings a link back up.
+func (n *Network) RepairLink(l *topology.Link) {
+	line := n.lines[l]
+	if line.up {
+		return
+	}
+	line.up = true
+	// Queued counters drain through their already-scheduled dequeue
+	// events; nothing to reset here.
+}
+
+// ScheduleFailure fails the link during [from, from+duration).
+func (n *Network) ScheduleFailure(l *topology.Link, from, duration time.Duration) {
+	n.sched.At(from, func() { n.FailLink(l) })
+	n.sched.At(from+duration, func() { n.RepairLink(l) })
+}
+
+// LineStats returns a link's counters.
+func (n *Network) LineStats(l *topology.Link) LineStats {
+	line := n.lines[l]
+	var s LineStats
+	for d := range line.dirs {
+		s.SentPackets += line.dirs[d].sentPackets
+		s.SentBytes += line.dirs[d].sentBytes
+		s.QueueDrops += line.dirs[d].queueDrops
+		s.InFlightDrops += line.inFlight[d]
+	}
+	return s
+}
+
+// Delivered returns the total packets handed to handlers.
+func (n *Network) Delivered() int64 { return n.delivered }
+
+// Dropped returns the total packets lost anywhere.
+func (n *Network) Dropped() int64 { return n.dropped }

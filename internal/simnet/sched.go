@@ -1,0 +1,93 @@
+// Package simnet is a deterministic discrete-event network simulator:
+// a virtual-time scheduler, plus link transmission/queueing/failure
+// modelling over a topology.Graph. It replaces the paper's Mininet
+// emulation substrate (see DESIGN.md §2): what the KAR experiments
+// measure — serialization and queueing delays, loss at failed links,
+// path changes — are exactly the first-order effects modelled here,
+// with reproducible seeds instead of OS scheduling jitter.
+package simnet
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Scheduler is a virtual-time event loop. Events at equal times run in
+// scheduling (FIFO) order, making runs fully deterministic. Not safe
+// for concurrent use: one scheduler per simulated world, many worlds
+// in parallel.
+type Scheduler struct {
+	now    time.Duration
+	events eventHeap
+	seq    uint64
+}
+
+type event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	e := old[len(old)-1]
+	old[len(old)-1] = event{}
+	*h = old[:len(old)-1]
+	return e
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() time.Duration { return s.now }
+
+// At schedules fn at absolute virtual time t; times in the past run
+// "now" (next step).
+func (s *Scheduler) At(t time.Duration, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	heap.Push(&s.events, event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn d from now.
+func (s *Scheduler) After(d time.Duration, fn func()) { s.At(s.now+d, fn) }
+
+// Step runs the earliest pending event; it reports false when none
+// remain.
+func (s *Scheduler) Step() bool {
+	if s.events.Len() == 0 {
+		return false
+	}
+	e := heap.Pop(&s.events).(event)
+	s.now = e.at
+	e.fn()
+	return true
+}
+
+// RunUntil processes every event scheduled at or before t, then
+// advances the clock to t.
+func (s *Scheduler) RunUntil(t time.Duration) {
+	for s.events.Len() > 0 && s.events[0].at <= t {
+		e := heap.Pop(&s.events).(event)
+		s.now = e.at
+		e.fn()
+	}
+	if s.now < t {
+		s.now = t
+	}
+}
+
+// Pending returns the number of scheduled events (for tests and
+// leak-detection assertions).
+func (s *Scheduler) Pending() int { return s.events.Len() }

@@ -1,0 +1,376 @@
+package tcpsim
+
+import (
+	"time"
+
+	"repro/internal/edge"
+	"repro/internal/packet"
+	"repro/internal/simnet"
+)
+
+// SACKSender is a TCP sender with a selective-acknowledgement
+// scoreboard (RFC 6675 style), the transport the paper's Mininet
+// hosts actually ran. Compared to the NewReno Sender it retransmits
+// exactly the segments the receiver is missing — one loss event no
+// longer costs a full round trip per hole, and go-back-N after an RTO
+// never resends data the receiver already buffered.
+//
+// Loss detection is scoreboard-based with the same adaptive
+// reordering threshold as the Reno sender: a segment is marked lost
+// when at least dupThresh segments above it have been SACKed.
+// Spurious marks are undone via the receiver's DSACK signal.
+type SACKSender struct {
+	sched *simnet.Scheduler
+	edge  *edge.Edge
+	flow  packet.FlowID
+	cfg   Config
+
+	started bool
+	stopped bool
+
+	nextSeq uint64 // one past the highest segment ever sent
+	highAck uint64 // cumulative ACK
+
+	// Scoreboard over [highAck, nextSeq): segment states.
+	sacked map[uint64]bool // SACKed by the receiver
+	lost   map[uint64]bool // marked lost, awaiting retransmission
+	retans map[uint64]bool // retransmitted since last mark
+
+	cwnd      float64
+	ssthresh  float64
+	dupThresh int
+	inRecov   bool
+	recovEnd  uint64 // recovery ends when highAck passes this
+
+	undoArmed    bool
+	undoCwnd     float64
+	undoSsthresh float64
+
+	srtt, rttvar, rto time.Duration
+	hasSRTT           bool
+	rttSeq            uint64
+	rttSentAt         time.Duration
+	rttPending        bool
+
+	timerGen uint64
+	stats    SenderStats
+}
+
+// NewSACKFlow wires a SACK sender at srcEdge and the standard
+// receiver at dstEdge. The receiver's ACKs carry SACK blocks derived
+// from its out-of-order buffer.
+func NewSACKFlow(net *simnet.Network, srcEdge, dstEdge *edge.Edge, flow packet.FlowID, cfg Config) (*SACKSender, *Receiver) {
+	cfg = cfg.Defaults()
+	s := &SACKSender{
+		sched:     net.Scheduler(),
+		edge:      srcEdge,
+		flow:      flow,
+		cfg:       cfg,
+		sacked:    make(map[uint64]bool),
+		lost:      make(map[uint64]bool),
+		retans:    make(map[uint64]bool),
+		cwnd:      cfg.InitialCwnd,
+		ssthresh:  cfg.MaxCwnd,
+		dupThresh: cfg.DupAckThreshold,
+		rto:       time.Second,
+	}
+	r := &Receiver{
+		sched:     net.Scheduler(),
+		edge:      dstEdge,
+		flow:      flow,
+		cfg:       cfg,
+		buf:       make(map[uint64]bool),
+		sackBlock: true,
+	}
+	dstEdge.Attach(flow, edge.ReceiverFunc(r.onData))
+	srcEdge.Attach(flow.Reverse(), edge.ReceiverFunc(s.onAck))
+	return s, r
+}
+
+// Start begins transmitting.
+func (s *SACKSender) Start() {
+	if s.started {
+		return
+	}
+	s.started = true
+	s.trySend()
+	s.armTimer()
+}
+
+// Stop ceases new data transmission.
+func (s *SACKSender) Stop() { s.stopped = true }
+
+// Stats returns sender counters.
+func (s *SACKSender) Stats() SenderStats {
+	st := s.stats
+	st.Cwnd = s.cwnd
+	st.Ssthresh = s.ssthresh
+	st.SRTT = s.srtt
+	st.RTO = s.rto
+	st.DupThresh = s.dupThresh
+	return st
+}
+
+// pipe estimates outstanding data per RFC 6675: segments sent, not
+// SACKed, not marked lost (lost ones are presumed gone).
+func (s *SACKSender) pipe() float64 {
+	out := float64(s.nextSeq - s.highAck)
+	for seq := range s.sacked {
+		if seq >= s.highAck {
+			out--
+		}
+	}
+	for seq := range s.lost {
+		if seq >= s.highAck && !s.retans[seq] && !s.sacked[seq] {
+			out--
+		}
+	}
+	if out < 0 {
+		out = 0
+	}
+	return out
+}
+
+func (s *SACKSender) window() float64 {
+	if s.cwnd > s.cfg.MaxCwnd {
+		return s.cfg.MaxCwnd
+	}
+	return s.cwnd
+}
+
+// trySend first retransmits marked-lost holes, then sends new data,
+// while the pipe fits the window. The pipe estimate is computed once
+// and updated incrementally: each transmission adds one outstanding
+// segment.
+func (s *SACKSender) trySend() {
+	pipe := s.pipe()
+	for pipe < s.window() {
+		if seq, ok := s.nextLost(); ok {
+			s.sendSegment(seq, true)
+			s.retans[seq] = true
+			pipe++
+			continue
+		}
+		if s.stopped {
+			return
+		}
+		s.sendSegment(s.nextSeq, false)
+		s.nextSeq++
+		pipe++
+	}
+}
+
+// nextLost returns the lowest lost, un-retransmitted, un-SACKed
+// segment.
+func (s *SACKSender) nextLost() (uint64, bool) {
+	best, found := uint64(0), false
+	for seq := range s.lost {
+		if seq < s.highAck || s.retans[seq] || s.sacked[seq] {
+			continue
+		}
+		if !found || seq < best {
+			best, found = seq, true
+		}
+	}
+	return best, found
+}
+
+func (s *SACKSender) sendSegment(seq uint64, retrans bool) {
+	pkt := &packet.Packet{
+		Flow:    s.flow,
+		Kind:    packet.KindData,
+		Seq:     seq,
+		Size:    s.cfg.MSS + s.cfg.HeaderBytes,
+		SentAt:  s.sched.Now(),
+		Retrans: retrans,
+	}
+	s.stats.SegmentsSent++
+	if retrans {
+		s.stats.Retransmits++
+		if s.rttPending && seq == s.rttSeq {
+			s.rttPending = false // Karn
+		}
+	} else if !s.rttPending {
+		s.rttSeq = seq
+		s.rttSentAt = s.sched.Now()
+		s.rttPending = true
+	}
+	_ = s.edge.Inject(pkt)
+}
+
+// onAck processes a cumulative ACK with SACK blocks.
+func (s *SACKSender) onAck(pkt *packet.Packet) {
+	if t := pkt.ReorderExtent + 1; t > s.dupThresh {
+		s.dupThresh = t
+		if s.dupThresh > s.cfg.MaxDupAckThreshold {
+			s.dupThresh = s.cfg.MaxDupAckThreshold
+		}
+	}
+	if pkt.DSACK && s.undoArmed && !s.cfg.DisableUndo {
+		s.stats.Undos++
+		s.cwnd = s.undoCwnd
+		s.ssthresh = s.undoSsthresh
+		s.inRecov = false
+		s.undoArmed = false
+		// Clear stale loss marks: they were reordering.
+		for seq := range s.lost {
+			delete(s.lost, seq)
+		}
+	}
+
+	ack := pkt.Seq
+	newly := float64(0)
+	if ack > s.highAck {
+		newly = float64(ack - s.highAck)
+		for seq := s.highAck; seq < ack; seq++ {
+			delete(s.sacked, seq)
+			delete(s.lost, seq)
+			delete(s.retans, seq)
+		}
+		s.highAck = ack
+		if s.highAck > s.nextSeq {
+			s.nextSeq = s.highAck
+		}
+		s.sampleRTT(ack)
+		s.armTimer()
+	}
+	// Record SACK blocks.
+	for _, blk := range pkt.SACKBlocks {
+		for seq := blk.From; seq < blk.To && seq < s.nextSeq; seq++ {
+			if seq >= s.highAck {
+				s.sacked[seq] = true
+			}
+		}
+	}
+	s.markLost()
+
+	if s.inRecov {
+		if s.highAck > s.recovEnd {
+			s.inRecov = false
+			s.cwnd = s.ssthresh
+		}
+	} else if _, haveLoss := s.nextLost(); haveLoss {
+		// Enter recovery once per loss event.
+		s.stats.FastRetransmits++
+		s.undoArmed = true
+		s.undoCwnd = s.cwnd
+		s.undoSsthresh = s.ssthresh
+		half := s.pipe() / 2
+		if half < 2 {
+			half = 2
+		}
+		s.ssthresh = half
+		s.cwnd = half
+		s.inRecov = true
+		s.recovEnd = s.nextSeq
+	} else if newly > 0 {
+		if s.cwnd < s.ssthresh {
+			s.cwnd += newly
+			if s.cwnd > s.ssthresh {
+				s.cwnd = s.ssthresh
+			}
+		} else {
+			s.cwnd += newly / s.cwnd
+		}
+	}
+	s.trySend()
+}
+
+// markLost applies the scoreboard loss rule: a segment is lost when
+// dupThresh or more segments above it have been SACKed.
+func (s *SACKSender) markLost() {
+	if len(s.sacked) < s.dupThresh {
+		return
+	}
+	// Count, for each unSACKed segment, how many SACKed segments lie
+	// above it. Walk from the top: aboveSacked accumulates.
+	// Bounded scan: only the window [highAck, nextSeq).
+	above := 0
+	for seq := s.nextSeq; seq > s.highAck; seq-- {
+		cur := seq - 1
+		if s.sacked[cur] {
+			above++
+			continue
+		}
+		if above >= s.dupThresh && !s.lost[cur] && !s.retans[cur] {
+			s.lost[cur] = true
+		}
+	}
+}
+
+func (s *SACKSender) sampleRTT(ack uint64) {
+	if !s.rttPending || ack <= s.rttSeq {
+		return
+	}
+	sample := s.sched.Now() - s.rttSentAt
+	s.rttPending = false
+	if !s.hasSRTT {
+		s.srtt = sample
+		s.rttvar = sample / 2
+		s.hasSRTT = true
+	} else {
+		diff := s.srtt - sample
+		if diff < 0 {
+			diff = -diff
+		}
+		s.rttvar = (3*s.rttvar + diff) / 4
+		s.srtt = (7*s.srtt + sample) / 8
+	}
+	rto := s.srtt + 4*s.rttvar
+	if rto < s.cfg.MinRTO {
+		rto = s.cfg.MinRTO
+	}
+	if rto > s.cfg.MaxRTO {
+		rto = s.cfg.MaxRTO
+	}
+	s.rto = rto
+}
+
+func (s *SACKSender) armTimer() {
+	s.timerGen++
+	if s.nextSeq == s.highAck && s.stopped {
+		return
+	}
+	gen := s.timerGen
+	s.sched.After(s.rto, func() {
+		if gen != s.timerGen {
+			return
+		}
+		s.onTimeout()
+	})
+}
+
+func (s *SACKSender) onTimeout() {
+	if s.nextSeq == s.highAck {
+		s.trySend()
+		s.armTimer()
+		return
+	}
+	s.stats.Timeouts++
+	s.undoArmed = false
+	half := s.pipe() / 2
+	if half < 2 {
+		half = 2
+	}
+	s.ssthresh = half
+	s.cwnd = 1
+	s.inRecov = false
+	s.rttPending = false
+	s.rto *= 2
+	if s.rto > s.cfg.MaxRTO {
+		s.rto = s.cfg.MaxRTO
+	}
+	// RFC 6675 on RTO: clear retransmission marks and consider every
+	// unSACKed outstanding segment lost — nothing unacknowledged is
+	// presumed in flight any more. SACKed data is never resent.
+	for seq := range s.retans {
+		delete(s.retans, seq)
+	}
+	for seq := s.highAck; seq < s.nextSeq; seq++ {
+		if !s.sacked[seq] {
+			s.lost[seq] = true
+		}
+	}
+	s.trySend()
+	s.armTimer()
+}

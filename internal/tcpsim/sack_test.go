@@ -1,0 +1,171 @@
+package tcpsim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/controller"
+	"repro/internal/core"
+	"repro/internal/deflect"
+	"repro/internal/edge"
+	"repro/internal/kswitch"
+	"repro/internal/packet"
+	"repro/internal/simnet"
+	"repro/internal/topology"
+)
+
+// sackWorld wires a Fig. 1 network with a SACK flow S→D.
+type sackWorld struct {
+	net  *simnet.Network
+	send *SACKSender
+	recv *Receiver
+}
+
+func newSACKWorld(t *testing.T, policyName string, protected bool, cfg Config) *sackWorld {
+	t.Helper()
+	g, err := topology.Fig1()
+	if err != nil {
+		t.Fatalf("Fig1: %v", err)
+	}
+	w := &sackWorld{net: simnet.New(g)}
+	ctrl := controller.New(g)
+	policy, ok := deflect.ByName(policyName)
+	if !ok {
+		t.Fatalf("unknown policy %q", policyName)
+	}
+	kswitch.InstallAll(w.net, policy, 77)
+	edges := make(map[string]*edge.Edge)
+	for _, n := range g.EdgeNodes() {
+		edges[n.Name()] = edge.New(w.net, n, ctrl)
+	}
+	var prot []core.Hop
+	if protected {
+		prot, err = core.HopsFromPairs(g, [][2]string{{"SW5", "SW11"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	install := func(src, dst string, hops []core.Hop) {
+		route, err := ctrl.InstallRoute(src, dst, hops)
+		if err != nil {
+			t.Fatalf("InstallRoute: %v", err)
+		}
+		port, err := ctrl.IngressPort(route)
+		if err != nil {
+			t.Fatal(err)
+		}
+		edges[src].InstallRoute(dst, route.ID, port)
+	}
+	install("S", "D", prot)
+	install("D", "S", nil)
+	flow := packet.FlowID{Src: "S", Dst: "D"}
+	w.send, w.recv = NewSACKFlow(w.net, edges["S"], edges["D"], flow, cfg)
+	return w
+}
+
+func TestSACKSteadyThroughput(t *testing.T) {
+	w := newSACKWorld(t, "none", false, Config{})
+	w.send.Start()
+	w.net.Scheduler().RunUntil(10 * time.Second)
+	tput := goodputMbps(w.recv.BytesInOrder(), 10*time.Second)
+	if tput < 120 || tput > 201 {
+		t.Errorf("steady goodput = %.1f Mb/s, want within (120, 201]", tput)
+	}
+}
+
+// TestSACKRecoversBurstLossFast: SACK's signature behaviour — a burst
+// of losses recovers within a few RTTs instead of one hole per RTT.
+// A short failure blackholes part of a window; goodput right after
+// must rebound quickly.
+func TestSACKRecoversBurstLoss(t *testing.T) {
+	w := newSACKWorld(t, "none", false, Config{MaxRTO: time.Second})
+	l, _ := w.net.Topology().LinkBetween("SW7", "SW11")
+	// A 50 ms blackhole kills several in-flight segments.
+	w.net.ScheduleFailure(l, 2*time.Second, 50*time.Millisecond)
+	w.send.Start()
+	w.net.Scheduler().RunUntil(6 * time.Second)
+
+	// Everything sent must eventually arrive in order.
+	st := w.send.Stats()
+	rs := w.recv.Stats()
+	if rs.BytesInOrder == 0 {
+		t.Fatal("no goodput")
+	}
+	// Goodput over the post-failure window stays high.
+	before := w.recv.BytesInOrder()
+	w.net.Scheduler().RunUntil(8 * time.Second)
+	after := goodputMbps(w.recv.BytesInOrder()-before, 2*time.Second)
+	if after < 120 {
+		t.Errorf("post-recovery goodput = %.1f Mb/s; SACK should restore the window quickly", after)
+	}
+	if st.Timeouts > 2 {
+		t.Errorf("timeouts = %d; SACK recovery should avoid RTO chains for burst losses", st.Timeouts)
+	}
+}
+
+// TestSACKUnderDeflection: heavy reordering (AVP bouncing) must not
+// collapse the SACK sender either.
+func TestSACKUnderDeflection(t *testing.T) {
+	w := newSACKWorld(t, "avp", true, Config{})
+	l, _ := w.net.Topology().LinkBetween("SW7", "SW11")
+	w.net.ScheduleFailure(l, time.Second, 9*time.Second)
+	w.send.Start()
+	w.net.Scheduler().RunUntil(10 * time.Second)
+
+	tput := goodputMbps(w.recv.BytesInOrder(), 10*time.Second)
+	if tput < 30 {
+		t.Errorf("goodput = %.1f Mb/s under AVP deflection; SACK should stay functional", tput)
+	}
+	if st := w.send.Stats(); st.Timeouts > 5 {
+		t.Errorf("timeouts = %d; the scoreboard should avoid most stalls", st.Timeouts)
+	}
+}
+
+// TestSACKNeverResendsSackedData: the defining invariant — count
+// retransmissions of segments the receiver had already SACKed (they
+// show up as receiver dups beyond the DSACK ones caused by
+// reordering). A blackhole burst with SACK should produce almost no
+// duplicate deliveries.
+func TestSACKAvoidsSpuriousResends(t *testing.T) {
+	w := newSACKWorld(t, "none", false, Config{MaxRTO: time.Second})
+	l, _ := w.net.Topology().LinkBetween("SW7", "SW11")
+	w.net.ScheduleFailure(l, 2*time.Second, 50*time.Millisecond)
+	w.send.Start()
+	w.net.Scheduler().RunUntil(10 * time.Second)
+
+	rs := w.recv.Stats()
+	st := w.send.Stats()
+	if rs.SegmentsInOrder == 0 {
+		t.Fatal("no delivery")
+	}
+	// Duplicates can only come from retransmissions of data the
+	// receiver already had; with a scoreboard they stay rare.
+	if rs.SegmentsDup > st.Retransmits {
+		t.Errorf("receiver dups (%d) exceed retransmissions (%d)?", rs.SegmentsDup, st.Retransmits)
+	}
+	if frac := float64(rs.SegmentsDup) / float64(rs.SegmentsInOrder); frac > 0.01 {
+		t.Errorf("duplicate fraction %.4f; SACK should not resend held data", frac)
+	}
+}
+
+// TestSACKBlocksOnAcks: receiver ACKs carry correct ranges.
+func TestSACKRanges(t *testing.T) {
+	r := &Receiver{cfg: Config{}.Defaults(), buf: map[uint64]bool{
+		5: true, 6: true, 9: true, 12: true, 13: true, 14: true,
+	}, expected: 3, sackBlock: true}
+	blocks := r.sackRanges(3)
+	want := []packet.SACKBlock{{From: 5, To: 7}, {From: 9, To: 10}, {From: 12, To: 15}}
+	if len(blocks) != len(want) {
+		t.Fatalf("blocks = %v, want %v", blocks, want)
+	}
+	for i := range want {
+		if blocks[i] != want[i] {
+			t.Errorf("block %d = %v, want %v", i, blocks[i], want[i])
+		}
+	}
+	// Cap at 3 blocks even with more gaps.
+	r.buf[20] = true
+	if got := r.sackRanges(3); len(got) != 3 {
+		t.Errorf("got %d blocks, want cap at 3", len(got))
+	}
+}

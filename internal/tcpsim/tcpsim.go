@@ -1,0 +1,569 @@
+// Package tcpsim implements a simplified TCP Reno/NewReno sender and
+// receiver over the simulated KAR network, replacing the paper's iperf
+// measurements. The figures of §3 measure how deflection-induced
+// packet reordering and path stretch depress TCP throughput;
+// Reno's duplicate-ACK machinery — fast retransmit on three dup-ACKs,
+// window halving, RTO stalls — is precisely the mechanism that turns
+// reordering into throughput loss, so the paper's qualitative shapes
+// emerge from first principles here.
+//
+// Implemented: slow start, congestion avoidance (AIMD), fast
+// retransmit + NewReno fast recovery with partial-ACK retransmission,
+// RTO with exponential backoff, and RFC 6298 RTT estimation under
+// Karn's rule. Deliberately not modelled: SACK, delayed ACKs, window
+// scaling negotiation (the receiver window is unbounded; cwnd is
+// capped by Config.MaxCwnd).
+package tcpsim
+
+import (
+	"time"
+
+	"repro/internal/edge"
+	"repro/internal/packet"
+	"repro/internal/simnet"
+)
+
+// Config tunes a TCP flow. The zero value is usable via Defaults.
+type Config struct {
+	// MSS is the payload bytes per segment.
+	MSS int
+	// HeaderBytes is the per-packet overhead added to MSS on the wire
+	// (IP + TCP + the KAR shim).
+	HeaderBytes int
+	// AckBytes is the wire size of a pure ACK.
+	AckBytes int
+	// InitialCwnd is the initial congestion window in segments.
+	InitialCwnd float64
+	// MaxCwnd caps the congestion window in segments (stands in for
+	// the receiver window).
+	MaxCwnd float64
+	// MinRTO and MaxRTO clamp the retransmission timeout.
+	MinRTO time.Duration
+	MaxRTO time.Duration
+	// DupAckThreshold triggers fast retransmit (3 per RFC 5681).
+	DupAckThreshold int
+	// DisableUndo turns off DSACK-based restoration of spurious
+	// window reductions (for strict-Reno ablations).
+	DisableUndo bool
+	// MaxDupAckThreshold caps adaptive reordering detection: when
+	// duplicate ACKs resolve without a retransmission (the "hole"
+	// filled itself, so the dups were reordering, not loss), the
+	// effective threshold is raised to just above the observed
+	// reordering extent — the behaviour of Linux's tcp_reordering
+	// adaptation, capped at 300 like Linux, which the paper's Mininet endpoints ran. Set to
+	// DupAckThreshold to disable adaptation (strict Reno).
+	MaxDupAckThreshold int
+}
+
+// Defaults fills unset fields with standard values.
+func (c Config) Defaults() Config {
+	if c.MSS == 0 {
+		c.MSS = 1400
+	}
+	if c.HeaderBytes == 0 {
+		c.HeaderBytes = 60 // IP + TCP + KAR shim
+	}
+	if c.AckBytes == 0 {
+		c.AckBytes = 64
+	}
+	if c.InitialCwnd == 0 {
+		c.InitialCwnd = 10 // IW10 (RFC 6928), as the paper-era Linux used
+	}
+	if c.MaxCwnd == 0 {
+		c.MaxCwnd = 1200
+	}
+	if c.MinRTO == 0 {
+		c.MinRTO = 200 * time.Millisecond
+	}
+	if c.MaxRTO == 0 {
+		c.MaxRTO = 60 * time.Second
+	}
+	if c.DupAckThreshold == 0 {
+		c.DupAckThreshold = 3
+	}
+	if c.MaxDupAckThreshold == 0 {
+		c.MaxDupAckThreshold = 300
+	}
+	return c
+}
+
+// SenderStats snapshots sender-side counters.
+type SenderStats struct {
+	SegmentsSent    int64
+	Retransmits     int64
+	FastRetransmits int64
+	Timeouts        int64
+	Undos           int64 // spurious-retransmit window restorations (DSACK undo)
+	Cwnd            float64
+	Ssthresh        float64
+	SRTT            time.Duration
+	RTO             time.Duration
+	DupThresh       int // final adaptive fast-retransmit threshold
+}
+
+// Sender is the TCP sender endpoint, attached at the ingress edge. It
+// models an iperf-style unlimited data source. Drive the simulation
+// scheduler after Start.
+type Sender struct {
+	sched *simnet.Scheduler
+	edge  *edge.Edge
+	flow  packet.FlowID
+	cfg   Config
+
+	started bool
+	stopped bool
+
+	// Sequence state, in segment units.
+	nextSeq    uint64 // one past the highest segment ever sent
+	sendCursor uint64 // next segment to transmit; < nextSeq after an
+	// RTO rollback, when the lost window is retransmitted go-back-N
+	// style as the window reopens
+	highAck uint64 // highest cumulative ACK (= receiver's next expected)
+
+	// Congestion control.
+	cwnd        float64
+	ssthresh    float64
+	dupAcks     int
+	dupThresh   int // adaptive fast-retransmit threshold (reordering detection)
+	lastReorder int // latest reordering extent echoed by the receiver
+	inRecovery  bool
+	recoverSeq  uint64 // recovery ends when cumulative ACK passes this
+
+	// DSACK undo state: a fast retransmit saves the pre-reduction
+	// window; if the receiver then reports a duplicate (our
+	// retransmission was spurious — the "lost" segment had merely been
+	// reordered), the reduction is undone, as Linux does.
+	undoArmed    bool
+	undoCwnd     float64
+	undoSsthresh float64
+
+	// RTT estimation (one sample in flight, Karn's rule).
+	srtt, rttvar, rto time.Duration
+	hasSRTT           bool
+	rttSeq            uint64 // segment being timed
+	rttSentAt         time.Duration
+	rttPending        bool
+
+	timerGen uint64 // RTO timer generation (stale timers no-op)
+
+	stats SenderStats
+}
+
+// ReceiverStats snapshots receiver-side counters.
+type ReceiverStats struct {
+	BytesInOrder     int64 // goodput: in-order payload bytes
+	SegmentsInOrder  int64
+	SegmentsOutOfOrd int64 // arrived ahead of the in-order point
+	SegmentsDup      int64 // arrived at or behind the in-order point twice
+	AcksSent         int64
+	MaxGap           int // worst observed reordering distance (segments)
+}
+
+// Receiver is the TCP receiver endpoint at the egress edge. It sends
+// an immediate cumulative ACK for every data segment.
+type Receiver struct {
+	sched *simnet.Scheduler
+	edge  *edge.Edge
+	flow  packet.FlowID
+	cfg   Config
+
+	expected uint64 // next in-order segment
+	buf      map[uint64]bool
+	// reorderExtent is the latest observed reordering distance: when a
+	// late ORIGINAL (non-retransmitted) segment fills the in-order
+	// hole, the number of higher segments that overtook it. Echoed on
+	// ACKs as the SACK-scoreboard information a real stack derives.
+	reorderExtent int
+	// dsackPending marks that a duplicate segment just arrived; the
+	// next ACK carries the DSACK signal.
+	dsackPending bool
+	// sackBlock makes ACKs carry selective-acknowledgement ranges
+	// (set by NewSACKFlow).
+	sackBlock bool
+
+	stats ReceiverStats
+}
+
+// NewFlow wires a sender at srcEdge and a receiver at dstEdge for the
+// given flow ID. Routes in both directions must already be installed
+// on the edges. The sender consumes ACKs arriving for the reverse
+// flow; the receiver consumes data for the forward flow.
+func NewFlow(net *simnet.Network, srcEdge, dstEdge *edge.Edge, flow packet.FlowID, cfg Config) (*Sender, *Receiver) {
+	cfg = cfg.Defaults()
+	s := &Sender{
+		sched: net.Scheduler(),
+		edge:  srcEdge,
+		flow:  flow,
+		cfg:   cfg,
+		cwnd:  cfg.InitialCwnd,
+		// Initially ssthresh is "infinite": slow start until loss.
+		ssthresh:  cfg.MaxCwnd,
+		dupThresh: cfg.DupAckThreshold,
+		rto:       time.Second, // RFC 6298 initial RTO
+	}
+	r := &Receiver{
+		sched: net.Scheduler(),
+		edge:  dstEdge,
+		flow:  flow,
+		cfg:   cfg,
+		buf:   make(map[uint64]bool),
+	}
+	dstEdge.Attach(flow, edge.ReceiverFunc(r.onData))
+	srcEdge.Attach(flow.Reverse(), edge.ReceiverFunc(s.onAck))
+	return s, r
+}
+
+// Start begins transmitting at the current virtual time.
+func (s *Sender) Start() {
+	if s.started {
+		return
+	}
+	s.started = true
+	s.trySend()
+	s.armTimer()
+}
+
+// Stop ceases new data transmission (retransmissions of outstanding
+// data continue until acknowledged).
+func (s *Sender) Stop() { s.stopped = true }
+
+// Stats returns sender counters.
+func (s *Sender) Stats() SenderStats {
+	st := s.stats
+	st.Cwnd = s.cwnd
+	st.Ssthresh = s.ssthresh
+	st.SRTT = s.srtt
+	st.RTO = s.rto
+	st.DupThresh = s.dupThresh
+	return st
+}
+
+// flight returns outstanding segments: sent since the last rollback
+// and not yet acknowledged.
+func (s *Sender) flight() uint64 { return s.sendCursor - s.highAck }
+
+// window returns the effective send window in segments.
+func (s *Sender) window() float64 {
+	if s.cwnd > s.cfg.MaxCwnd {
+		return s.cfg.MaxCwnd
+	}
+	return s.cwnd
+}
+
+// trySend transmits segments at the cursor while the window allows:
+// retransmissions of a rolled-back window first, then new data.
+func (s *Sender) trySend() {
+	for float64(s.flight()) < s.window() {
+		retrans := s.sendCursor < s.nextSeq
+		if !retrans && s.stopped {
+			return
+		}
+		s.sendSegment(s.sendCursor, retrans)
+		s.sendCursor++
+		if s.sendCursor > s.nextSeq {
+			s.nextSeq = s.sendCursor
+		}
+	}
+}
+
+func (s *Sender) sendSegment(seq uint64, retrans bool) {
+	pkt := &packet.Packet{
+		Flow:    s.flow,
+		Kind:    packet.KindData,
+		Seq:     seq,
+		Size:    s.cfg.MSS + s.cfg.HeaderBytes,
+		SentAt:  s.sched.Now(),
+		Retrans: retrans,
+	}
+	s.stats.SegmentsSent++
+	if retrans {
+		s.stats.Retransmits++
+		if s.rttPending && seq == s.rttSeq {
+			s.rttPending = false // Karn: retransmitted segment cannot be timed
+		}
+	} else if !s.rttPending {
+		s.rttSeq = seq
+		s.rttSentAt = s.sched.Now()
+		s.rttPending = true
+	}
+	// Injection failures (no route) surface through edge stats; the
+	// segment is then recovered like any other loss.
+	_ = s.edge.Inject(pkt)
+}
+
+// onAck processes an arriving cumulative ACK. pkt.Seq carries the
+// receiver's next expected segment.
+func (s *Sender) onAck(pkt *packet.Packet) {
+	if pkt.DSACK && s.undoArmed && !s.cfg.DisableUndo {
+		// Our fast retransmit was spurious: the receiver already had
+		// the segment. Restore the pre-reduction window.
+		s.stats.Undos++
+		s.cwnd = s.undoCwnd
+		s.ssthresh = s.undoSsthresh
+		s.inRecovery = false
+		s.dupAcks = 0
+		s.undoArmed = false
+	}
+	s.lastReorder = pkt.ReorderExtent
+	if t := pkt.ReorderExtent + 1; t > s.dupThresh {
+		// The receiver observed reordering wider than our threshold;
+		// adapt so reordering stops masquerading as loss.
+		s.dupThresh = t
+		if s.dupThresh > s.cfg.MaxDupAckThreshold {
+			s.dupThresh = s.cfg.MaxDupAckThreshold
+		}
+	}
+	ack := pkt.Seq
+	switch {
+	case ack > s.highAck:
+		s.onNewAck(ack)
+	case ack == s.highAck && s.flight() > 0:
+		s.onDupAck()
+	default:
+		// Stale (reordered) ACK: ignore.
+	}
+}
+
+func (s *Sender) onNewAck(ack uint64) {
+	acked := float64(ack - s.highAck)
+	s.highAck = ack
+	if s.sendCursor < ack {
+		// A retransmission filled a hole and the cumulative ACK jumped
+		// past the cursor (the receiver had buffered the rest).
+		s.sendCursor = ack
+	}
+	s.sampleRTT(ack)
+
+	if s.inRecovery {
+		if ack > s.recoverSeq {
+			// Full recovery: deflate to ssthresh and resume CA.
+			s.inRecovery = false
+			s.cwnd = s.ssthresh
+			s.dupAcks = 0
+		} else {
+			// NewReno partial ACK: the next hole is also lost;
+			// retransmit it immediately and deflate by the amount acked.
+			s.cwnd -= acked
+			if s.cwnd < 1 {
+				s.cwnd = 1
+			}
+			s.cwnd++ // the retransmitted segment re-enters flight
+			s.sendSegment(s.highAck, true)
+		}
+	} else {
+		if s.dupAcks > 0 {
+			// The hole filled itself without a retransmission: those
+			// duplicate ACKs were reordering, not loss. Raise the
+			// fast-retransmit threshold past the observed extent
+			// (Linux tcp_reordering adaptation).
+			if t := s.dupAcks + 1; t > s.dupThresh {
+				s.dupThresh = t
+				if s.dupThresh > s.cfg.MaxDupAckThreshold {
+					s.dupThresh = s.cfg.MaxDupAckThreshold
+				}
+			}
+		}
+		s.dupAcks = 0
+		if s.cwnd < s.ssthresh {
+			s.cwnd += acked // slow start
+			if s.cwnd > s.ssthresh {
+				s.cwnd = s.ssthresh
+			}
+		} else {
+			s.cwnd += acked / s.cwnd // congestion avoidance
+		}
+	}
+	s.armTimer()
+	s.trySend()
+}
+
+func (s *Sender) onDupAck() {
+	s.dupAcks++
+	if s.inRecovery {
+		s.cwnd++ // window inflation per dup
+		s.trySend()
+		return
+	}
+	if s.dupAcks >= s.dupThresh {
+		// The receiver is currently observing reordering at least as
+		// wide as our dup count: hold off — the "hole" is very likely
+		// a late packet, not a loss (Linux delays fast retransmit the
+		// same way while its reordering metric exceeds the dup count;
+		// the RTO remains the loss backstop).
+		if s.lastReorder >= s.dupAcks && s.dupAcks < s.cfg.MaxDupAckThreshold {
+			return
+		}
+		// Fast retransmit + enter fast recovery, remembering the
+		// pre-reduction window for a potential DSACK undo.
+		s.undoArmed = true
+		s.undoCwnd = s.cwnd
+		s.undoSsthresh = s.ssthresh
+		s.stats.FastRetransmits++
+		s.ssthresh = s.halfFlight()
+		s.cwnd = s.ssthresh + float64(s.dupThresh)
+		s.inRecovery = true
+		s.recoverSeq = s.nextSeq
+		s.sendSegment(s.highAck, true)
+		s.armTimer()
+	}
+}
+
+func (s *Sender) halfFlight() float64 {
+	h := float64(s.flight()) / 2
+	if h < 2 {
+		h = 2
+	}
+	return h
+}
+
+// sampleRTT applies RFC 6298 smoothing when the timed segment is
+// covered by this ACK.
+func (s *Sender) sampleRTT(ack uint64) {
+	if !s.rttPending || ack <= s.rttSeq {
+		return
+	}
+	sample := s.sched.Now() - s.rttSentAt
+	s.rttPending = false
+	if !s.hasSRTT {
+		s.srtt = sample
+		s.rttvar = sample / 2
+		s.hasSRTT = true
+	} else {
+		diff := s.srtt - sample
+		if diff < 0 {
+			diff = -diff
+		}
+		s.rttvar = (3*s.rttvar + diff) / 4
+		s.srtt = (7*s.srtt + sample) / 8
+	}
+	rto := s.srtt + 4*s.rttvar
+	if rto < s.cfg.MinRTO {
+		rto = s.cfg.MinRTO
+	}
+	if rto > s.cfg.MaxRTO {
+		rto = s.cfg.MaxRTO
+	}
+	s.rto = rto
+}
+
+// armTimer (re)starts the RTO timer; stale generations no-op.
+func (s *Sender) armTimer() {
+	s.timerGen++
+	if s.flight() == 0 && s.stopped {
+		return
+	}
+	gen := s.timerGen
+	s.sched.After(s.rto, func() {
+		if gen != s.timerGen {
+			return
+		}
+		s.onTimeout()
+	})
+}
+
+func (s *Sender) onTimeout() {
+	if s.flight() == 0 {
+		// Idle: nothing outstanding; try to send (window may allow).
+		s.trySend()
+		s.armTimer()
+		return
+	}
+	s.stats.Timeouts++
+	s.undoArmed = false // RTO reductions are not undone here
+	s.ssthresh = s.halfFlight()
+	s.cwnd = 1
+	s.inRecovery = false
+	s.dupAcks = 0
+	s.rttPending = false // Karn
+	s.rto *= 2
+	if s.rto > s.cfg.MaxRTO {
+		s.rto = s.cfg.MaxRTO
+	}
+	// Go-back-N: roll the cursor back; the lost window is resent as
+	// the window reopens.
+	s.sendCursor = s.highAck
+	s.trySend()
+	s.armTimer()
+}
+
+// onData handles an arriving data segment at the receiver.
+func (r *Receiver) onData(pkt *packet.Packet) {
+	seq := pkt.Seq
+	switch {
+	case seq == r.expected:
+		if !pkt.Retrans && len(r.buf) > 0 {
+			// A late original overtaken by len(buf) higher segments:
+			// that is reordering, not loss — record the extent.
+			r.reorderExtent = len(r.buf)
+		}
+		r.stats.BytesInOrder += int64(r.cfg.MSS)
+		r.stats.SegmentsInOrder++
+		r.expected++
+		for r.buf[r.expected] {
+			delete(r.buf, r.expected)
+			r.stats.BytesInOrder += int64(r.cfg.MSS)
+			r.stats.SegmentsInOrder++
+			r.expected++
+		}
+	case seq > r.expected:
+		if gap := int(seq - r.expected); gap > r.stats.MaxGap {
+			r.stats.MaxGap = gap
+		}
+		if r.buf[seq] {
+			r.stats.SegmentsDup++
+			r.dsackPending = true
+		} else {
+			r.buf[seq] = true
+			r.stats.SegmentsOutOfOrd++
+		}
+	default:
+		r.stats.SegmentsDup++
+		r.dsackPending = true
+	}
+	r.sendAck()
+}
+
+func (r *Receiver) sendAck() {
+	ack := &packet.Packet{
+		Flow:          r.flow.Reverse(),
+		Kind:          packet.KindAck,
+		Seq:           r.expected,
+		Size:          r.cfg.AckBytes,
+		SentAt:        r.sched.Now(),
+		ReorderExtent: r.reorderExtent,
+		DSACK:         r.dsackPending,
+	}
+	if r.sackBlock && len(r.buf) > 0 {
+		ack.SACKBlocks = r.sackRanges(3)
+	}
+	r.dsackPending = false
+	r.stats.AcksSent++
+	_ = r.edge.Inject(ack)
+}
+
+// sackRanges scans the out-of-order buffer upward from the in-order
+// point and returns up to max contiguous received ranges.
+func (r *Receiver) sackRanges(max int) []packet.SACKBlock {
+	var blocks []packet.SACKBlock
+	const scanLimit = 4096 // bound the walk; windows are far smaller
+	seq := r.expected + 1
+	for n := 0; n < scanLimit && len(blocks) < max; n++ {
+		if !r.buf[seq] {
+			seq++
+			continue
+		}
+		start := seq
+		for r.buf[seq] {
+			seq++
+		}
+		blocks = append(blocks, packet.SACKBlock{From: start, To: seq})
+	}
+	return blocks
+}
+
+// Stats returns receiver counters.
+func (r *Receiver) Stats() ReceiverStats { return r.stats }
+
+// BytesInOrder returns cumulative in-order payload bytes — the
+// iperf-equivalent goodput counter experiments sample over time.
+func (r *Receiver) BytesInOrder() int64 { return r.stats.BytesInOrder }

@@ -1,0 +1,117 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestKindString(t *testing.T) {
+	if KindCore.String() != "core" || KindEdge.String() != "edge" {
+		t.Errorf("Kind strings = %q/%q", KindCore, KindEdge)
+	}
+	if got := Kind(9).String(); !strings.Contains(got, "9") {
+		t.Errorf("unknown kind string = %q", got)
+	}
+}
+
+func TestPathHelpers(t *testing.T) {
+	g, err := Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ShortestPath(g, "S", "D", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Contains("SW7") || p.Contains("SW5") {
+		t.Errorf("Contains wrong: %s", p)
+	}
+	var empty Path
+	if empty.Hops() != 0 {
+		t.Errorf("empty path hops = %d", empty.Hops())
+	}
+	if len(p.Links()) != p.Hops() {
+		t.Errorf("Links count %d != Hops %d", len(p.Links()), p.Hops())
+	}
+}
+
+// TestRNP28LinkClasses verifies the heterogeneous rate plan: the
+// measured route runs at the 200 Mb/s spur class, the São Paulo core
+// at 1 Gb/s, and the national ring at 300 Mb/s — the "links rates
+// proportional to RNP real link rates" condition of §3.2.
+func TestRNP28LinkClasses(t *testing.T) {
+	g, err := RNP28()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRate := map[string]float64{
+		"SW7-SW13":   200,  // route spur
+		"SW13-SW41":  200,  // route spur
+		"SW41-SW73":  200,  // route spur
+		"SW71-SW73":  1000, // SE core
+		"SW73-SW107": 1000, // SE core
+		"SW13-SW71":  300,  // ring
+		"SW61-SW67":  300,  // ring
+	}
+	for name, rate := range wantRate {
+		parts := strings.SplitN(name, "-", 2)
+		l, ok := g.LinkBetween(parts[0], parts[1])
+		if !ok {
+			t.Errorf("link %s missing", name)
+			continue
+		}
+		if l.RateMbps() != rate {
+			t.Errorf("link %s rate = %v, want %v", name, l.RateMbps(), rate)
+		}
+	}
+	// Delays grow with reach on the northern spurs.
+	l, _ := g.LinkBetween("SW13", "SW41")
+	if l.Delay() != 5*time.Millisecond {
+		t.Errorf("SW13-SW41 delay = %v, want 5ms", l.Delay())
+	}
+	// Host-facing links carry the Linux-sized queue.
+	e, _ := g.LinkBetween("EDGE-N", "SW7")
+	if e.QueuePackets() != HostQueuePackets {
+		t.Errorf("edge link queue = %d, want %d", e.QueuePackets(), HostQueuePackets)
+	}
+}
+
+func TestSwitchIDsSortedAndSummary(t *testing.T) {
+	g, err := RNP28()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := g.SwitchIDs()
+	if len(ids) != 28 || ids[0] != 7 || ids[27] != 127 {
+		t.Errorf("SwitchIDs = %v", ids)
+	}
+	for i := 1; i < len(ids); i++ {
+		if ids[i] <= ids[i-1] {
+			t.Fatalf("SwitchIDs not sorted at %d: %v", i, ids)
+		}
+	}
+	if s := g.Summary(); !strings.Contains(s, "28 core") || !strings.Contains(s, "42 links") {
+		t.Errorf("Summary = %q", s)
+	}
+}
+
+func TestFig1HostQueues(t *testing.T) {
+	g, err := Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pair := range [][2]string{{"SW4", "S"}, {"SW11", "D"}} {
+		l, ok := g.LinkBetween(pair[0], pair[1])
+		if !ok {
+			t.Fatalf("link %v missing", pair)
+		}
+		if l.QueuePackets() != HostQueuePackets {
+			t.Errorf("host link %v queue = %d, want %d", pair, l.QueuePackets(), HostQueuePackets)
+		}
+	}
+	core, _ := g.LinkBetween("SW7", "SW11")
+	if core.QueuePackets() != DefaultQueuePackets {
+		t.Errorf("core link queue = %d, want %d", core.QueuePackets(), DefaultQueuePackets)
+	}
+}

@@ -1,0 +1,55 @@
+package topology
+
+// Fig1 builds the paper's six-node worked example (Fig. 1): edge nodes
+// S and D, core switches {4, 5, 7, 11}, with port indexes pinned to
+// match the paper exactly:
+//
+//	SW4:  port 0 → SW7, port 1 → S
+//	SW7:  port 0 → SW4, port 1 → SW5, port 2 → SW11
+//	SW5:  port 0 → SW11, port 1 → SW7
+//	SW11: port 0 → D, port 1 → SW7, port 2 → SW5
+//
+// The primary route S–SW4–SW7–SW11–D encodes to R = 44; adding the
+// driven-deflection path through SW5 yields R = 660 (§2.2).
+func Fig1() (*Graph, error) {
+	g := New("fig1-six-node")
+	for _, e := range []string{"S", "D"} {
+		if _, err := g.AddEdge(e); err != nil {
+			return nil, err
+		}
+	}
+	for _, c := range []struct {
+		name string
+		id   uint64
+	}{
+		{"SW4", 4}, {"SW5", 5}, {"SW7", 7}, {"SW11", 11},
+	} {
+		if _, err := g.AddCore(c.name, c.id); err != nil {
+			return nil, err
+		}
+	}
+	for _, l := range []struct {
+		a, b         string
+		aPort, bPort int
+	}{
+		{"SW4", "SW7", 0, 0},
+		{"SW4", "S", 1, 0},
+		{"SW7", "SW5", 1, 1},
+		{"SW7", "SW11", 2, 1},
+		{"SW5", "SW11", 0, 2},
+		{"SW11", "D", 0, 0},
+	} {
+		opts := []LinkOption{WithPorts(l.aPort, l.bPort)}
+		if l.b == "S" || l.b == "D" {
+			// Host-facing: Linux-host-sized transmit queue.
+			opts = append(opts, WithQueuePackets(HostQueuePackets))
+		}
+		if _, err := g.Connect(l.a, l.b, opts...); err != nil {
+			return nil, err
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

@@ -1,0 +1,171 @@
+package topology
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ErrSyntax reports a malformed topology file.
+var ErrSyntax = errors.New("topology: syntax error")
+
+// Parse reads the plain-text topology format:
+//
+//	# comment
+//	topo my-network
+//	edge AS1
+//	core SW7 7
+//	link SW7 AS1 rate=200 delay=1ms queue=100 ports=1:0
+//
+// One directive per line; attributes are optional and default to the
+// package defaults; "ports=a:b" pins port indexes (first endpoint
+// first). The graph is validated before being returned.
+func Parse(r io.Reader) (*Graph, error) {
+	scanner := bufio.NewScanner(r)
+	g := New("topology")
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if err := applyDirective(g, fields); err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("topology: read: %w", err)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+func applyDirective(g *Graph, fields []string) error {
+	switch fields[0] {
+	case "topo":
+		if len(fields) != 2 {
+			return fmt.Errorf("topo wants a name: %w", ErrSyntax)
+		}
+		g.name = fields[1]
+		return nil
+	case "edge":
+		if len(fields) != 2 {
+			return fmt.Errorf("edge wants a name: %w", ErrSyntax)
+		}
+		_, err := g.AddEdge(fields[1])
+		return err
+	case "core":
+		if len(fields) != 3 {
+			return fmt.Errorf("core wants a name and an ID: %w", ErrSyntax)
+		}
+		id, err := strconv.ParseUint(fields[2], 10, 64)
+		if err != nil {
+			return fmt.Errorf("core ID %q: %w", fields[2], ErrSyntax)
+		}
+		_, err = g.AddCore(fields[1], id)
+		return err
+	case "link":
+		if len(fields) < 3 {
+			return fmt.Errorf("link wants two endpoints: %w", ErrSyntax)
+		}
+		opts, err := parseLinkAttrs(fields[3:])
+		if err != nil {
+			return err
+		}
+		_, err = g.Connect(fields[1], fields[2], opts...)
+		return err
+	default:
+		return fmt.Errorf("unknown directive %q: %w", fields[0], ErrSyntax)
+	}
+}
+
+func parseLinkAttrs(attrs []string) ([]LinkOption, error) {
+	var opts []LinkOption
+	for _, attr := range attrs {
+		key, value, ok := strings.Cut(attr, "=")
+		if !ok {
+			return nil, fmt.Errorf("attribute %q: %w", attr, ErrSyntax)
+		}
+		switch key {
+		case "rate":
+			rate, err := strconv.ParseFloat(value, 64)
+			if err != nil {
+				return nil, fmt.Errorf("rate %q: %w", value, ErrSyntax)
+			}
+			opts = append(opts, WithRateMbps(rate))
+		case "delay":
+			d, err := time.ParseDuration(value)
+			if err != nil {
+				return nil, fmt.Errorf("delay %q: %w", value, ErrSyntax)
+			}
+			opts = append(opts, WithDelay(d))
+		case "queue":
+			q, err := strconv.Atoi(value)
+			if err != nil {
+				return nil, fmt.Errorf("queue %q: %w", value, ErrSyntax)
+			}
+			opts = append(opts, WithQueuePackets(q))
+		case "ports":
+			a, b, ok := strings.Cut(value, ":")
+			if !ok {
+				return nil, fmt.Errorf("ports %q: want a:b: %w", value, ErrSyntax)
+			}
+			ap, err1 := strconv.Atoi(a)
+			bp, err2 := strconv.Atoi(b)
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("ports %q: %w", value, ErrSyntax)
+			}
+			opts = append(opts, WithPorts(ap, bp))
+		default:
+			return nil, fmt.Errorf("unknown attribute %q: %w", key, ErrSyntax)
+		}
+	}
+	return opts, nil
+}
+
+// Serialize writes g in the format Parse reads. Output is
+// deterministic: nodes in insertion order, links in insertion order,
+// ports always pinned so a round trip is exact.
+func Serialize(g *Graph, w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "topo %s\n", g.Name())
+	for _, n := range g.Nodes() {
+		switch n.Kind() {
+		case KindEdge:
+			fmt.Fprintf(bw, "edge %s\n", n.Name())
+		case KindCore:
+			fmt.Fprintf(bw, "core %s %d\n", n.Name(), n.ID())
+		}
+	}
+	for _, l := range g.Links() {
+		fmt.Fprintf(bw, "link %s %s rate=%s delay=%s queue=%d ports=%d:%d\n",
+			l.A().Name(), l.B().Name(),
+			strconv.FormatFloat(l.RateMbps(), 'f', -1, 64), l.Delay(),
+			l.QueuePackets(), l.PortOf(l.A()), l.PortOf(l.B()))
+	}
+	return bw.Flush()
+}
+
+// Fingerprint returns a stable, order-independent description of the
+// graph's structure (for tests comparing round trips).
+func Fingerprint(g *Graph) string {
+	var parts []string
+	for _, n := range g.Nodes() {
+		parts = append(parts, fmt.Sprintf("n:%s/%s/%d", n.Name(), n.Kind(), n.ID()))
+	}
+	for _, l := range g.Links() {
+		parts = append(parts, fmt.Sprintf("l:%s[%d:%d]%v/%v/%d",
+			l.Name(), l.PortOf(l.A()), l.PortOf(l.B()), l.RateMbps(), l.Delay(), l.QueuePackets()))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, "\n")
+}

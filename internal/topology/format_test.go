@@ -1,0 +1,160 @@
+package topology
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+const sampleTopo = `
+# six-node sample
+topo sample
+edge E1
+edge E2
+core SW7 7
+core SW11 11
+link E1 SW7 rate=100 delay=2ms queue=50 ports=0:1
+link SW7 SW11
+link SW11 E2
+`
+
+func TestParseBasics(t *testing.T) {
+	g, err := Parse(strings.NewReader(sampleTopo))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if g.Name() != "sample" {
+		t.Errorf("name = %q, want sample", g.Name())
+	}
+	if len(g.Nodes()) != 4 || len(g.Links()) != 3 {
+		t.Errorf("parsed %d nodes / %d links, want 4 / 3", len(g.Nodes()), len(g.Links()))
+	}
+	l, ok := g.LinkBetween("E1", "SW7")
+	if !ok {
+		t.Fatal("missing link E1-SW7")
+	}
+	if l.RateMbps() != 100 || l.Delay() != 2*time.Millisecond || l.QueuePackets() != 50 {
+		t.Errorf("link attrs = (%v, %v, %d)", l.RateMbps(), l.Delay(), l.QueuePackets())
+	}
+	sw7, _ := g.Node("SW7")
+	if nb, ok := sw7.Neighbor(1); !ok || nb.Name() != "E1" {
+		t.Errorf("SW7 port 1 = %v, want E1 (pinned)", nb)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []struct {
+		name  string
+		input string
+	}{
+		{name: "unknown directive", input: "frob x"},
+		{name: "core missing id", input: "core SW7"},
+		{name: "bad id", input: "core SW7 seven"},
+		{name: "bad attribute", input: "edge A\nedge B\nlink A B color=red"},
+		{name: "bad rate", input: "edge A\nedge B\nlink A B rate=fast"},
+		{name: "bad delay", input: "edge A\nedge B\nlink A B delay=soon"},
+		{name: "bad ports", input: "edge A\nedge B\nlink A B ports=1"},
+		{name: "unknown endpoint", input: "edge A\nlink A B"},
+		{name: "invalid graph", input: "core SW6 6\ncore SW10 10\nlink SW6 SW10"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Parse(strings.NewReader(tt.input)); err == nil {
+				t.Errorf("Parse(%q) succeeded, want error", tt.input)
+			}
+		})
+	}
+	if _, err := Parse(strings.NewReader("frob")); !errors.Is(err, ErrSyntax) {
+		t.Error("syntax error not wrapped as ErrSyntax")
+	}
+}
+
+// TestSerializeRoundTrip: every built-in topology survives
+// serialize → parse exactly (structure, ports, attributes).
+func TestSerializeRoundTrip(t *testing.T) {
+	builders := map[string]func() (*Graph, error){
+		"fig1":  Fig1,
+		"net15": Net15,
+		"rnp28": RNP28,
+	}
+	for name, build := range builders {
+		t.Run(name, func(t *testing.T) {
+			g, err := build()
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			var buf strings.Builder
+			if err := Serialize(g, &buf); err != nil {
+				t.Fatalf("Serialize: %v", err)
+			}
+			back, err := Parse(strings.NewReader(buf.String()))
+			if err != nil {
+				t.Fatalf("Parse(Serialize): %v\n%s", err, buf.String())
+			}
+			if Fingerprint(back) != Fingerprint(g) {
+				t.Error("round trip changed the topology fingerprint")
+			}
+			if back.Name() != g.Name() {
+				t.Errorf("name = %q, want %q", back.Name(), g.Name())
+			}
+		})
+	}
+}
+
+func TestGenerateValidAndDeterministic(t *testing.T) {
+	for _, cfg := range []GenConfig{
+		{Cores: 2, ExtraLinks: 0, Edges: 2, Seed: 1},
+		{Cores: 10, ExtraLinks: 5, Edges: 2, Seed: 2},
+		{Cores: 28, ExtraLinks: 12, Edges: 3, Seed: 3},
+		{Cores: 50, ExtraLinks: 40, Edges: 4, Seed: 4},
+	} {
+		g, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("Generate(%+v): %v", cfg, err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("Generate(%+v) invalid: %v", cfg, err)
+		}
+		if got := len(g.CoreNodes()); got != cfg.Cores {
+			t.Errorf("cores = %d, want %d", got, cfg.Cores)
+		}
+		if got := len(g.EdgeNodes()); got != cfg.Edges {
+			t.Errorf("edges = %d, want %d", got, cfg.Edges)
+		}
+		// Determinism: same seed, same graph.
+		g2, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("Generate again: %v", err)
+		}
+		if Fingerprint(g) != Fingerprint(g2) {
+			t.Errorf("Generate(%+v) not deterministic", cfg)
+		}
+	}
+}
+
+func TestGenerateRejectsBadConfig(t *testing.T) {
+	if _, err := Generate(GenConfig{Cores: 1}); err == nil {
+		t.Error("accepted a single-core config")
+	}
+	if _, err := Generate(GenConfig{Cores: 4, Edges: 9}); err == nil {
+		t.Error("accepted more edges than cores")
+	}
+}
+
+// TestGeneratedTopologyRoutes: a generated graph supports end-to-end
+// routing and encoding out of the box.
+func TestGeneratedTopologyRoutes(t *testing.T) {
+	g, err := Generate(GenConfig{Cores: 20, ExtraLinks: 15, Edges: 2, Seed: 9})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	edges := g.EdgeNodes()
+	p, err := ShortestPath(g, edges[0].Name(), edges[1].Name(), nil)
+	if err != nil {
+		t.Fatalf("ShortestPath: %v", err)
+	}
+	if p.Hops() < 2 {
+		t.Errorf("path %s too short", p)
+	}
+}

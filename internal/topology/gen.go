@@ -1,0 +1,115 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/coprime"
+)
+
+// GenConfig parameterises random topology generation.
+type GenConfig struct {
+	// Cores is the number of core switches (≥ 2).
+	Cores int
+	// ExtraLinks are core links added beyond the spanning tree.
+	ExtraLinks int
+	// Edges is the number of edge nodes, each attached to one random
+	// core (≥ 2 for end-to-end experiments).
+	Edges int
+	// Seed drives the generator.
+	Seed int64
+}
+
+// Generate builds a random connected KAR topology: a random spanning
+// tree over the cores plus ExtraLinks random chords, with
+// pairwise-coprime switch IDs allocated smallest-first (each ID
+// strictly above its switch's final degree, as KAR requires). Edge
+// nodes attach to distinct random cores. Deterministic per seed.
+func Generate(cfg GenConfig) (*Graph, error) {
+	if cfg.Cores < 2 {
+		return nil, fmt.Errorf("topology: generate: need >= 2 cores, got %d", cfg.Cores)
+	}
+	if cfg.Edges < 0 || cfg.Edges > cfg.Cores {
+		return nil, fmt.Errorf("topology: generate: edges %d out of range [0, %d]", cfg.Edges, cfg.Cores)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Degree plan: spanning tree + chords + edge attachments.
+	type link struct{ a, b int }
+	var links []link
+	seen := make(map[[2]int]bool)
+	addLink := func(a, b int) bool {
+		if a == b {
+			return false
+		}
+		if a > b {
+			a, b = b, a
+		}
+		if seen[[2]int{a, b}] {
+			return false
+		}
+		seen[[2]int{a, b}] = true
+		links = append(links, link{a: a, b: b})
+		return true
+	}
+	// Random spanning tree: attach node i to a random predecessor.
+	perm := rng.Perm(cfg.Cores)
+	for i := 1; i < cfg.Cores; i++ {
+		addLink(perm[i], perm[rng.Intn(i)])
+	}
+	for added := 0; added < cfg.ExtraLinks; {
+		if maxLinks := cfg.Cores * (cfg.Cores - 1) / 2; len(links) >= maxLinks {
+			break
+		}
+		if addLink(rng.Intn(cfg.Cores), rng.Intn(cfg.Cores)) {
+			added++
+		}
+	}
+
+	degree := make([]uint64, cfg.Cores)
+	for _, l := range links {
+		degree[l.a]++
+		degree[l.b]++
+	}
+	edgeAt := rng.Perm(cfg.Cores)[:cfg.Edges]
+	for _, c := range edgeAt {
+		degree[c]++
+	}
+
+	// Allocate coprime IDs: each must exceed the switch's port count.
+	mins := make([]uint64, cfg.Cores)
+	for i, d := range degree {
+		mins[i] = d + 1
+	}
+	ids, err := coprime.Assign(mins)
+	if err != nil {
+		return nil, fmt.Errorf("topology: generate: %w", err)
+	}
+
+	g := New(fmt.Sprintf("rand-%d-%d", cfg.Cores, cfg.Seed))
+	names := make([]string, cfg.Cores)
+	for i, id := range ids {
+		names[i] = fmt.Sprintf("SW%d", id)
+		if _, err := g.AddCore(names[i], id); err != nil {
+			return nil, err
+		}
+	}
+	for i, c := range edgeAt {
+		name := fmt.Sprintf("E%d", i+1)
+		if _, err := g.AddEdge(name); err != nil {
+			return nil, err
+		}
+		if _, err := g.Connect(name, names[c], WithQueuePackets(HostQueuePackets)); err != nil {
+			return nil, err
+		}
+	}
+	for _, l := range links {
+		if _, err := g.Connect(names[l.a], names[l.b]); err != nil {
+			return nil, err
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

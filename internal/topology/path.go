@@ -1,0 +1,220 @@
+package topology
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// ErrNoPath indicates the destination is unreachable from the source.
+var ErrNoPath = errors.New("topology: no path")
+
+// Path is a loop-free node sequence from source to destination.
+type Path struct {
+	Nodes []*Node
+}
+
+// Hops returns the number of links traversed.
+func (p Path) Hops() int {
+	if len(p.Nodes) == 0 {
+		return 0
+	}
+	return len(p.Nodes) - 1
+}
+
+// Contains reports whether the named node is on the path.
+func (p Path) Contains(name string) bool {
+	for _, n := range p.Nodes {
+		if n.name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Links returns the traversed links in order.
+func (p Path) Links() []*Link {
+	out := make([]*Link, 0, p.Hops())
+	for i := 0; i+1 < len(p.Nodes); i++ {
+		cur := p.Nodes[i]
+		for _, l := range cur.ports {
+			if l != nil && l.Other(cur) == p.Nodes[i+1] {
+				out = append(out, l)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func (p Path) String() string {
+	names := make([]string, len(p.Nodes))
+	for i, n := range p.Nodes {
+		names[i] = n.name
+	}
+	return strings.Join(names, "-")
+}
+
+// WeightFunc scores a link for shortest-path purposes. It must return
+// a positive cost.
+type WeightFunc func(*Link) float64
+
+// HopWeight counts every link as cost 1 (the paper's shortest-path
+// routing).
+func HopWeight(*Link) float64 { return 1 }
+
+// LatencyWeight scores links by propagation delay.
+func LatencyWeight(l *Link) float64 { return float64(l.Delay()) }
+
+// dijkstraItem is a priority-queue entry; ties break on node insertion
+// index so results are deterministic.
+type dijkstraItem struct {
+	node *Node
+	dist float64
+	pos  int
+}
+
+type dijkstraQueue []*dijkstraItem
+
+func (q dijkstraQueue) Len() int { return len(q) }
+func (q dijkstraQueue) Less(i, j int) bool {
+	if q[i].dist != q[j].dist {
+		return q[i].dist < q[j].dist
+	}
+	return q[i].node.idx < q[j].node.idx
+}
+func (q dijkstraQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].pos, q[j].pos = i, j
+}
+func (q *dijkstraQueue) Push(x any) {
+	it := x.(*dijkstraItem)
+	it.pos = len(*q)
+	*q = append(*q, it)
+}
+func (q *dijkstraQueue) Pop() any {
+	old := *q
+	it := old[len(old)-1]
+	old[len(old)-1] = nil
+	*q = old[:len(old)-1]
+	return it
+}
+
+// ShortestPath runs Dijkstra from src to dst under the given weight
+// (HopWeight when nil). Edge nodes other than src and dst are never
+// used as transit — the paper's core/edge split means traffic cannot
+// cut through a customer edge.
+func ShortestPath(g *Graph, src, dst string, weight WeightFunc) (Path, error) {
+	if weight == nil {
+		weight = HopWeight
+	}
+	from, ok := g.Node(src)
+	if !ok {
+		return Path{}, fmt.Errorf("source %q: %w", src, ErrUnknownNode)
+	}
+	to, ok := g.Node(dst)
+	if !ok {
+		return Path{}, fmt.Errorf("destination %q: %w", dst, ErrUnknownNode)
+	}
+	if from == to {
+		return Path{Nodes: []*Node{from}}, nil
+	}
+
+	prev := make(map[*Node]*Node, len(g.order))
+	dist := make(map[*Node]float64, len(g.order))
+	done := make(map[*Node]bool, len(g.order))
+	var q dijkstraQueue
+	dist[from] = 0
+	heap.Push(&q, &dijkstraItem{node: from, dist: 0})
+
+	for q.Len() > 0 {
+		cur := heap.Pop(&q).(*dijkstraItem)
+		if done[cur.node] {
+			continue
+		}
+		done[cur.node] = true
+		if cur.node == to {
+			break
+		}
+		if cur.node.kind == KindEdge && cur.node != from {
+			continue // no transit through edges
+		}
+		for _, l := range cur.node.ports {
+			if l == nil {
+				continue
+			}
+			next := l.Other(cur.node)
+			nd := cur.dist + weight(l)
+			if d, seen := dist[next]; !seen || nd < d {
+				dist[next] = nd
+				prev[next] = cur.node
+				heap.Push(&q, &dijkstraItem{node: next, dist: nd})
+			}
+		}
+	}
+	if !done[to] {
+		return Path{}, fmt.Errorf("%s -> %s: %w", src, dst, ErrNoPath)
+	}
+	var rev []*Node
+	for n := to; n != nil; n = prev[n] {
+		rev = append(rev, n)
+		if n == from {
+			break
+		}
+	}
+	nodes := make([]*Node, len(rev))
+	for i, n := range rev {
+		nodes[len(rev)-1-i] = n
+	}
+	if nodes[0] != from {
+		return Path{}, fmt.Errorf("%s -> %s: %w", src, dst, ErrNoPath)
+	}
+	return Path{Nodes: nodes}, nil
+}
+
+// ShortestPathTree computes, for every node that can reach root, the
+// first link of its shortest path toward root (a next-hop tree rooted
+// at root). This is the structure driven-deflection protection plans
+// are cut from: encoding (switch → tree port) guides any deflected
+// packet to the destination. Edge nodes are not used as transit.
+func ShortestPathTree(g *Graph, root string, weight WeightFunc) (map[*Node]*Link, error) {
+	if weight == nil {
+		weight = HopWeight
+	}
+	r, ok := g.Node(root)
+	if !ok {
+		return nil, fmt.Errorf("root %q: %w", root, ErrUnknownNode)
+	}
+
+	next := make(map[*Node]*Link, len(g.order))
+	dist := make(map[*Node]float64, len(g.order))
+	var q dijkstraQueue
+	dist[r] = 0
+	heap.Push(&q, &dijkstraItem{node: r, dist: 0})
+	done := make(map[*Node]bool, len(g.order))
+
+	for q.Len() > 0 {
+		cur := heap.Pop(&q).(*dijkstraItem)
+		if done[cur.node] {
+			continue
+		}
+		done[cur.node] = true
+		for _, l := range cur.node.ports {
+			if l == nil {
+				continue
+			}
+			nb := l.Other(cur.node)
+			if nb.kind == KindEdge && nb != r {
+				continue // an edge node never forwards toward the root
+			}
+			nd := cur.dist + weight(l)
+			if d, seen := dist[nb]; !seen || nd < d {
+				dist[nb] = nd
+				next[nb] = l // nb's first hop toward root is this link
+				heap.Push(&q, &dijkstraItem{node: nb, dist: nd})
+			}
+		}
+	}
+	return next, nil
+}

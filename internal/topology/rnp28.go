@@ -1,0 +1,182 @@
+package topology
+
+import "time"
+
+// RNP28 builds the reconstructed Brazilian RNP backbone of the paper's
+// Fig. 6: 28 core points of presence and exactly 40 core links, with
+// switch IDs equal to the first 28 primes ≥ 7 — consistent with every
+// ID the paper mentions (7 = Boa Vista, 73 = São Paulo, and Fig. 8's
+// 107/109/113). Two edge nodes terminate the measured traffic:
+// EDGE-N at SW7 and EDGE-SP at SW73.
+//
+// The wiring honours every §3.2 narrative constraint:
+//
+//   - SW7's only core neighbours are SW11 and SW13, and SW11's only
+//     other neighbour is SW17 ("the only alternative path is to SW11
+//     and, then, to SW17").
+//   - SW13 is highly connected: deflection candidates for a SW13–SW41
+//     failure (input SW7 excluded) are exactly {SW29, SW17, SW47,
+//     SW37, SW71}, probability 1/5 each.
+//   - SW41's candidates for a SW41–SW73 failure are exactly
+//     {SW17, SW61}, probability 1/2 each.
+//   - Fig. 8 region: SW73–SW107–SW113 with the redundant pair
+//     SW73–SW109–SW113; a SW73–SW107 failure leaves exactly
+//     {SW109, SW71} as candidates at SW73, probability 1/2 each.
+//
+// Link rates are heterogeneous, proportional to the published RNP ipê
+// classes: 1 Gb/s in the south-east core, 300 Mb/s on the national
+// ring, 200 Mb/s on northern spurs (the measured route's nominal rate,
+// as in the paper). Delays grow with geographic reach.
+func RNP28() (*Graph, error) {
+	return rnp28Core("rnp28", [][2]string{
+		{"EDGE-N", "SW7"}, {"EDGE-SP", "SW73"},
+	})
+}
+
+// RNP28Fig8 builds the same 40-link RNP core, but with the host
+// placement of the Fig. 8 experiment: the measured flow terminates at
+// SW113 (EDGE-SUL) and no host hangs off SW73. With that placement, a
+// SW73–SW107 failure leaves exactly two deflection candidates at SW73
+// — SW109 and SW71 — matching the paper's 1/2 analysis (in Mininet,
+// hosts are attached per test in exactly this way).
+func RNP28Fig8() (*Graph, error) {
+	return rnp28Core("rnp28-fig8", [][2]string{
+		{"EDGE-N", "SW7"}, {"EDGE-SUL", "SW113"},
+	})
+}
+
+func rnp28Core(name string, edges [][2]string) (*Graph, error) {
+	g := New(name)
+	for _, e := range edges {
+		if _, err := g.AddEdge(e[0]); err != nil {
+			return nil, err
+		}
+	}
+	// The 28 PoPs. IDs are the first 28 primes >= 7.
+	ids := []uint64{
+		7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59,
+		61, 67, 71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127,
+	}
+	for _, id := range ids {
+		if _, err := g.AddCore(swName(id), id); err != nil {
+			return nil, err
+		}
+	}
+
+	type linkSpec struct {
+		a, b  uint64
+		rate  float64       // Mb/s
+		delay time.Duration // one-way
+	}
+	const (
+		spur = 200  // northern spurs (nominal route rate)
+		ring = 300  // national ring
+		core = 1000 // south-east core
+	)
+	links := []linkSpec{
+		// Northern spurs around the measured route head.
+		{7, 11, spur, 4 * time.Millisecond},
+		{7, 13, spur, 4 * time.Millisecond},
+		{11, 17, spur, 3 * time.Millisecond},
+		// Measured primary route 7-13-41-73.
+		{13, 41, spur, 5 * time.Millisecond},
+		{41, 73, spur, 3 * time.Millisecond},
+		// SW13's rich neighbourhood.
+		{13, 29, ring, 2 * time.Millisecond},
+		{13, 17, ring, 2 * time.Millisecond},
+		{13, 47, ring, 2 * time.Millisecond},
+		{13, 37, ring, 2 * time.Millisecond},
+		{13, 71, ring, 4 * time.Millisecond},
+		// SW41's alternatives and the protection corridor.
+		{41, 17, ring, 2 * time.Millisecond},
+		{41, 61, ring, 2 * time.Millisecond},
+		{17, 71, ring, 2 * time.Millisecond},
+		{61, 67, ring, 2 * time.Millisecond},
+		{67, 71, ring, 2 * time.Millisecond},
+		{71, 73, core, time.Millisecond},
+		// Fig. 8 redundant-path region.
+		{73, 107, core, time.Millisecond},
+		{107, 113, core, time.Millisecond},
+		{73, 109, core, time.Millisecond},
+		{109, 113, core, time.Millisecond},
+		// North-east chain.
+		{19, 23, ring, 2 * time.Millisecond},
+		{19, 31, ring, 2 * time.Millisecond},
+		{23, 31, ring, 2 * time.Millisecond},
+		{23, 29, ring, 2 * time.Millisecond},
+		{31, 43, ring, 2 * time.Millisecond},
+		{43, 53, ring, 2 * time.Millisecond},
+		{53, 59, ring, 2 * time.Millisecond},
+		{59, 79, ring, 2 * time.Millisecond},
+		{79, 83, ring, 2 * time.Millisecond},
+		{83, 89, ring, 2 * time.Millisecond},
+		{89, 97, ring, 2 * time.Millisecond},
+		// South/centre core.
+		{97, 71, core, time.Millisecond},
+		{97, 101, core, time.Millisecond},
+		{101, 103, ring, 2 * time.Millisecond},
+		{103, 61, ring, 2 * time.Millisecond},
+		{101, 107, core, time.Millisecond},
+		{97, 107, core, time.Millisecond},
+		{113, 127, ring, 2 * time.Millisecond},
+		{127, 67, ring, 2 * time.Millisecond},
+		// The 37/47 stub pair off SW13.
+		{37, 47, ring, 2 * time.Millisecond},
+	}
+	for _, l := range links {
+		opts := []LinkOption{WithRateMbps(l.rate), WithDelay(l.delay)}
+		if _, err := g.Connect(swName(l.a), swName(l.b), opts...); err != nil {
+			return nil, err
+		}
+	}
+	// Edge attachments (not counted among the 40 core links); hosts
+	// carry a Linux-sized transmit queue.
+	for _, e := range edges {
+		if _, err := g.Connect(e[0], e[1], WithRateMbps(spur), WithDelay(time.Millisecond),
+			WithQueuePackets(HostQueuePackets)); err != nil {
+			return nil, err
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+func swName(id uint64) string {
+	const digits = "0123456789"
+	if id == 0 {
+		return "SW0"
+	}
+	var buf [24]byte
+	i := len(buf)
+	for v := id; v > 0; v /= 10 {
+		i--
+		buf[i] = digits[v%10]
+	}
+	return "SW" + string(buf[i:])
+}
+
+// RNP28Route is the measured national route of §3.2: Boa Vista (SW7)
+// to the São Paulo international hub (SW73).
+var RNP28Route = []string{"EDGE-N", "SW7", "SW13", "SW41", "SW73", "EDGE-SP"}
+
+// RNP28PartialProtection lists the driven-deflection forwarding hops
+// of Fig. 6: SW17→SW71, SW61→SW67, SW67→SW71, SW71→SW73.
+var RNP28PartialProtection = [][2]string{
+	{"SW17", "SW71"}, {"SW61", "SW67"}, {"SW67", "SW71"}, {"SW71", "SW73"},
+}
+
+// RNP28Fig8Route is the Fig. 8 redundant-path scenario route,
+// measured on the RNP28Fig8 host placement: it extends the national
+// route beyond São Paulo to SW113. The redundant pair
+// SW73–SW109–SW113 cannot be encoded as the default path because each
+// switch carries a single residue (one output port per route ID).
+var RNP28Fig8Route = []string{"EDGE-N", "SW7", "SW13", "SW41", "SW73", "SW107", "SW113", "EDGE-SUL"}
+
+// RNP28Fig8Protection lists Fig. 8's protection hops SW71→SW17 and
+// SW17→SW41, which return deflected packets to SW73 via SW41 so the
+// retry loop of §3.2 converges.
+var RNP28Fig8Protection = [][2]string{
+	{"SW71", "SW17"}, {"SW17", "SW41"},
+}

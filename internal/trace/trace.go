@@ -1,0 +1,169 @@
+// Package trace is the simulation's tcpdump: it attaches to the
+// network's delivery and drop hooks and records per-packet events into
+// a bounded ring buffer, with optional filters, rendering captures in
+// a tcpdump-like text form.
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/simnet"
+	"repro/internal/topology"
+)
+
+// EventKind discriminates capture records.
+type EventKind int
+
+const (
+	// EventDeliver is a per-hop packet arrival at a node.
+	EventDeliver EventKind = iota + 1
+	// EventDrop is a packet loss.
+	EventDrop
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EventDeliver:
+		return "deliver"
+	case EventDrop:
+		return "drop"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one capture record.
+type Event struct {
+	At     time.Duration
+	Kind   EventKind
+	Where  string // node or link name
+	InPort int    // deliveries only
+	Reason simnet.DropReason
+
+	// Copied packet fields (the live packet keeps mutating).
+	Flow      packet.FlowID
+	PktKind   packet.Kind
+	Seq       uint64
+	TTL       int
+	Hops      int
+	Deflected bool
+}
+
+// Filter selects events to record; nil records everything.
+type Filter func(Event) bool
+
+// FlowFilter keeps events of one flow (either direction).
+func FlowFilter(flow packet.FlowID) Filter {
+	rev := flow.Reverse()
+	return func(e Event) bool { return e.Flow == flow || e.Flow == rev }
+}
+
+// NodeFilter keeps events at the named node.
+func NodeFilter(name string) Filter {
+	return func(e Event) bool { return e.Where == name }
+}
+
+// And combines filters conjunctively.
+func And(fs ...Filter) Filter {
+	return func(e Event) bool {
+		for _, f := range fs {
+			if f != nil && !f(e) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// Capture is a bounded ring buffer of events attached to a network.
+type Capture struct {
+	filter  Filter
+	max     int
+	events  []Event
+	start   int // ring start when full
+	total   int64
+	dropped int64 // events displaced from the ring
+}
+
+// New creates a capture holding at most max events (default 4096) and
+// attaches it to the network's hooks, chaining any hooks already set.
+func New(net *simnet.Network, max int, filter Filter) *Capture {
+	if max <= 0 {
+		max = 4096
+	}
+	c := &Capture{filter: filter, max: max}
+	net.SetDeliverHook(func(pkt *packet.Packet, at *topology.Node, inPort int) {
+		c.record(Event{
+			At: net.Scheduler().Now(), Kind: EventDeliver, Where: at.Name(), InPort: inPort,
+			Flow: pkt.Flow, PktKind: pkt.Kind, Seq: pkt.Seq, TTL: pkt.TTL, Hops: pkt.Hops, Deflected: pkt.Deflected,
+		})
+	})
+	net.SetDropHook(func(d simnet.Drop) {
+		c.record(Event{
+			At: d.At, Kind: EventDrop, Where: d.Where, Reason: d.Reason,
+			Flow: d.Packet.Flow, PktKind: d.Packet.Kind, Seq: d.Packet.Seq,
+			TTL: d.Packet.TTL, Hops: d.Packet.Hops, Deflected: d.Packet.Deflected,
+		})
+	})
+	return c
+}
+
+func (c *Capture) record(e Event) {
+	if c.filter != nil && !c.filter(e) {
+		return
+	}
+	c.total++
+	if len(c.events) < c.max {
+		c.events = append(c.events, e)
+		return
+	}
+	c.events[c.start] = e
+	c.start = (c.start + 1) % c.max
+	c.dropped++
+}
+
+// Events returns the captured events in arrival order.
+func (c *Capture) Events() []Event {
+	out := make([]Event, 0, len(c.events))
+	out = append(out, c.events[c.start:]...)
+	out = append(out, c.events[:c.start]...)
+	return out
+}
+
+// Total returns how many events matched the filter (recorded or
+// displaced).
+func (c *Capture) Total() int64 { return c.total }
+
+// Displaced returns how many matched events were pushed out of the
+// ring.
+func (c *Capture) Displaced() int64 { return c.dropped }
+
+// String renders the capture tcpdump-style, one line per event.
+func (c *Capture) String() string {
+	var b strings.Builder
+	for _, e := range c.Events() {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func (e Event) String() string {
+	flags := ""
+	if e.Deflected {
+		flags = " [deflected]"
+	}
+	switch e.Kind {
+	case EventDeliver:
+		return fmt.Sprintf("%12v %s %s seq=%d ttl=%d hops=%d at %s port %d%s",
+			e.At, e.Flow, e.PktKind, e.Seq, e.TTL, e.Hops, e.Where, e.InPort, flags)
+	case EventDrop:
+		return fmt.Sprintf("%12v %s %s seq=%d ttl=%d hops=%d DROP(%s) at %s%s",
+			e.At, e.Flow, e.PktKind, e.Seq, e.TTL, e.Hops, e.Reason, e.Where, flags)
+	default:
+		return fmt.Sprintf("%12v unknown event", e.At)
+	}
+}

@@ -1,0 +1,147 @@
+package trace_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/deflect"
+	"repro/internal/experiment"
+	"repro/internal/packet"
+	"repro/internal/simnet"
+	"repro/internal/topology"
+	"repro/internal/trace"
+	"repro/internal/udpsim"
+)
+
+func buildWorld(t *testing.T) *experiment.World {
+	t.Helper()
+	g, err := topology.Fig1()
+	if err != nil {
+		t.Fatalf("Fig1: %v", err)
+	}
+	policy, _ := deflect.ByName("nip")
+	w := experiment.NewWorld(g, policy, 3)
+	if _, err := w.InstallRoute("S", "D", [][2]string{{"SW5", "SW11"}}); err != nil {
+		t.Fatalf("InstallRoute: %v", err)
+	}
+	return w
+}
+
+func TestCaptureRecordsPathHops(t *testing.T) {
+	w := buildWorld(t)
+	cap := trace.New(w.Net, 0, nil)
+	flow := packet.FlowID{Src: "S", Dst: "D"}
+	send, _ := udpsim.NewFlow(w.Net, w.Edges["S"], w.Edges["D"], flow, udpsim.Config{Count: 1})
+	send.Start()
+	w.Run(time.Second)
+
+	events := cap.Events()
+	// One packet, 4 hops: deliveries at SW4, SW7, SW11, D.
+	if len(events) != 4 {
+		t.Fatalf("captured %d events, want 4:\n%s", len(events), cap)
+	}
+	wantWhere := []string{"SW4", "SW7", "SW11", "D"}
+	for i, e := range events {
+		if e.Kind != trace.EventDeliver || e.Where != wantWhere[i] {
+			t.Errorf("event %d = %s at %s, want deliver at %s", i, e.Kind, e.Where, wantWhere[i])
+		}
+		if e.Hops != i+1 {
+			t.Errorf("event %d hops = %d, want %d", i, e.Hops, i+1)
+		}
+	}
+	if cap.Total() != 4 || cap.Displaced() != 0 {
+		t.Errorf("total/displaced = %d/%d, want 4/0", cap.Total(), cap.Displaced())
+	}
+}
+
+func TestCaptureRecordsDropsAndDeflections(t *testing.T) {
+	w := buildWorld(t)
+	cap := trace.New(w.Net, 0, nil)
+	if err := w.FailLinkBetween("SW7", "SW11", 0, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	flow := packet.FlowID{Src: "S", Dst: "D"}
+	send, _ := udpsim.NewFlow(w.Net, w.Edges["S"], w.Edges["D"], flow, udpsim.Config{Count: 1})
+	send.Start()
+	w.Run(time.Second)
+
+	var sawDeflected bool
+	for _, e := range cap.Events() {
+		if e.Deflected && e.Where == "SW5" {
+			sawDeflected = true
+		}
+	}
+	if !sawDeflected {
+		t.Errorf("no deflected delivery at SW5 captured:\n%s", cap)
+	}
+	out := cap.String()
+	if !strings.Contains(out, "[deflected]") {
+		t.Errorf("rendered capture missing deflected flag:\n%s", out)
+	}
+}
+
+func TestCaptureFilters(t *testing.T) {
+	w := buildWorld(t)
+	cap := trace.New(w.Net, 0, trace.And(
+		trace.FlowFilter(packet.FlowID{Src: "S", Dst: "D"}),
+		trace.NodeFilter("SW7"),
+	))
+	flow := packet.FlowID{Src: "S", Dst: "D"}
+	send, _ := udpsim.NewFlow(w.Net, w.Edges["S"], w.Edges["D"], flow, udpsim.Config{Count: 5, Interval: time.Millisecond})
+	send.Start()
+	w.Run(time.Second)
+	events := cap.Events()
+	if len(events) != 5 {
+		t.Fatalf("captured %d events, want 5 (one per packet at SW7)", len(events))
+	}
+	for _, e := range events {
+		if e.Where != "SW7" {
+			t.Errorf("event at %s leaked through the node filter", e.Where)
+		}
+	}
+}
+
+func TestCaptureRingBuffer(t *testing.T) {
+	w := buildWorld(t)
+	cap := trace.New(w.Net, 8, nil)
+	flow := packet.FlowID{Src: "S", Dst: "D"}
+	send, _ := udpsim.NewFlow(w.Net, w.Edges["S"], w.Edges["D"], flow, udpsim.Config{Count: 10, Interval: time.Millisecond})
+	send.Start()
+	w.Run(time.Second)
+
+	events := cap.Events()
+	if len(events) != 8 {
+		t.Fatalf("ring holds %d events, want 8", len(events))
+	}
+	if cap.Total() != 40 { // 10 packets × 4 hops
+		t.Errorf("total = %d, want 40", cap.Total())
+	}
+	if cap.Displaced() != 32 {
+		t.Errorf("displaced = %d, want 32", cap.Displaced())
+	}
+	// The ring keeps the most recent events, in order.
+	for i := 1; i < len(events); i++ {
+		if events[i].At < events[i-1].At {
+			t.Fatal("ring events out of order")
+		}
+	}
+	last := events[len(events)-1]
+	if last.Where != "D" || last.Seq != 9 {
+		t.Errorf("last event = %+v, want final delivery of seq 9 at D", last)
+	}
+}
+
+func TestDropEventRendering(t *testing.T) {
+	e := trace.Event{
+		At: time.Millisecond, Kind: trace.EventDrop, Where: "SW7",
+		Reason: simnet.DropTTL, Flow: packet.FlowID{Src: "S", Dst: "D"},
+		PktKind: packet.KindData, Seq: 3, Hops: 64,
+	}
+	s := e.String()
+	for _, want := range []string{"DROP(ttl)", "SW7", "seq=3"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendered drop %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+// Package udpsim provides constant-bit-rate (UDP-like) flows over the
+// simulated KAR network. Where tcpsim measures the paper's iperf
+// throughput figures, udpsim measures the raw routing behaviour
+// underneath them: delivery ratio, path stretch (hop counts), one-way
+// latency and reordering — the quantities the paper reasons about
+// analytically in §3.2 (deflection probabilities, extra hops).
+package udpsim
+
+import (
+	"time"
+
+	"repro/internal/edge"
+	"repro/internal/packet"
+	"repro/internal/simnet"
+)
+
+// Config tunes a CBR flow.
+type Config struct {
+	// Interval between packets (e.g. 1 ms ≈ 12 Mb/s at 1500 B).
+	Interval time.Duration
+	// Size is the wire size per packet in bytes.
+	Size int
+	// Count is the total number of packets to send (0 = until Stop).
+	Count int
+}
+
+// Defaults fills unset fields.
+func (c Config) Defaults() Config {
+	if c.Interval == 0 {
+		c.Interval = time.Millisecond
+	}
+	if c.Size == 0 {
+		c.Size = 1500
+	}
+	return c
+}
+
+// Sender emits CBR packets from an edge.
+type Sender struct {
+	sched *simnet.Scheduler
+	edge  *edge.Edge
+	flow  packet.FlowID
+	cfg   Config
+
+	sent    int
+	stopped bool
+}
+
+// Stats for the receiver side.
+type Stats struct {
+	Sent       int
+	Received   int
+	Reordered  int // arrived with a lower seq than a previously seen one
+	DupSeqs    int
+	MinHops    int
+	MaxHops    int
+	TotalHops  int64
+	Latency    []time.Duration // one-way latencies, arrival order
+	LastArrive time.Duration
+}
+
+// DeliveryRatio returns received/sent.
+func (s Stats) DeliveryRatio() float64 {
+	if s.Sent == 0 {
+		return 0
+	}
+	return float64(s.Received) / float64(s.Sent)
+}
+
+// MeanHops returns the average hop count of delivered packets.
+func (s Stats) MeanHops() float64 {
+	if s.Received == 0 {
+		return 0
+	}
+	return float64(s.TotalHops) / float64(s.Received)
+}
+
+// Receiver terminates a CBR flow and records metrics.
+type Receiver struct {
+	sched   *simnet.Scheduler
+	highSeq uint64
+	gotAny  bool
+	seen    map[uint64]bool
+	stats   Stats
+}
+
+// NewFlow wires a CBR sender and receiver; the forward route must be
+// installed on srcEdge.
+func NewFlow(net *simnet.Network, srcEdge, dstEdge *edge.Edge, flow packet.FlowID, cfg Config) (*Sender, *Receiver) {
+	cfg = cfg.Defaults()
+	s := &Sender{sched: net.Scheduler(), edge: srcEdge, flow: flow, cfg: cfg}
+	r := &Receiver{sched: net.Scheduler(), seen: make(map[uint64]bool)}
+	dstEdge.Attach(flow, edge.ReceiverFunc(r.onData))
+	return s, r
+}
+
+// Start begins emission at the current virtual time.
+func (s *Sender) Start() { s.tick() }
+
+// Stop halts emission.
+func (s *Sender) Stop() { s.stopped = true }
+
+// Sent returns the number of packets emitted.
+func (s *Sender) Sent() int { return s.sent }
+
+func (s *Sender) tick() {
+	if s.stopped || (s.cfg.Count > 0 && s.sent >= s.cfg.Count) {
+		return
+	}
+	pkt := &packet.Packet{
+		Flow:   s.flow,
+		Kind:   packet.KindData,
+		Seq:    uint64(s.sent),
+		Size:   s.cfg.Size,
+		SentAt: s.sched.Now(),
+	}
+	s.sent++
+	_ = s.edge.Inject(pkt)
+	s.sched.After(s.cfg.Interval, s.tick)
+}
+
+func (r *Receiver) onData(pkt *packet.Packet) {
+	st := &r.stats
+	if r.seen[pkt.Seq] {
+		st.DupSeqs++
+		return
+	}
+	r.seen[pkt.Seq] = true
+	st.Received++
+	st.TotalHops += int64(pkt.Hops)
+	if st.Received == 1 || pkt.Hops < st.MinHops {
+		st.MinHops = pkt.Hops
+	}
+	if pkt.Hops > st.MaxHops {
+		st.MaxHops = pkt.Hops
+	}
+	st.Latency = append(st.Latency, r.sched.Now()-pkt.SentAt)
+	st.LastArrive = r.sched.Now()
+	if r.gotAny && pkt.Seq < r.highSeq {
+		st.Reordered++
+	}
+	if pkt.Seq > r.highSeq || !r.gotAny {
+		r.highSeq = pkt.Seq
+	}
+	r.gotAny = true
+}
+
+// Stats returns a snapshot including the sender's emission count.
+func (r *Receiver) Stats(sender *Sender) Stats {
+	st := r.stats
+	st.Sent = sender.Sent()
+	return st
+}

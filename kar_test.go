@@ -1,0 +1,125 @@
+package kar
+
+import (
+	"testing"
+	"time"
+)
+
+// TestFacadeRNS exercises the public RNS entry points on the paper's
+// numbers.
+func TestFacadeRNS(t *testing.T) {
+	sys, err := NewRNS([]uint64{4, 7, 11, 5})
+	if err != nil {
+		t.Fatalf("NewRNS: %v", err)
+	}
+	r, err := sys.Encode([]uint64{0, 2, 0, 0})
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if v, _ := r.Uint64(); v != 660 {
+		t.Errorf("route ID = %v, want 660", r)
+	}
+	if got := Forward(r, 7); got != 2 {
+		t.Errorf("Forward(660, 7) = %d, want 2", got)
+	}
+	if _, err := NewRNS([]uint64{6, 10}); err == nil {
+		t.Error("NewRNS accepted non-coprime IDs")
+	}
+}
+
+// TestFacadeTopologies builds each built-in topology once.
+func TestFacadeTopologies(t *testing.T) {
+	for name, build := range map[string]func() (*Graph, error){
+		"Fig1": Fig1, "Net15": Net15, "RNP28": RNP28, "RNP28Fig8": RNP28Fig8,
+	} {
+		g, err := build()
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", name, err)
+		}
+	}
+	g := NewGraph("empty")
+	if g.Name() != "empty" {
+		t.Errorf("NewGraph name = %q", g.Name())
+	}
+}
+
+// TestFacadeEndToEnd drives the public API through a complete
+// fail-deflect-deliver cycle with a TCP flow.
+func TestFacadeEndToEnd(t *testing.T) {
+	g, err := Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	policy, ok := PolicyByName("nip")
+	if !ok {
+		t.Fatal("nip policy missing")
+	}
+	w := NewWorld(g, policy, 99)
+	if _, err := w.InstallRoute("S", "D", [][2]string{{"SW5", "SW11"}}); err != nil {
+		t.Fatalf("InstallRoute: %v", err)
+	}
+	if _, err := w.InstallRoute("D", "S", nil); err != nil {
+		t.Fatalf("InstallRoute reverse: %v", err)
+	}
+	if err := w.FailLinkBetween("SW7", "SW11", time.Second, 2*time.Second); err != nil {
+		t.Fatalf("FailLinkBetween: %v", err)
+	}
+	flow := FlowID{Src: "S", Dst: "D"}
+	send, recv := NewTCPFlow(w, flow, TCPConfig{})
+	send.Start()
+	w.Run(5 * time.Second)
+	if recv.BytesInOrder() == 0 {
+		t.Error("no goodput through the facade-built world")
+	}
+	if st := send.Stats(); st.Timeouts > 2 {
+		t.Errorf("timeouts = %d; driven deflection should keep the flow alive", st.Timeouts)
+	}
+}
+
+// TestFacadePlanProtection plans under the Table 1 budgets.
+func TestFacadePlanProtection(t *testing.T) {
+	g, err := Net15()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := ShortestPath(g, "AS1", "AS3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hops, err := PlanProtection(g, path, 28)
+	if err != nil {
+		t.Fatalf("PlanProtection: %v", err)
+	}
+	route, err := EncodeRoute(path, hops)
+	if err != nil {
+		t.Fatalf("EncodeRoute: %v", err)
+	}
+	if route.BitLength() > 28 {
+		t.Errorf("bit length %d exceeds the 28-bit budget", route.BitLength())
+	}
+}
+
+// TestFacadeExperiments touches the cheap experiment entry points.
+func TestFacadeExperiments(t *testing.T) {
+	tbl, err := Table1()
+	if err != nil {
+		t.Fatalf("Table1: %v", err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Errorf("Table1 rows = %d, want 3", len(tbl.Rows))
+	}
+	if got := len(Table2Qualitative().Rows); got != 8 {
+		t.Errorf("Table2Qualitative rows = %d, want 8", got)
+	}
+	rows, err := Coverage([]string{"nip"})
+	if err != nil {
+		t.Fatalf("Coverage: %v", err)
+	}
+	if len(rows) == 0 {
+		t.Error("Coverage returned nothing")
+	}
+}
