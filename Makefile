@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: all build test vet race bench check
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# Full quality gates: vet + build + race tests + telemetry smoke test
+# (fig4 -metrics dump well-formed and byte-identical across same-seed
+# runs). See scripts/check.sh.
+check:
+	sh scripts/check.sh

@@ -12,19 +12,24 @@
 //	karsim -exp table2                 # stateless-vs-stateful contrast
 //	karsim -exp coverage               # closed-form walk analysis
 //	karsim -exp all -runs 10 -duration 6s
+//	karsim -exp fig4 -metrics out.prom # + telemetry dump and report
 //
-// Runs are deterministic for a given -seed.
+// Runs are deterministic for a given -seed; with -metrics, two runs
+// with the same seed produce byte-identical dumps.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"repro/internal/experiment"
 	"repro/internal/measure"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -41,6 +46,12 @@ type options struct {
 	seed     int64
 	workers  int
 	csv      bool
+	metrics  string
+	pprof    string
+
+	// collector gathers per-run telemetry when -metrics is set; nil
+	// otherwise (telemetry.Collector methods are nil-safe on Add).
+	collector *telemetry.Collector
 }
 
 func run(args []string) error {
@@ -52,8 +63,37 @@ func run(args []string) error {
 	fs.Int64Var(&opts.seed, "seed", 1, "base random seed")
 	fs.IntVar(&opts.workers, "workers", 8, "parallel simulation workers")
 	fs.BoolVar(&opts.csv, "csv", false, "emit CSV instead of aligned tables")
+	fs.StringVar(&opts.metrics, "metrics", "", "write a Prometheus-text metrics dump to this path (plus <path>.json with events) and print a MetricsReport")
+	fs.StringVar(&opts.pprof, "pprof", "", "write runtime profiles to <prefix>.cpu.pprof and <prefix>.heap.pprof")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if opts.metrics != "" {
+		opts.collector = telemetry.NewCollector()
+	}
+
+	if opts.pprof != "" {
+		cpu, err := os.Create(opts.pprof + ".cpu.pprof")
+		if err != nil {
+			return err
+		}
+		defer cpu.Close()
+		if err := pprof.StartCPUProfile(cpu); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+		defer func() {
+			heap, err := os.Create(opts.pprof + ".heap.pprof")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "karsim: heap profile:", err)
+				return
+			}
+			defer heap.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(heap); err != nil {
+				fmt.Fprintln(os.Stderr, "karsim: heap profile:", err)
+			}
+		}()
 	}
 
 	experiments := map[string]func(options) error{
@@ -76,13 +116,43 @@ func run(args []string) error {
 			}
 			fmt.Println()
 		}
-		return nil
+		return writeMetrics(opts)
 	}
 	fn, ok := experiments[opts.exp]
 	if !ok {
 		return fmt.Errorf("unknown experiment %q (want one of %s, all)", opts.exp, strings.Join(order, ", "))
 	}
-	return fn(opts)
+	if err := fn(opts); err != nil {
+		return err
+	}
+	return writeMetrics(opts)
+}
+
+// writeMetrics renders the MetricsReport table and writes the
+// Prometheus-text dump plus the JSON snapshot (metrics + per-run event
+// streams) when -metrics was given.
+func writeMetrics(opts options) error {
+	if opts.collector == nil {
+		return nil
+	}
+	fmt.Println()
+	emit(opts, experiment.MetricsReport(opts.collector))
+
+	prom, err := os.Create(opts.metrics)
+	if err != nil {
+		return err
+	}
+	defer prom.Close()
+	if err := opts.collector.WritePrometheus(prom); err != nil {
+		return err
+	}
+
+	js, err := os.Create(opts.metrics + ".json")
+	if err != nil {
+		return err
+	}
+	defer js.Close()
+	return opts.collector.WriteJSON(js)
 }
 
 func emit(opts options, tbl *measure.Table) {
@@ -106,6 +176,7 @@ func runFig4(opts options) error {
 	series, err := experiment.Fig4(experiment.Fig4Config{
 		Seed:    opts.seed,
 		Workers: opts.workers,
+		Metrics: opts.collector,
 	})
 	if err != nil {
 		return err
@@ -127,6 +198,7 @@ func runFig5(opts options) error {
 		RunDuration: opts.duration,
 		Seed:        opts.seed,
 		Workers:     opts.workers,
+		Metrics:     opts.collector,
 	})
 	if err != nil {
 		return err
@@ -141,6 +213,7 @@ func runFig7(opts options) error {
 		RunDuration: opts.duration,
 		Seed:        opts.seed,
 		Workers:     opts.workers,
+		Metrics:     opts.collector,
 	})
 	if err != nil {
 		return err
@@ -155,6 +228,7 @@ func runFig8(opts options) error {
 		RunDuration: opts.duration,
 		Seed:        opts.seed,
 		Workers:     opts.workers,
+		Metrics:     opts.collector,
 	})
 	if err != nil {
 		return err

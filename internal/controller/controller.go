@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/rns"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 )
 
@@ -33,7 +34,12 @@ type Controller struct {
 	routes     map[pair]*core.Route
 	protection map[pair][]core.Hop // protection requested at install time
 
-	notifications int64
+	// Telemetry (a private registry when the world supplies none).
+	events     *telemetry.EventLog
+	cComputes  *telemetry.Counter
+	cInstalls  *telemetry.Counter
+	cReencodes *telemetry.Counter
+	cNotifies  *telemetry.Counter
 }
 
 // Option configures a Controller.
@@ -53,6 +59,30 @@ func WithFailureReaction() Option {
 	return func(c *Controller) { c.reactToFailures = true }
 }
 
+// WithTelemetry points the controller's counters and control-plane
+// events at the world's shared registry and event log (normally the
+// network's, so route installs interleave with link failures on the
+// same virtual timeline).
+func WithTelemetry(reg *telemetry.Registry, ev *telemetry.EventLog) Option {
+	return func(c *Controller) {
+		if reg != nil {
+			c.bindRegistry(reg)
+		}
+		if ev != nil {
+			c.events = ev
+		}
+	}
+}
+
+// bindRegistry (re)creates the counter handles on reg.
+func (c *Controller) bindRegistry(reg *telemetry.Registry) {
+	reg.Help("kar_ctrl_route_computes_total", "Shortest-path computations performed.")
+	c.cComputes = reg.Counter("kar_ctrl_route_computes_total")
+	c.cInstalls = reg.Counter("kar_ctrl_route_installs_total")
+	c.cReencodes = reg.Counter("kar_ctrl_reencode_total")
+	c.cNotifies = reg.Counter("kar_ctrl_notifications_total")
+}
+
 // New builds a controller over a validated topology.
 func New(g *topology.Graph, opts ...Option) *Controller {
 	c := &Controller{
@@ -62,6 +92,8 @@ func New(g *topology.Graph, opts ...Option) *Controller {
 		routes:     make(map[pair]*core.Route),
 		protection: make(map[pair][]core.Hop),
 	}
+	c.bindRegistry(telemetry.NewRegistry())
+	c.events = telemetry.NewEventLog(0, nil)
 	for _, opt := range opts {
 		opt(c)
 	}
@@ -90,6 +122,7 @@ func (c *Controller) pathWeight() topology.WeightFunc {
 // nodes), encodes it together with the given protection hops, and
 // remembers it. Reinstalling a pair overwrites it.
 func (c *Controller) InstallRoute(src, dst string, protection []core.Hop) (*core.Route, error) {
+	c.cComputes.Inc()
 	path, err := topology.ShortestPath(c.g, src, dst, c.pathWeight())
 	if err != nil {
 		return nil, fmt.Errorf("controller: route %s->%s: %w", src, dst, err)
@@ -101,7 +134,16 @@ func (c *Controller) InstallRoute(src, dst string, protection []core.Hop) (*core
 	k := pair{src: src, dst: dst}
 	c.routes[k] = route
 	c.protection[k] = append([]core.Hop(nil), protection...)
+	c.recordInstall(src, dst, route)
 	return route, nil
+}
+
+// recordInstall counts an installed route and logs it with its
+// encoding footprint.
+func (c *Controller) recordInstall(src, dst string, route *core.Route) {
+	c.cInstalls.Inc()
+	c.events.Record(telemetry.EventRouteInstall, src,
+		fmt.Sprintf("%s->%s bits=%d protection=%d", src, dst, route.BitLength(), len(route.Protection)))
 }
 
 // InstallRouteOnPath installs an explicitly chosen path (the paper's
@@ -125,6 +167,7 @@ func (c *Controller) InstallRouteOnPath(nodeNames []string, protection []core.Ho
 	k := pair{src: src, dst: dst}
 	c.routes[k] = route
 	c.protection[k] = append([]core.Hop(nil), protection...)
+	c.recordInstall(src, dst, route)
 	return route, nil
 }
 
@@ -152,6 +195,7 @@ func (c *Controller) IngressPort(route *core.Route) (int, error) {
 // reusing the destination's protection hops where they do not collide
 // with the new path (single-residue constraint).
 func (c *Controller) ReencodeRoute(fromEdge, dstEdge string) (rns.RouteID, int, error) {
+	c.cReencodes.Inc()
 	k := pair{src: fromEdge, dst: dstEdge}
 	if r, ok := c.routes[k]; ok {
 		port, err := c.IngressPort(r)
@@ -161,6 +205,7 @@ func (c *Controller) ReencodeRoute(fromEdge, dstEdge string) (rns.RouteID, int, 
 		return r.ID, port, nil
 	}
 	protection := c.protectionToward(dstEdge)
+	c.cComputes.Inc()
 	path, err := topology.ShortestPath(c.g, fromEdge, dstEdge, c.pathWeight())
 	if err != nil {
 		return rns.RouteID{}, 0, fmt.Errorf("controller: re-encode %s->%s: %w", fromEdge, dstEdge, err)
@@ -171,6 +216,7 @@ func (c *Controller) ReencodeRoute(fromEdge, dstEdge string) (rns.RouteID, int, 
 	}
 	c.routes[k] = route
 	c.protection[k] = route.Protection
+	c.recordInstall(fromEdge, dstEdge, route)
 	port, err := c.IngressPort(route)
 	if err != nil {
 		return rns.RouteID{}, 0, err
@@ -206,7 +252,8 @@ func filterHops(hops []core.Hop, path topology.Path) []core.Hop {
 // evaluation mode (default) it only counts; with failure reaction
 // enabled it reroutes every installed route that crosses the link.
 func (c *Controller) NotifyFailure(l *topology.Link) error {
-	c.notifications++
+	c.cNotifies.Inc()
+	c.events.Record(telemetry.EventNotify, l.Name(), "fail")
 	if !c.reactToFailures {
 		return nil
 	}
@@ -216,7 +263,8 @@ func (c *Controller) NotifyFailure(l *topology.Link) error {
 
 // NotifyRepair clears a failure.
 func (c *Controller) NotifyRepair(l *topology.Link) error {
-	c.notifications++
+	c.cNotifies.Inc()
+	c.events.Record(telemetry.EventNotify, l.Name(), "repair")
 	if !c.reactToFailures {
 		return nil
 	}
@@ -230,6 +278,7 @@ func (c *Controller) NotifyRepair(l *topology.Link) error {
 // recomputing everything covers both.
 func (c *Controller) reinstallAll() error {
 	for k := range c.routes {
+		c.cComputes.Inc()
 		path, err := topology.ShortestPath(c.g, k.src, k.dst, c.pathWeight())
 		if err != nil {
 			return fmt.Errorf("controller: reroute %s->%s: %w", k.src, k.dst, err)
@@ -244,4 +293,4 @@ func (c *Controller) reinstallAll() error {
 }
 
 // Notifications returns how many failure/repair reports arrived.
-func (c *Controller) Notifications() int64 { return c.notifications }
+func (c *Controller) Notifications() int64 { return c.cNotifies.Value() }

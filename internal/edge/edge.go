@@ -11,6 +11,7 @@ import (
 	"repro/internal/packet"
 	"repro/internal/rns"
 	"repro/internal/simnet"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 )
 
@@ -53,13 +54,21 @@ type Edge struct {
 	routes map[string]routeEntry      // destination edge → route
 	local  map[packet.FlowID]Receiver // attached transport endpoints
 
-	// Counters.
-	encapped     int64
-	delivered    int64
-	misdelivered int64
-	reencoded    int64
-	unclaimed    int64
-	noRoute      int64
+	// Registry-backed counters (labelled edge=<node>).
+	cEncapped     *telemetry.Counter
+	cDelivered    *telemetry.Counter
+	cMisdelivered *telemetry.Counter
+	cReencoded    *telemetry.Counter
+	cUnclaimed    *telemetry.Counter
+	cNoRoute      *telemetry.Counter
+
+	// Per-flow path-stretch histograms, observed at decap.
+	stretch map[packet.FlowID]*telemetry.Histogram
+
+	// Event-log dedup: re-encodes happen per misdelivered packet, so
+	// the control-plane log records only the first per flow; the
+	// kar_edge_reencode_total counter keeps the volume.
+	loggedReencode map[packet.FlowID]bool
 }
 
 var _ simnet.Handler = (*Edge)(nil)
@@ -79,13 +88,24 @@ const DefaultReencodeDelay = 2 * time.Millisecond
 // New builds an edge node and binds it to the network. ctrl may be
 // nil, in which case misdelivered packets are dropped.
 func New(net *simnet.Network, node *topology.Node, ctrl Reencoder, opts ...Option) *Edge {
+	reg := net.Metrics()
+	reg.Help("kar_flow_stretch_hops", "Per-flow hop counts of decapsulated packets (path stretch).")
+	name := node.Name()
 	e := &Edge{
-		net:           net,
-		node:          node,
-		ctrl:          ctrl,
-		reencodeDelay: DefaultReencodeDelay,
-		routes:        make(map[string]routeEntry),
-		local:         make(map[packet.FlowID]Receiver),
+		net:            net,
+		node:           node,
+		ctrl:           ctrl,
+		reencodeDelay:  DefaultReencodeDelay,
+		routes:         make(map[string]routeEntry),
+		local:          make(map[packet.FlowID]Receiver),
+		cEncapped:      reg.Counter("kar_edge_encap_total", "edge", name),
+		cDelivered:     reg.Counter("kar_edge_decap_total", "edge", name),
+		cMisdelivered:  reg.Counter("kar_edge_misdelivered_total", "edge", name),
+		cReencoded:     reg.Counter("kar_edge_reencode_total", "edge", name),
+		cUnclaimed:     reg.Counter("kar_edge_unclaimed_total", "edge", name),
+		cNoRoute:       reg.Counter("kar_edge_noroute_total", "edge", name),
+		stretch:        make(map[packet.FlowID]*telemetry.Histogram),
+		loggedReencode: make(map[packet.FlowID]bool),
 	}
 	for _, opt := range opts {
 		opt(e)
@@ -104,9 +124,11 @@ func (e *Edge) InstallRoute(dstEdge string, id rns.RouteID, outPort int) {
 }
 
 // Attach registers the local receiver for a flow (the transport
-// endpoint terminating at this edge).
+// endpoint terminating at this edge) and its stretch histogram.
 func (e *Edge) Attach(flow packet.FlowID, r Receiver) {
 	e.local[flow] = r
+	e.stretch[flow] = e.net.Metrics().Histogram(
+		"kar_flow_stretch_hops", telemetry.HopBuckets, "flow", flow.String())
 }
 
 // Inject encapsulates a locally originated packet — stamps the route
@@ -115,13 +137,13 @@ func (e *Edge) Attach(flow packet.FlowID, r Receiver) {
 func (e *Edge) Inject(pkt *packet.Packet) error {
 	entry, ok := e.routes[pkt.Flow.Dst]
 	if !ok {
-		e.noRoute++
+		e.cNoRoute.Inc()
 		return fmt.Errorf("edge %s: no route installed for %s", e.node.Name(), pkt.Flow.Dst)
 	}
 	pkt.RouteID = entry.id
 	pkt.TTL = packet.DefaultTTL
 	pkt.Deflected = false
-	e.encapped++
+	e.cEncapped.Inc()
 	e.net.Send(e.node, entry.outPort, pkt)
 	return nil
 }
@@ -135,17 +157,20 @@ func (e *Edge) HandlePacket(pkt *packet.Packet, inPort int) {
 		pkt.RouteID = rns.RouteID{} // decap
 		r, ok := e.local[pkt.Flow]
 		if !ok {
-			e.unclaimed++
+			e.cUnclaimed.Inc()
 			e.net.Drop(pkt, simnet.DropNoPort, e.node.Name())
 			return
 		}
-		e.delivered++
+		e.cDelivered.Inc()
+		if h := e.stretch[pkt.Flow]; h != nil {
+			h.Observe(float64(pkt.Hops))
+		}
 		r.Deliver(pkt)
 		return
 	}
 
 	// Misdelivery: a deflected packet random-walked to the wrong edge.
-	e.misdelivered++
+	e.cMisdelivered.Inc()
 	if e.ctrl == nil {
 		e.net.Drop(pkt, simnet.DropNoViablePort, e.node.Name())
 		return
@@ -159,7 +184,11 @@ func (e *Edge) HandlePacket(pkt *packet.Packet, inPort int) {
 		pkt.RouteID = id
 		pkt.TTL = packet.DefaultTTL
 		pkt.Deflected = false // back on an encoded path
-		e.reencoded++
+		e.cReencoded.Inc()
+		if !e.loggedReencode[pkt.Flow] {
+			e.loggedReencode[pkt.Flow] = true
+			e.net.Events().Record(telemetry.EventReencode, e.node.Name(), pkt.Flow.String())
+		}
 		e.net.Send(e.node, outPort, pkt)
 	})
 }
@@ -174,14 +203,14 @@ type Stats struct {
 	NoRoute      int64 // injections refused for lack of a route
 }
 
-// Stats returns the counters.
+// Stats reads the counters back from the registry.
 func (e *Edge) Stats() Stats {
 	return Stats{
-		Encapped:     e.encapped,
-		Delivered:    e.delivered,
-		Misdelivered: e.misdelivered,
-		Reencoded:    e.reencoded,
-		Unclaimed:    e.unclaimed,
-		NoRoute:      e.noRoute,
+		Encapped:     e.cEncapped.Value(),
+		Delivered:    e.cDelivered.Value(),
+		Misdelivered: e.cMisdelivered.Value(),
+		Reencoded:    e.cReencoded.Value(),
+		Unclaimed:    e.cUnclaimed.Value(),
+		NoRoute:      e.cNoRoute.Value(),
 	}
 }

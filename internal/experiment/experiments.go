@@ -10,6 +10,7 @@ import (
 	"repro/internal/deflect"
 	"repro/internal/measure"
 	"repro/internal/tcpsim"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 )
 
@@ -100,6 +101,8 @@ type Fig4Config struct {
 	Seed        int64
 	Policies    []string
 	Workers     int
+	// Metrics optionally collects every run's telemetry.
+	Metrics *telemetry.Collector
 }
 
 func (c Fig4Config) defaults() Fig4Config {
@@ -155,6 +158,7 @@ func Fig4(cfg Fig4Config) ([]Fig4Series, error) {
 			res, err := RunTCP(TCPRunConfig{
 				Graph:            topology.Net15,
 				Policy:           policy,
+				Metrics:          cfg.Metrics,
 				Seed:             cfg.Seed + int64(i),
 				Src:              "AS1",
 				Dst:              "AS3",
@@ -221,6 +225,8 @@ type Fig5Config struct {
 	Policies    []string
 	Protections []string
 	Failures    [][2]string
+	// Metrics optionally collects every run's telemetry.
+	Metrics *telemetry.Collector
 }
 
 func (c Fig5Config) defaults() Fig5Config {
@@ -273,6 +279,7 @@ func Fig5(cfg Fig5Config) ([]Fig5Row, error) {
 				runCfg := TCPRunConfig{
 					Graph:            topology.Net15,
 					Policy:           policy,
+					Metrics:          cfg.Metrics,
 					Src:              "AS1",
 					Dst:              "AS3",
 					Protection:       pairs,
@@ -328,6 +335,8 @@ type Fig7Config struct {
 	WarmUp      time.Duration
 	Seed        int64
 	Workers     int
+	// Metrics optionally collects every run's telemetry.
+	Metrics *telemetry.Collector
 }
 
 func (c Fig7Config) defaults() Fig7Config {
@@ -374,6 +383,7 @@ func Fig7(cfg Fig7Config) ([]Fig7Row, error) {
 		runCfg := TCPRunConfig{
 			Graph:            topology.RNP28,
 			Policy:           "nip",
+			Metrics:          cfg.Metrics,
 			Src:              "EDGE-N",
 			Dst:              "EDGE-SP",
 			Protection:       topology.RNP28PartialProtection,
@@ -431,6 +441,8 @@ type Fig8Config struct {
 	WarmUp      time.Duration
 	Seed        int64
 	Workers     int
+	// Metrics optionally collects every run's telemetry.
+	Metrics *telemetry.Collector
 }
 
 func (c Fig8Config) defaults() Fig8Config {
@@ -471,6 +483,7 @@ func Fig8(cfg Fig8Config) (*Fig8Result, error) {
 	base := TCPRunConfig{
 		Graph:            topology.RNP28Fig8,
 		Policy:           "nip",
+		Metrics:          cfg.Metrics,
 		Src:              "EDGE-N",
 		Dst:              "EDGE-SUL",
 		Path:             topology.RNP28Fig8Route,

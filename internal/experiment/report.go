@@ -1,0 +1,99 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/measure"
+	"repro/internal/telemetry"
+)
+
+// MetricsReport summarizes a collector's merged registry as one table
+// per metric family: counters and gauges report the number of series
+// and the family total; histograms additionally report the merged
+// sample count and p50/p99 quantiles. Rows are sorted by family name,
+// so the report is deterministic for a given collector state.
+func MetricsReport(c *telemetry.Collector) *measure.Table {
+	t := &measure.Table{
+		Title:   "MetricsReport",
+		Headers: []string{"metric", "type", "series", "total", "n", "p50", "p99"},
+	}
+	if c == nil {
+		return t
+	}
+	snap := c.Registry().Snapshot()
+
+	type agg struct {
+		kind   string
+		series int
+		total  float64
+		// Histogram families: merged bucket counts and count/sum.
+		bounds []float64
+		counts []int64
+		n      int64
+	}
+	fams := make(map[string]*agg)
+	fam := func(name, kind string) *agg {
+		a, ok := fams[name]
+		if !ok {
+			a = &agg{kind: kind}
+			fams[name] = a
+		}
+		return a
+	}
+	for _, s := range snap.Counters {
+		a := fam(s.Name, "counter")
+		a.series++
+		a.total += s.Value
+	}
+	for _, s := range snap.Gauges {
+		a := fam(s.Name, "gauge")
+		a.series++
+		a.total += s.Value
+	}
+	for _, h := range snap.Histograms {
+		a := fam(h.Name, "histogram")
+		a.series++
+		a.total += h.Sum
+		a.n += h.Count
+		if a.counts == nil {
+			a.bounds = h.Bounds
+			a.counts = make([]int64, len(h.Counts))
+		}
+		for i, cnt := range h.Counts {
+			a.counts[i] += cnt
+		}
+	}
+
+	names := make([]string, 0, len(fams))
+	for n := range fams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		a := fams[name]
+		row := []string{
+			name, a.kind,
+			fmt.Sprintf("%d", a.series),
+			formatTotal(a.total),
+			"", "", "",
+		}
+		if a.kind == "histogram" {
+			h := telemetry.RebuildHistogram(a.bounds, a.counts, a.n, a.total)
+			row[4] = fmt.Sprintf("%d", a.n)
+			row[5] = formatTotal(h.Quantile(0.5))
+			row[6] = formatTotal(h.Quantile(0.99))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// formatTotal renders integral values without a decimal point and
+// everything else with two digits.
+func formatTotal(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.2f", v)
+}

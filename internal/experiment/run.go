@@ -10,6 +10,7 @@ import (
 	"repro/internal/measure"
 	"repro/internal/packet"
 	"repro/internal/tcpsim"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 )
 
@@ -54,6 +55,10 @@ type TCPRunConfig struct {
 	// NewReno + Linux-era reordering robustness) or "sack"
 	// (RFC 6675 scoreboard).
 	Transport string
+	// Metrics, when set, receives the finished world's registry and
+	// event log under a deterministic run label (policy/flow/seed) —
+	// the karsim -metrics collection point.
+	Metrics *telemetry.Collector
 }
 
 // TCPRunResult carries one run's measurements.
@@ -69,6 +74,10 @@ type TCPRunResult struct {
 	SrcEdge, DstEdge edge.Stats
 	// Route is the installed forward route.
 	Route *core.Route
+	// Metrics is the run's world registry; Events its control-plane
+	// event stream.
+	Metrics *telemetry.Registry
+	Events  []telemetry.Event
 }
 
 // MeanMbps returns the mean goodput over [from, to).
@@ -146,6 +155,14 @@ func RunTCP(cfg TCPRunConfig) (*TCPRunResult, error) {
 	res.Receiver = receiver.Stats()
 	res.SrcEdge = w.Edges[cfg.Src].Stats()
 	res.DstEdge = w.Edges[cfg.Dst].Stats()
+	res.Metrics = w.Net.Metrics()
+	res.Events = w.Net.Events().Events()
+	// Run labels are derived from the configuration only, so the
+	// collector's dump is deterministic per seed regardless of worker
+	// completion order.
+	cfg.Metrics.Add(
+		fmt.Sprintf("%s/%s->%s/seed=%d", cfg.Policy, cfg.Src, cfg.Dst, cfg.Seed),
+		w.Net.Metrics(), w.Net.Events())
 	return res, nil
 }
 

@@ -31,12 +31,18 @@ type World struct {
 // node per edge, connected to a controller in the paper's
 // ignore-failures mode.
 func NewWorld(g *topology.Graph, policy deflect.Policy, seed int64, opts ...WorldOption) *World {
-	w := &World{Net: simnet.New(g)}
+	// The policy rides as a base label on every metric of this world,
+	// so merged per-run dumps stay separable (e.g.
+	// kar_switch_deflections_total{policy="nip",...}).
+	w := &World{Net: simnet.New(g, simnet.WithMetricLabels("policy", policy.Name()))}
 	cfg := worldConfig{reencodeDelay: edge.DefaultReencodeDelay}
 	for _, opt := range opts {
 		opt(&cfg)
 	}
-	var ctrlOpts []controller.Option
+	// Controller telemetry shares the world's registry and event log:
+	// route installs and re-encodes interleave with link failures on
+	// one virtual timeline.
+	ctrlOpts := []controller.Option{controller.WithTelemetry(w.Net.Metrics(), w.Net.Events())}
 	if cfg.reactToFailures {
 		ctrlOpts = append(ctrlOpts, controller.WithFailureReaction())
 	}

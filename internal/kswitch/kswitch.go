@@ -8,27 +8,53 @@ package kswitch
 import (
 	"math/rand"
 
+	"repro/internal/core"
 	"repro/internal/deflect"
 	"repro/internal/packet"
 	"repro/internal/simnet"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
+)
+
+// Deflection causes, as classified by deflectCause.
+const (
+	// CauseInvalidPort: the modulo residue names a port index the
+	// switch does not have (stale or foreign route ID).
+	CauseInvalidPort = "invalid-port"
+	// CausePortDown: the encoded port exists but its link is down —
+	// the failure case the paper's deflection techniques target.
+	CausePortDown = "port-down"
+	// CauseInputPort: the encoded port is healthy but is the input
+	// port, which the NIP policy refuses (two-node loop avoidance).
+	CauseInputPort = "input-port"
+	// CauseRandomWalk: the encoded port is usable but the policy
+	// deflected anyway (HP keeps random-walking flagged packets).
+	CauseRandomWalk = "random-walk"
 )
 
 // Switch is a KAR core switch bound to one topology node. It keeps no
 // per-flow state: forwarding is route ID mod switch ID, with the
-// deflection policy handling failed or invalid ports.
+// deflection policy handling failed or invalid ports. Counters live in
+// the network's telemetry registry, labelled by switch name (plus any
+// world base labels such as the policy).
 type Switch struct {
 	net    *simnet.Network
 	node   *topology.Node
 	policy deflect.Policy
 	rng    *rand.Rand
 
-	// Counters.
-	received    int64
-	forwarded   int64
-	deflections int64
-	ttlDrops    int64
-	policyDrops int64
+	// Cached registry handles.
+	cReceived    *telemetry.Counter
+	cForwarded   *telemetry.Counter
+	cTTLDrops    *telemetry.Counter
+	cPolicyDrops *telemetry.Counter
+	cDeflections map[string]*telemetry.Counter // keyed by cause
+
+	// Event-log dedup: deflections and policy drops are per-packet
+	// (millions per run), so the control-plane log records only the
+	// first occurrence per cause / per flow; counters keep the volume.
+	loggedDeflect map[string]bool
+	loggedDrop    map[string]bool
 }
 
 // Compile-time interface compliance.
@@ -40,11 +66,25 @@ var (
 // New builds a switch for node using the given deflection policy and
 // a dedicated, seeded RNG. It binds itself to the network.
 func New(net *simnet.Network, node *topology.Node, policy deflect.Policy, seed int64) *Switch {
+	reg := net.Metrics()
+	reg.Help("kar_switch_deflections_total", "Packets deflected off their encoded path, by cause.")
+	reg.Help("kar_switch_forwards_total", "Packets forwarded (encoded or deflected).")
 	s := &Switch{
-		net:    net,
-		node:   node,
-		policy: policy,
-		rng:    rand.New(rand.NewSource(seed)),
+		net:           net,
+		node:          node,
+		policy:        policy,
+		rng:           rand.New(rand.NewSource(seed)),
+		cReceived:     reg.Counter("kar_switch_received_total", "switch", node.Name()),
+		cForwarded:    reg.Counter("kar_switch_forwards_total", "switch", node.Name()),
+		cTTLDrops:     reg.Counter("kar_switch_ttl_expired_total", "switch", node.Name()),
+		cPolicyDrops:  reg.Counter("kar_switch_policy_drops_total", "switch", node.Name()),
+		cDeflections:  make(map[string]*telemetry.Counter, 4),
+		loggedDeflect: make(map[string]bool, 4),
+		loggedDrop:    make(map[string]bool),
+	}
+	for _, cause := range []string{CauseInvalidPort, CausePortDown, CauseInputPort, CauseRandomWalk} {
+		s.cDeflections[cause] = reg.Counter("kar_switch_deflections_total",
+			"switch", node.Name(), "cause", cause)
 	}
 	net.Bind(node, s)
 	return s
@@ -64,25 +104,52 @@ func (v view) PortUp(i int) bool {
 // HandlePacket implements simnet.Handler: decrement TTL, decide the
 // output port, forward.
 func (s *Switch) HandlePacket(pkt *packet.Packet, inPort int) {
-	s.received++
+	s.cReceived.Inc()
 	pkt.TTL--
 	if pkt.TTL <= 0 {
-		s.ttlDrops++
+		s.cTTLDrops.Inc()
 		s.net.Drop(pkt, simnet.DropTTL, s.node.Name())
 		return
 	}
 	d := s.policy.Decide(view{s}, pkt.RouteID, inPort, pkt.Deflected, s.rng)
 	if d.Drop {
-		s.policyDrops++
+		s.cPolicyDrops.Inc()
+		if flow := pkt.Flow.String(); !s.loggedDrop[flow] {
+			s.loggedDrop[flow] = true
+			s.net.Events().Record(telemetry.EventPolicyDrop, s.node.Name(), flow)
+		}
 		s.net.Drop(pkt, simnet.DropNoViablePort, s.node.Name())
 		return
 	}
 	if d.Deflected {
 		pkt.Deflected = true
-		s.deflections++
+		cause := s.deflectCause(pkt, inPort)
+		s.cDeflections[cause].Inc()
+		if !s.loggedDeflect[cause] {
+			s.loggedDeflect[cause] = true
+			s.net.Events().Record(telemetry.EventDeflect, s.node.Name(), cause)
+		}
 	}
-	s.forwarded++
+	s.cForwarded.Inc()
 	s.net.Send(s.node, d.Port, pkt)
+}
+
+// deflectCause classifies why the encoded modulo port was not used:
+// it does not exist, its link is down, it is the (NIP-excluded) input
+// port, or the policy random-walked past a perfectly usable port (HP
+// after the first deflection).
+func (s *Switch) deflectCause(pkt *packet.Packet, inPort int) string {
+	port := core.Forward(pkt.RouteID, s.node.ID())
+	switch {
+	case port < 0 || port >= s.node.PortSpan():
+		return CauseInvalidPort
+	case !s.net.PortUp(s.node, port):
+		return CausePortDown
+	case port == inPort:
+		return CauseInputPort
+	default:
+		return CauseRandomWalk
+	}
 }
 
 // Stats is a snapshot of switch counters.
@@ -94,15 +161,18 @@ type Stats struct {
 	PolicyDrops int64
 }
 
-// Stats returns the counters.
+// Stats reads the counters back from the registry.
 func (s *Switch) Stats() Stats {
-	return Stats{
-		Received:    s.received,
-		Forwarded:   s.forwarded,
-		Deflections: s.deflections,
-		TTLDrops:    s.ttlDrops,
-		PolicyDrops: s.policyDrops,
+	st := Stats{
+		Received:    s.cReceived.Value(),
+		Forwarded:   s.cForwarded.Value(),
+		TTLDrops:    s.cTTLDrops.Value(),
+		PolicyDrops: s.cPolicyDrops.Value(),
 	}
+	for _, c := range s.cDeflections {
+		st.Deflections += c.Value()
+	}
+	return st
 }
 
 // Node returns the bound topology node.

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/packet"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 )
 
@@ -32,6 +33,9 @@ const (
 	DropTTL
 	// DropNoViablePort: the deflection policy found no usable port.
 	DropNoViablePort
+
+	// dropReasonCount bounds the per-reason counter cache.
+	dropReasonCount
 )
 
 func (r DropReason) String() string {
@@ -62,15 +66,18 @@ type Drop struct {
 }
 
 // dirState models one direction of a link: a FIFO transmission queue
-// feeding a fixed-rate serializer.
+// feeding a fixed-rate serializer. Counters live in the network's
+// telemetry registry (labelled link/dir); the handles are cached here
+// to keep the send path off the registry's mutex.
 type dirState struct {
 	busyUntil time.Duration
 	queued    int
 
-	// Counters.
-	sentPackets int64
-	sentBytes   int64
-	queueDrops  int64
+	// Registry-backed counters.
+	sentPackets   *telemetry.Counter
+	sentBytes     *telemetry.Counter
+	queueDrops    *telemetry.Counter
+	inFlightDrops *telemetry.Counter
 }
 
 // Line is the live state of one topology link inside a Network.
@@ -80,7 +87,7 @@ type Line struct {
 	lastDownAt time.Duration // most recent failure instant (for in-flight kills)
 	everDown   bool
 	dirs       [2]dirState // 0: A→B, 1: B→A
-	inFlight   [2]int64    // in-flight drop counters per direction
+	gaugeUp    *telemetry.Gauge
 }
 
 // Up reports link health.
@@ -106,22 +113,74 @@ type Network struct {
 	dropHook    func(Drop)
 	deliverHook func(pkt *packet.Packet, at *topology.Node, inPort int)
 
-	// Global counters.
-	delivered int64
-	dropped   int64
+	// Telemetry: the registry and control-plane event log shared by
+	// every component of this world.
+	metrics *telemetry.Registry
+	events  *telemetry.EventLog
+
+	// Cached hot-path counter handles.
+	cDelivered *telemetry.Counter
+	cSends     *telemetry.Counter
+	cDrops     [dropReasonCount + 1]*telemetry.Counter
+}
+
+// Option configures a Network.
+type Option func(*netConfig)
+
+type netConfig struct {
+	baseLabels []string
+	eventCap   int
+}
+
+// WithMetricLabels attaches constant key/value labels to every metric
+// of this world's registry (e.g. "policy", "nip") so merged dumps stay
+// separable per run configuration.
+func WithMetricLabels(kv ...string) Option {
+	return func(c *netConfig) { c.baseLabels = append(c.baseLabels, kv...) }
+}
+
+// WithEventCapacity bounds the control-plane event log's retention
+// (default telemetry.DefaultEventCapacity).
+func WithEventCapacity(n int) Option {
+	return func(c *netConfig) { c.eventCap = n }
 }
 
 // New builds a Network over a validated topology. Every topology link
 // starts up.
-func New(topo *topology.Graph) *Network {
+func New(topo *topology.Graph, opts ...Option) *Network {
+	var cfg netConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
 	n := &Network{
 		sched:    &Scheduler{},
 		topo:     topo,
 		lines:    make(map[*topology.Link]*Line, len(topo.Links())),
 		handlers: make(map[*topology.Node]Handler, len(topo.Nodes())),
+		metrics:  telemetry.NewRegistry(telemetry.WithBaseLabels(cfg.baseLabels...)),
+	}
+	n.events = telemetry.NewEventLog(cfg.eventCap, n.sched.Now)
+	n.events.SetEvictedCounter(n.metrics.Counter("kar_events_evicted_total"))
+	n.metrics.Help("kar_net_delivered_total", "Packets handed to node handlers.")
+	n.metrics.Help("kar_net_drops_total", "Packets lost anywhere, by reason.")
+	n.metrics.Help("kar_net_sends_total", "Packets submitted to links.")
+	n.cDelivered = n.metrics.Counter("kar_net_delivered_total")
+	n.cSends = n.metrics.Counter("kar_net_sends_total")
+	for r := DropReason(1); r < dropReasonCount; r++ {
+		n.cDrops[r] = n.metrics.Counter("kar_net_drops_total", "reason", r.String())
 	}
 	for _, l := range topo.Links() {
-		n.lines[l] = &Line{link: l, up: true}
+		line := &Line{link: l, up: true, gaugeUp: n.metrics.Gauge("kar_link_up", "link", l.Name())}
+		line.gaugeUp.Set(1)
+		for d, dir := range [2]string{"fwd", "rev"} {
+			line.dirs[d] = dirState{
+				sentPackets:   n.metrics.Counter("kar_link_sent_packets_total", "link", l.Name(), "dir", dir),
+				sentBytes:     n.metrics.Counter("kar_link_sent_bytes_total", "link", l.Name(), "dir", dir),
+				queueDrops:    n.metrics.Counter("kar_link_queue_drops_total", "link", l.Name(), "dir", dir),
+				inFlightDrops: n.metrics.Counter("kar_link_inflight_drops_total", "link", l.Name(), "dir", dir),
+			}
+		}
+		n.lines[l] = line
 	}
 	return n
 }
@@ -131,6 +190,14 @@ func (n *Network) Scheduler() *Scheduler { return n.sched }
 
 // Topology returns the underlying graph.
 func (n *Network) Topology() *topology.Graph { return n.topo }
+
+// Metrics returns the world's telemetry registry. Switches, edges,
+// transports and the controller all register their series here.
+func (n *Network) Metrics() *telemetry.Registry { return n.metrics }
+
+// Events returns the world's control-plane event log, stamped on the
+// virtual clock.
+func (n *Network) Events() *telemetry.EventLog { return n.events }
 
 // Bind attaches the handler for a node. All nodes that can receive
 // packets must be bound before traffic starts.
@@ -151,10 +218,20 @@ func (n *Network) SetDeliverHook(fn func(pkt *packet.Packet, at *topology.Node, 
 // Drop records a packet loss originating at a node (TTL expiry,
 // no-viable-port). Links report their own drops internally.
 func (n *Network) Drop(pkt *packet.Packet, reason DropReason, where string) {
-	n.dropped++
+	n.countDrop(reason)
 	if n.dropHook != nil {
 		n.dropHook(Drop{Packet: pkt, Reason: reason, Where: where, At: n.sched.now})
 	}
+}
+
+// countDrop bumps the per-reason drop counter; Dropped() sums these,
+// so total and by-reason bookkeeping can never disagree.
+func (n *Network) countDrop(reason DropReason) {
+	if reason > 0 && reason < dropReasonCount {
+		n.cDrops[reason].Inc()
+		return
+	}
+	n.metrics.Counter("kar_net_drops_total", "reason", reason.String()).Inc()
 }
 
 // PortUp reports whether node's port i exists and its link is up —
@@ -173,6 +250,7 @@ func (n *Network) PortUp(node *topology.Node, i int) bool {
 // handler. Losses are recorded, never returned — the data plane has
 // nobody to report to.
 func (n *Network) Send(node *topology.Node, i int, pkt *packet.Packet) {
+	n.cSends.Inc()
 	l, ok := node.PortLink(i)
 	if !ok {
 		n.Drop(pkt, DropNoPort, fmt.Sprintf("%s:%d", node.Name(), i))
@@ -189,7 +267,7 @@ func (n *Network) Send(node *topology.Node, i int, pkt *packet.Packet) {
 	}
 	ds := &line.dirs[dir]
 	if ds.queued >= l.QueuePackets() {
-		ds.queueDrops++
+		ds.queueDrops.Inc()
 		n.Drop(pkt, DropQueueFull, l.Name())
 		return
 	}
@@ -203,8 +281,8 @@ func (n *Network) Send(node *topology.Node, i int, pkt *packet.Packet) {
 	done := start + txTime
 	ds.busyUntil = done
 	ds.queued++
-	ds.sentPackets++
-	ds.sentBytes += int64(pkt.Size)
+	ds.sentPackets.Inc()
+	ds.sentBytes.Add(int64(pkt.Size))
 
 	dst := l.Other(node)
 	dstPort := l.PortOf(dst)
@@ -214,7 +292,7 @@ func (n *Network) Send(node *topology.Node, i int, pkt *packet.Packet) {
 		// The packet dies if the link failed at any point after its
 		// transmission began.
 		if !line.up || (line.everDown && line.lastDownAt >= txStart) {
-			line.inFlight[dir]++
+			ds.inFlightDrops.Inc()
 			n.Drop(pkt, DropInFlight, l.Name())
 			return
 		}
@@ -231,7 +309,7 @@ func (n *Network) Deliver(pkt *packet.Packet, dst *topology.Node, inPort int) {
 		return
 	}
 	pkt.Hops++
-	n.delivered++
+	n.cDelivered.Inc()
 	if n.deliverHook != nil {
 		n.deliverHook(pkt, dst, inPort)
 	}
@@ -252,6 +330,8 @@ func (n *Network) FailLink(l *topology.Link) {
 	line.up = false
 	line.everDown = true
 	line.lastDownAt = n.sched.now
+	line.gaugeUp.Set(0)
+	n.events.Record(telemetry.EventLinkFail, l.Name(), "")
 }
 
 // RepairLink brings a link back up.
@@ -261,6 +341,8 @@ func (n *Network) RepairLink(l *topology.Link) {
 		return
 	}
 	line.up = true
+	line.gaugeUp.Set(1)
+	n.events.Record(telemetry.EventLinkRepair, l.Name(), "")
 	// Queued counters drain through their already-scheduled dequeue
 	// events; nothing to reset here.
 }
@@ -271,21 +353,23 @@ func (n *Network) ScheduleFailure(l *topology.Link, from, duration time.Duration
 	n.sched.At(from+duration, func() { n.RepairLink(l) })
 }
 
-// LineStats returns a link's counters.
+// LineStats returns a link's counters, read back from the registry.
 func (n *Network) LineStats(l *topology.Link) LineStats {
 	line := n.lines[l]
 	var s LineStats
 	for d := range line.dirs {
-		s.SentPackets += line.dirs[d].sentPackets
-		s.SentBytes += line.dirs[d].sentBytes
-		s.QueueDrops += line.dirs[d].queueDrops
-		s.InFlightDrops += line.inFlight[d]
+		s.SentPackets += line.dirs[d].sentPackets.Value()
+		s.SentBytes += line.dirs[d].sentBytes.Value()
+		s.QueueDrops += line.dirs[d].queueDrops.Value()
+		s.InFlightDrops += line.dirs[d].inFlightDrops.Value()
 	}
 	return s
 }
 
 // Delivered returns the total packets handed to handlers.
-func (n *Network) Delivered() int64 { return n.delivered }
+func (n *Network) Delivered() int64 { return n.cDelivered.Value() }
 
-// Dropped returns the total packets lost anywhere.
-func (n *Network) Dropped() int64 { return n.dropped }
+// Dropped returns the total packets lost anywhere: the sum of the
+// per-reason drop counters (there is no separate total to fall out of
+// sync with).
+func (n *Network) Dropped() int64 { return n.metrics.SumCounter("kar_net_drops_total") }

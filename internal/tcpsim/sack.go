@@ -53,7 +53,7 @@ type SACKSender struct {
 	rttPending        bool
 
 	timerGen uint64
-	stats    SenderStats
+	m        senderCounters
 }
 
 // NewSACKFlow wires a SACK sender at srcEdge and the standard
@@ -73,6 +73,7 @@ func NewSACKFlow(net *simnet.Network, srcEdge, dstEdge *edge.Edge, flow packet.F
 		ssthresh:  cfg.MaxCwnd,
 		dupThresh: cfg.DupAckThreshold,
 		rto:       time.Second,
+		m:         newSenderCounters(net.Metrics(), flow),
 	}
 	r := &Receiver{
 		sched:     net.Scheduler(),
@@ -81,6 +82,7 @@ func NewSACKFlow(net *simnet.Network, srcEdge, dstEdge *edge.Edge, flow packet.F
 		cfg:       cfg,
 		buf:       make(map[uint64]bool),
 		sackBlock: true,
+		m:         newReceiverCounters(net.Metrics(), flow),
 	}
 	dstEdge.Attach(flow, edge.ReceiverFunc(r.onData))
 	srcEdge.Attach(flow.Reverse(), edge.ReceiverFunc(s.onAck))
@@ -100,9 +102,11 @@ func (s *SACKSender) Start() {
 // Stop ceases new data transmission.
 func (s *SACKSender) Stop() { s.stopped = true }
 
-// Stats returns sender counters.
+// Stats reads the counters back from the registry and snapshots the
+// live congestion state.
 func (s *SACKSender) Stats() SenderStats {
-	st := s.stats
+	var st SenderStats
+	s.m.fill(&st)
 	st.Cwnd = s.cwnd
 	st.Ssthresh = s.ssthresh
 	st.SRTT = s.srtt
@@ -184,9 +188,9 @@ func (s *SACKSender) sendSegment(seq uint64, retrans bool) {
 		SentAt:  s.sched.Now(),
 		Retrans: retrans,
 	}
-	s.stats.SegmentsSent++
+	s.m.segments.Inc()
 	if retrans {
-		s.stats.Retransmits++
+		s.m.retransmits.Inc()
 		if s.rttPending && seq == s.rttSeq {
 			s.rttPending = false // Karn
 		}
@@ -207,7 +211,7 @@ func (s *SACKSender) onAck(pkt *packet.Packet) {
 		}
 	}
 	if pkt.DSACK && s.undoArmed && !s.cfg.DisableUndo {
-		s.stats.Undos++
+		s.m.undos.Inc()
 		s.cwnd = s.undoCwnd
 		s.ssthresh = s.undoSsthresh
 		s.inRecov = false
@@ -251,7 +255,7 @@ func (s *SACKSender) onAck(pkt *packet.Packet) {
 		}
 	} else if _, haveLoss := s.nextLost(); haveLoss {
 		// Enter recovery once per loss event.
-		s.stats.FastRetransmits++
+		s.m.fastRetrans.Inc()
 		s.undoArmed = true
 		s.undoCwnd = s.cwnd
 		s.undoSsthresh = s.ssthresh
@@ -346,7 +350,7 @@ func (s *SACKSender) onTimeout() {
 		s.armTimer()
 		return
 	}
-	s.stats.Timeouts++
+	s.m.timeouts.Inc()
 	s.undoArmed = false
 	half := s.pipe() / 2
 	if half < 2 {

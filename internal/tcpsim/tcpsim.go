@@ -21,6 +21,7 @@ import (
 	"repro/internal/edge"
 	"repro/internal/packet"
 	"repro/internal/simnet"
+	"repro/internal/telemetry"
 )
 
 // Config tunes a TCP flow. The zero value is usable via Defaults.
@@ -101,6 +102,58 @@ type SenderStats struct {
 	DupThresh       int // final adaptive fast-retransmit threshold
 }
 
+// senderCounters are the registry-backed sender counters, shared by
+// the Reno and SACK senders (labelled flow=<src->dst>).
+type senderCounters struct {
+	segments    *telemetry.Counter
+	retransmits *telemetry.Counter
+	fastRetrans *telemetry.Counter
+	timeouts    *telemetry.Counter
+	undos       *telemetry.Counter
+}
+
+func newSenderCounters(reg *telemetry.Registry, flow packet.FlowID) senderCounters {
+	f := flow.String()
+	reg.Help("kar_tcp_retransmits_total", "TCP segments retransmitted (all causes).")
+	return senderCounters{
+		segments:    reg.Counter("kar_tcp_segments_sent_total", "flow", f),
+		retransmits: reg.Counter("kar_tcp_retransmits_total", "flow", f),
+		fastRetrans: reg.Counter("kar_tcp_fast_retransmits_total", "flow", f),
+		timeouts:    reg.Counter("kar_tcp_timeouts_total", "flow", f),
+		undos:       reg.Counter("kar_tcp_undo_total", "flow", f),
+	}
+}
+
+// fill copies the counter values into a stats snapshot.
+func (m senderCounters) fill(st *SenderStats) {
+	st.SegmentsSent = m.segments.Value()
+	st.Retransmits = m.retransmits.Value()
+	st.FastRetransmits = m.fastRetrans.Value()
+	st.Timeouts = m.timeouts.Value()
+	st.Undos = m.undos.Value()
+}
+
+// receiverCounters are the registry-backed receiver counters.
+type receiverCounters struct {
+	goodputBytes *telemetry.Counter
+	inOrder      *telemetry.Counter
+	outOfOrder   *telemetry.Counter
+	dups         *telemetry.Counter
+	acks         *telemetry.Counter
+}
+
+func newReceiverCounters(reg *telemetry.Registry, flow packet.FlowID) receiverCounters {
+	f := flow.String()
+	reg.Help("kar_tcp_goodput_bytes_total", "In-order payload bytes delivered to the receiver.")
+	return receiverCounters{
+		goodputBytes: reg.Counter("kar_tcp_goodput_bytes_total", "flow", f),
+		inOrder:      reg.Counter("kar_tcp_rx_segments_total", "flow", f, "order", "in"),
+		outOfOrder:   reg.Counter("kar_tcp_rx_segments_total", "flow", f, "order", "ooo"),
+		dups:         reg.Counter("kar_tcp_rx_segments_total", "flow", f, "order", "dup"),
+		acks:         reg.Counter("kar_tcp_acks_sent_total", "flow", f),
+	}
+}
+
 // Sender is the TCP sender endpoint, attached at the ingress edge. It
 // models an iperf-style unlimited data source. Drive the simulation
 // scheduler after Start.
@@ -146,7 +199,7 @@ type Sender struct {
 
 	timerGen uint64 // RTO timer generation (stale timers no-op)
 
-	stats SenderStats
+	m senderCounters
 }
 
 // ReceiverStats snapshots receiver-side counters.
@@ -181,7 +234,8 @@ type Receiver struct {
 	// (set by NewSACKFlow).
 	sackBlock bool
 
-	stats ReceiverStats
+	m      receiverCounters
+	maxGap int // worst observed reordering distance (segments)
 }
 
 // NewFlow wires a sender at srcEdge and a receiver at dstEdge for the
@@ -200,6 +254,7 @@ func NewFlow(net *simnet.Network, srcEdge, dstEdge *edge.Edge, flow packet.FlowI
 		ssthresh:  cfg.MaxCwnd,
 		dupThresh: cfg.DupAckThreshold,
 		rto:       time.Second, // RFC 6298 initial RTO
+		m:         newSenderCounters(net.Metrics(), flow),
 	}
 	r := &Receiver{
 		sched: net.Scheduler(),
@@ -207,6 +262,7 @@ func NewFlow(net *simnet.Network, srcEdge, dstEdge *edge.Edge, flow packet.FlowI
 		flow:  flow,
 		cfg:   cfg,
 		buf:   make(map[uint64]bool),
+		m:     newReceiverCounters(net.Metrics(), flow),
 	}
 	dstEdge.Attach(flow, edge.ReceiverFunc(r.onData))
 	srcEdge.Attach(flow.Reverse(), edge.ReceiverFunc(s.onAck))
@@ -227,9 +283,11 @@ func (s *Sender) Start() {
 // data continue until acknowledged).
 func (s *Sender) Stop() { s.stopped = true }
 
-// Stats returns sender counters.
+// Stats reads the counters back from the registry and snapshots the
+// live congestion state.
 func (s *Sender) Stats() SenderStats {
-	st := s.stats
+	var st SenderStats
+	s.m.fill(&st)
 	st.Cwnd = s.cwnd
 	st.Ssthresh = s.ssthresh
 	st.SRTT = s.srtt
@@ -275,9 +333,9 @@ func (s *Sender) sendSegment(seq uint64, retrans bool) {
 		SentAt:  s.sched.Now(),
 		Retrans: retrans,
 	}
-	s.stats.SegmentsSent++
+	s.m.segments.Inc()
 	if retrans {
-		s.stats.Retransmits++
+		s.m.retransmits.Inc()
 		if s.rttPending && seq == s.rttSeq {
 			s.rttPending = false // Karn: retransmitted segment cannot be timed
 		}
@@ -297,7 +355,7 @@ func (s *Sender) onAck(pkt *packet.Packet) {
 	if pkt.DSACK && s.undoArmed && !s.cfg.DisableUndo {
 		// Our fast retransmit was spurious: the receiver already had
 		// the segment. Restore the pre-reduction window.
-		s.stats.Undos++
+		s.m.undos.Inc()
 		s.cwnd = s.undoCwnd
 		s.ssthresh = s.undoSsthresh
 		s.inRecovery = false
@@ -398,7 +456,7 @@ func (s *Sender) onDupAck() {
 		s.undoArmed = true
 		s.undoCwnd = s.cwnd
 		s.undoSsthresh = s.ssthresh
-		s.stats.FastRetransmits++
+		s.m.fastRetrans.Inc()
 		s.ssthresh = s.halfFlight()
 		s.cwnd = s.ssthresh + float64(s.dupThresh)
 		s.inRecovery = true
@@ -468,7 +526,7 @@ func (s *Sender) onTimeout() {
 		s.armTimer()
 		return
 	}
-	s.stats.Timeouts++
+	s.m.timeouts.Inc()
 	s.undoArmed = false // RTO reductions are not undone here
 	s.ssthresh = s.halfFlight()
 	s.cwnd = 1
@@ -496,28 +554,28 @@ func (r *Receiver) onData(pkt *packet.Packet) {
 			// that is reordering, not loss — record the extent.
 			r.reorderExtent = len(r.buf)
 		}
-		r.stats.BytesInOrder += int64(r.cfg.MSS)
-		r.stats.SegmentsInOrder++
+		r.m.goodputBytes.Add(int64(r.cfg.MSS))
+		r.m.inOrder.Inc()
 		r.expected++
 		for r.buf[r.expected] {
 			delete(r.buf, r.expected)
-			r.stats.BytesInOrder += int64(r.cfg.MSS)
-			r.stats.SegmentsInOrder++
+			r.m.goodputBytes.Add(int64(r.cfg.MSS))
+			r.m.inOrder.Inc()
 			r.expected++
 		}
 	case seq > r.expected:
-		if gap := int(seq - r.expected); gap > r.stats.MaxGap {
-			r.stats.MaxGap = gap
+		if gap := int(seq - r.expected); gap > r.maxGap {
+			r.maxGap = gap
 		}
 		if r.buf[seq] {
-			r.stats.SegmentsDup++
+			r.m.dups.Inc()
 			r.dsackPending = true
 		} else {
 			r.buf[seq] = true
-			r.stats.SegmentsOutOfOrd++
+			r.m.outOfOrder.Inc()
 		}
 	default:
-		r.stats.SegmentsDup++
+		r.m.dups.Inc()
 		r.dsackPending = true
 	}
 	r.sendAck()
@@ -537,7 +595,7 @@ func (r *Receiver) sendAck() {
 		ack.SACKBlocks = r.sackRanges(3)
 	}
 	r.dsackPending = false
-	r.stats.AcksSent++
+	r.m.acks.Inc()
 	_ = r.edge.Inject(ack)
 }
 
@@ -561,9 +619,18 @@ func (r *Receiver) sackRanges(max int) []packet.SACKBlock {
 	return blocks
 }
 
-// Stats returns receiver counters.
-func (r *Receiver) Stats() ReceiverStats { return r.stats }
+// Stats reads the counters back from the registry.
+func (r *Receiver) Stats() ReceiverStats {
+	return ReceiverStats{
+		BytesInOrder:     r.m.goodputBytes.Value(),
+		SegmentsInOrder:  r.m.inOrder.Value(),
+		SegmentsOutOfOrd: r.m.outOfOrder.Value(),
+		SegmentsDup:      r.m.dups.Value(),
+		AcksSent:         r.m.acks.Value(),
+		MaxGap:           r.maxGap,
+	}
+}
 
 // BytesInOrder returns cumulative in-order payload bytes — the
 // iperf-equivalent goodput counter experiments sample over time.
-func (r *Receiver) BytesInOrder() int64 { return r.stats.BytesInOrder }
+func (r *Receiver) BytesInOrder() int64 { return r.m.goodputBytes.Value() }

@@ -1,0 +1,97 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Collector accumulates telemetry across many simulated worlds — the
+// parallel `-workers` harness merges each finished run's registry and
+// event log here. Metric merges commute, and the exposition sorts both
+// series and runs, so the dump is independent of worker completion
+// order: two invocations with the same seed are byte-identical.
+type Collector struct {
+	mu   sync.Mutex
+	reg  *Registry
+	runs map[string][]Event
+}
+
+// NewCollector builds an empty collector.
+func NewCollector() *Collector {
+	return &Collector{reg: NewRegistry(), runs: make(map[string][]Event)}
+}
+
+// Add merges one run's registry and (optionally) event log under a
+// unique run label. Labels must be deterministic per run — derive them
+// from the run's policy/flow/seed, never from time or scheduling.
+func (c *Collector) Add(run string, reg *Registry, ev *EventLog) {
+	if c == nil {
+		return
+	}
+	var events []Event
+	if ev != nil {
+		events = ev.Events()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reg.Merge(reg)
+	if events != nil {
+		c.runs[run] = events
+	}
+}
+
+// Registry returns the merged registry.
+func (c *Collector) Registry() *Registry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.reg
+}
+
+// Runs returns the collected run labels, sorted.
+func (c *Collector) Runs() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.runs))
+	for r := range c.runs {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Events returns one run's retained events.
+func (c *Collector) Events(run string) []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.runs[run]
+}
+
+// WritePrometheus renders the merged registry in Prometheus text
+// format.
+func (c *Collector) WritePrometheus(w io.Writer) error {
+	return c.Registry().WritePrometheus(w)
+}
+
+// dump is the JSON exposition shape: the merged metrics snapshot plus
+// the per-run control-plane event streams.
+type dump struct {
+	Metrics Snapshot           `json:"metrics"`
+	Events  map[string][]Event `json:"events,omitempty"`
+}
+
+// WriteJSON writes the merged metrics and every run's event stream as
+// indented JSON (map keys are sorted by encoding/json).
+func (c *Collector) WriteJSON(w io.Writer) error {
+	c.mu.Lock()
+	snap := c.reg.Snapshot()
+	events := make(map[string][]Event, len(c.runs))
+	for k, v := range c.runs {
+		events[k] = v
+	}
+	c.mu.Unlock()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(dump{Metrics: snap, Events: events})
+}

@@ -1,0 +1,136 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one structured control-plane record: a link failing or
+// repairing, a route installed or re-encoded, a deflection decision.
+// At is the simulation's virtual clock — never the wall clock — so
+// event streams are deterministic per seed.
+type Event struct {
+	At     time.Duration `json:"at_ns"`
+	Kind   string        `json:"kind"`
+	Where  string        `json:"where,omitempty"`  // node or link name
+	Detail string        `json:"detail,omitempty"` // free-form context (flow, cause, route)
+}
+
+func (e Event) String() string {
+	s := fmt.Sprintf("%12v %-14s %s", e.At, e.Kind, e.Where)
+	if e.Detail != "" {
+		s += " " + e.Detail
+	}
+	return s
+}
+
+// Canonical event kinds recorded by the instrumented layers.
+const (
+	EventLinkFail     = "link_fail"
+	EventLinkRepair   = "link_repair"
+	EventRouteInstall = "route_install"
+	EventReencode     = "reencode"
+	EventDeflect      = "deflect"
+	EventPolicyDrop   = "policy_drop"
+	EventNotify       = "failure_notify"
+)
+
+// DefaultEventCapacity bounds an event log's retention when the caller
+// passes no capacity.
+const DefaultEventCapacity = 4096
+
+// EventLog is a bounded ring buffer of control-plane events. When full
+// it evicts the oldest record and counts the eviction (optionally into
+// a registry counter). Safe for concurrent use, though a simulated
+// world is single-threaded by construction.
+type EventLog struct {
+	mu       sync.Mutex
+	now      func() time.Duration
+	capacity int
+	ring     []Event
+	start    int // oldest element when the ring is full
+	total    int64
+	evicted  int64
+	cEvicted *Counter
+}
+
+// NewEventLog builds a log retaining at most capacity events
+// (DefaultEventCapacity when <= 0). now supplies virtual-clock
+// timestamps; nil stamps every event at 0.
+func NewEventLog(capacity int, now func() time.Duration) *EventLog {
+	if capacity <= 0 {
+		capacity = DefaultEventCapacity
+	}
+	return &EventLog{now: now, capacity: capacity}
+}
+
+// SetEvictedCounter mirrors ring evictions into a registry counter
+// (e.g. kar_events_evicted_total).
+func (l *EventLog) SetEvictedCounter(c *Counter) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.cEvicted = c
+}
+
+// Record appends an event stamped at the current virtual time.
+func (l *EventLog) Record(kind, where, detail string) {
+	var at time.Duration
+	if l.now != nil {
+		at = l.now()
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.total++
+	e := Event{At: at, Kind: kind, Where: where, Detail: detail}
+	if len(l.ring) < l.capacity {
+		l.ring = append(l.ring, e)
+		return
+	}
+	l.ring[l.start] = e
+	l.start = (l.start + 1) % l.capacity
+	l.evicted++
+	if l.cEvicted != nil {
+		l.cEvicted.Inc()
+	}
+}
+
+// Events returns the retained events, oldest first.
+func (l *EventLog) Events() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, 0, len(l.ring))
+	out = append(out, l.ring[l.start:]...)
+	out = append(out, l.ring[:l.start]...)
+	return out
+}
+
+// Len returns how many events are currently retained.
+func (l *EventLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.ring)
+}
+
+// Total returns how many events were ever recorded.
+func (l *EventLog) Total() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// Evicted returns how many events the ring displaced.
+func (l *EventLog) Evicted() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.evicted
+}
+
+// WriteJSON dumps the retained events as an indented JSON array.
+func (l *EventLog) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(l.Events())
+}

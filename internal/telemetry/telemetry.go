@@ -1,0 +1,562 @@
+// Package telemetry is the unified observability layer of the KAR
+// reproduction: a zero-dependency metrics registry (counters, gauges,
+// fixed-bucket histograms, all labelled) plus a structured
+// control-plane event log with bounded retention (events.go) and a
+// cross-run Collector (collector.go) that merges per-world registries
+// into one exposition.
+//
+// Determinism contract: metrics are timestamp-free and events are
+// stamped on the simulation's *virtual* clock, never the wall clock,
+// so two runs with the same seed produce byte-identical dumps. All
+// merge operations are commutative (counters, histogram buckets and
+// gauges add; integral observations keep float sums exact), which
+// makes the merged exposition independent of the order in which
+// parallel `-workers` goroutines finish.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one metric dimension.
+type Label struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// kind discriminates metric families.
+type kind int
+
+const (
+	kindCounter kind = iota + 1
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return "untyped"
+	}
+}
+
+// Counter is a monotonically increasing integer metric. Safe for
+// concurrent use.
+type Counter struct {
+	v      int64
+	labels []Label
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { atomic.AddInt64(&c.v, 1) }
+
+// Add adds n (n must be non-negative; counters only go up).
+func (c *Counter) Add(n int64) {
+	if n < 0 {
+		panic("telemetry: counter decremented")
+	}
+	atomic.AddInt64(&c.v, n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return atomic.LoadInt64(&c.v) }
+
+// Gauge is an instantaneous float metric. Safe for concurrent use.
+type Gauge struct {
+	bits   uint64
+	labels []Label
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { atomic.StoreUint64(&g.bits, math.Float64bits(v)) }
+
+// Add adjusts the value by d.
+func (g *Gauge) Add(d float64) {
+	for {
+		old := atomic.LoadUint64(&g.bits)
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if atomic.CompareAndSwapUint64(&g.bits, old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(atomic.LoadUint64(&g.bits)) }
+
+// Histogram is a fixed-bucket cumulative histogram ("le" semantics: a
+// sample lands in the first bucket whose upper bound is >= the value).
+// Safe for concurrent use. Observations should be integral (hop
+// counts, nanoseconds) to keep merged sums exact and dumps
+// byte-deterministic.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // sorted upper bounds; +Inf bucket is implicit
+	counts []int64   // len(bounds)+1; last is the +Inf bucket
+	count  int64
+	sum    float64
+	labels []Label
+}
+
+// HopBuckets suits hop-count distributions (path stretch): the
+// Net15/RNP shortest paths sit at 4-7 hops, deflection walks wander
+// toward the 64-hop TTL.
+var HopBuckets = []float64{2, 4, 6, 8, 12, 16, 24, 32, 48, 64}
+
+// LatencyBucketsUs suits one-way latencies observed in microseconds.
+var LatencyBucketsUs = []float64{100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000, 100000}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.count++
+	h.sum += v
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i]++
+			return
+		}
+	}
+	h.counts[len(h.bounds)]++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Buckets returns the upper bounds and the per-bucket (non-cumulative)
+// counts; the final count is the +Inf bucket.
+func (h *Histogram) Buckets() (bounds []float64, counts []int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]float64(nil), h.bounds...), append([]int64(nil), h.counts...)
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) by linear
+// interpolation inside the bucket that contains it, in the manner of
+// Prometheus's histogram_quantile. It returns NaN for an empty
+// histogram; samples in the +Inf bucket resolve to the highest finite
+// bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(h.count)
+	var cum int64
+	for i, c := range h.counts {
+		prev := float64(cum)
+		cum += c
+		if float64(cum) < target || c == 0 {
+			continue
+		}
+		if i >= len(h.bounds) { // +Inf bucket
+			if len(h.bounds) == 0 {
+				return math.NaN()
+			}
+			return h.bounds[len(h.bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		hi := h.bounds[i]
+		return lo + (hi-lo)*(target-prev)/float64(c)
+	}
+	if len(h.bounds) == 0 {
+		return math.NaN()
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// RebuildHistogram reconstructs a standalone histogram from exported
+// bucket state (e.g. a Snapshot, or several snapshots whose counts
+// were summed), so quantiles can be computed over merged data. counts
+// must have len(bounds)+1 entries, the last being the +Inf bucket.
+func RebuildHistogram(bounds []float64, counts []int64, count int64, sum float64) *Histogram {
+	h := &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]int64, len(bounds)+1),
+		count:  count,
+		sum:    sum,
+	}
+	copy(h.counts, counts)
+	return h
+}
+
+// merge folds another histogram's state into h. Bucket layouts must
+// match (same metric family ⇒ same constructor buckets).
+func (h *Histogram) merge(count int64, sum float64, counts []int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.count += count
+	h.sum += sum
+	for i := range counts {
+		if i < len(h.counts) {
+			h.counts[i] += counts[i]
+		}
+	}
+}
+
+// family groups every labelled series of one metric name.
+type family struct {
+	name   string
+	kind   kind
+	bounds []float64 // histograms only
+	series map[string]any
+}
+
+// Registry holds metric families. Series registration is idempotent:
+// asking for the same (name, labels) twice returns the same handle.
+// Safe for concurrent use; hot paths should cache handles.
+type Registry struct {
+	mu       sync.Mutex
+	base     []Label // applied to every series
+	families map[string]*family
+	helps    map[string]string // HELP text by family name
+}
+
+// RegistryOption configures a Registry.
+type RegistryOption func(*Registry)
+
+// WithBaseLabels attaches constant labels (key/value pairs) to every
+// series the registry creates — e.g. the world's deflection policy.
+func WithBaseLabels(kv ...string) RegistryOption {
+	return func(r *Registry) { r.base = append(r.base, pairs(kv)...) }
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry(opts ...RegistryOption) *Registry {
+	r := &Registry{families: make(map[string]*family), helps: make(map[string]string)}
+	for _, opt := range opts {
+		opt(r)
+	}
+	return r
+}
+
+// pairs converts a flat k,v,k,v slice into labels.
+func pairs(kv []string) []Label {
+	if len(kv)%2 != 0 {
+		panic("telemetry: odd label key/value list")
+	}
+	out := make([]Label, 0, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		out = append(out, Label{Key: kv[i], Value: kv[i+1]})
+	}
+	return out
+}
+
+// labelSet merges base labels with call labels, sorted by key.
+func (r *Registry) labelSet(kv []string) []Label {
+	ls := append(append([]Label(nil), r.base...), pairs(kv)...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	return ls
+}
+
+// seriesKey serialises a sorted label set.
+func seriesKey(ls []Label) string {
+	var b strings.Builder
+	for _, l := range ls {
+		b.WriteString(l.Key)
+		b.WriteByte('\x00')
+		b.WriteString(l.Value)
+		b.WriteByte('\x00')
+	}
+	return b.String()
+}
+
+func (r *Registry) getFamily(name string, k kind, bounds []float64) *family {
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, kind: k, bounds: bounds, series: make(map[string]any)}
+		r.families[name] = f
+		return f
+	}
+	if f.kind != k {
+		panic(fmt.Sprintf("telemetry: metric %q re-registered as %v (was %v)", name, k, f.kind))
+	}
+	return f
+}
+
+// Help sets the family's HELP text. The family need not exist yet:
+// the text is kept by name and emitted once the first series appears.
+func (r *Registry) Help(name, text string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.helps[name] = text
+}
+
+// Counter returns (creating if absent) the counter for name and the
+// given label key/value pairs.
+func (r *Registry) Counter(name string, kv ...string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.getFamily(name, kindCounter, nil)
+	ls := r.labelSet(kv)
+	key := seriesKey(ls)
+	if c, ok := f.series[key]; ok {
+		return c.(*Counter)
+	}
+	c := &Counter{labels: ls}
+	f.series[key] = c
+	return c
+}
+
+// Gauge returns (creating if absent) the gauge for name and labels.
+func (r *Registry) Gauge(name string, kv ...string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.getFamily(name, kindGauge, nil)
+	ls := r.labelSet(kv)
+	key := seriesKey(ls)
+	if g, ok := f.series[key]; ok {
+		return g.(*Gauge)
+	}
+	g := &Gauge{labels: ls}
+	f.series[key] = g
+	return g
+}
+
+// Histogram returns (creating if absent) the histogram for name and
+// labels. bounds are sorted upper bucket bounds; nil takes HopBuckets.
+// The first registration of a family fixes its bucket layout.
+func (r *Registry) Histogram(name string, bounds []float64, kv ...string) *Histogram {
+	if len(bounds) == 0 {
+		bounds = HopBuckets
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.getFamily(name, kindHistogram, bounds)
+	ls := r.labelSet(kv)
+	key := seriesKey(ls)
+	if h, ok := f.series[key]; ok {
+		return h.(*Histogram)
+	}
+	h := &Histogram{
+		bounds: append([]float64(nil), f.bounds...),
+		counts: make([]int64, len(f.bounds)+1),
+		labels: ls,
+	}
+	f.series[key] = h
+	return h
+}
+
+// CounterValue reads a counter without creating it (0 when absent).
+func (r *Registry) CounterValue(name string, kv ...string) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok || f.kind != kindCounter {
+		return 0
+	}
+	if c, ok := f.series[seriesKey(r.labelSet(kv))]; ok {
+		return c.(*Counter).Value()
+	}
+	return 0
+}
+
+// SumCounter sums a counter family across every series whose label set
+// contains all the given key/value pairs (no pairs = whole family).
+func (r *Registry) SumCounter(name string, kv ...string) int64 {
+	match := pairs(kv)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok || f.kind != kindCounter {
+		return 0
+	}
+	var sum int64
+	for _, s := range f.series {
+		c := s.(*Counter)
+		if labelsContain(c.labels, match) {
+			sum += c.Value()
+		}
+	}
+	return sum
+}
+
+func labelsContain(ls, want []Label) bool {
+	for _, w := range want {
+		found := false
+		for _, l := range ls {
+			if l == w {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// Merge folds another registry's current state into r: counters,
+// gauges and histogram buckets add. Addition commutes, so merging
+// per-worker shard registries in any completion order yields the same
+// result.
+func (r *Registry) Merge(o *Registry) {
+	if o == nil || o == r {
+		return
+	}
+	o.mu.Lock()
+	helps := make(map[string]string, len(o.helps))
+	for n, h := range o.helps {
+		helps[n] = h
+	}
+	o.mu.Unlock()
+	r.mu.Lock()
+	for n, h := range helps {
+		if _, ok := r.helps[n]; !ok {
+			r.helps[n] = h
+		}
+	}
+	r.mu.Unlock()
+	for _, fs := range o.snapshotFamilies() {
+		for _, s := range fs.series {
+			switch fs.kind {
+			case kindCounter:
+				r.counterForLabels(fs.name, s.labels).Add(s.value)
+			case kindGauge:
+				r.gaugeForLabels(fs.name, s.labels).Add(s.fvalue)
+			case kindHistogram:
+				r.histogramForLabels(fs.name, fs.bounds, s.labels).merge(s.value, s.fvalue, s.counts)
+			}
+		}
+	}
+}
+
+// counterForLabels fetches a counter by pre-built (already sorted,
+// base-labels-included) label set — Merge must not re-apply r's base
+// labels to series that carry their own.
+func (r *Registry) counterForLabels(name string, ls []Label) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.getFamily(name, kindCounter, nil)
+	key := seriesKey(ls)
+	if c, ok := f.series[key]; ok {
+		return c.(*Counter)
+	}
+	c := &Counter{labels: ls}
+	f.series[key] = c
+	return c
+}
+
+func (r *Registry) gaugeForLabels(name string, ls []Label) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.getFamily(name, kindGauge, nil)
+	key := seriesKey(ls)
+	if g, ok := f.series[key]; ok {
+		return g.(*Gauge)
+	}
+	g := &Gauge{labels: ls}
+	f.series[key] = g
+	return g
+}
+
+func (r *Registry) histogramForLabels(name string, bounds []float64, ls []Label) *Histogram {
+	if len(bounds) == 0 {
+		bounds = HopBuckets
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.getFamily(name, kindHistogram, bounds)
+	key := seriesKey(ls)
+	if h, ok := f.series[key]; ok {
+		return h.(*Histogram)
+	}
+	h := &Histogram{
+		bounds: append([]float64(nil), f.bounds...),
+		counts: make([]int64, len(f.bounds)+1),
+		labels: ls,
+	}
+	f.series[key] = h
+	return h
+}
+
+// seriesSnap is one frozen series used by Merge and the exposition.
+type seriesSnap struct {
+	labels []Label
+	value  int64   // counter value / histogram count
+	fvalue float64 // gauge value / histogram sum
+	counts []int64 // histogram buckets
+}
+
+type familySnap struct {
+	name   string
+	help   string
+	kind   kind
+	bounds []float64
+	series []seriesSnap // sorted by label key
+}
+
+// snapshotFamilies freezes the registry, sorted by family name and
+// series label key, for deterministic iteration.
+func (r *Registry) snapshotFamilies() []familySnap {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]familySnap, 0, len(names))
+	for _, n := range names {
+		f := r.families[n]
+		fs := familySnap{name: f.name, help: r.helps[n], kind: f.kind, bounds: f.bounds}
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			switch s := f.series[k].(type) {
+			case *Counter:
+				fs.series = append(fs.series, seriesSnap{labels: s.labels, value: s.Value()})
+			case *Gauge:
+				fs.series = append(fs.series, seriesSnap{labels: s.labels, fvalue: s.Value()})
+			case *Histogram:
+				s.mu.Lock()
+				fs.series = append(fs.series, seriesSnap{
+					labels: s.labels,
+					value:  s.count,
+					fvalue: s.sum,
+					counts: append([]int64(nil), s.counts...),
+				})
+				s.mu.Unlock()
+			}
+		}
+		out = append(out, fs)
+	}
+	return out
+}

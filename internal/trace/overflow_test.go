@@ -1,0 +1,57 @@
+package trace_test
+
+import (
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/simnet"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// TestCaptureRingOverflow overfills the ring and asserts the oldest
+// events are evicted, the totals stay exact, and the registry's
+// eviction counter agrees with Displaced().
+func TestCaptureRingOverflow(t *testing.T) {
+	g := topology.New("pair")
+	if _, err := g.AddEdge("A"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddEdge("B"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Connect("A", "B"); err != nil {
+		t.Fatal(err)
+	}
+	n := simnet.New(g)
+
+	const capSize = 4
+	const total = 11
+	cap := trace.New(n, capSize, nil)
+	for i := 0; i < total; i++ {
+		// Every Drop lands in the capture via the drop hook; Seq marks
+		// the record order.
+		n.Drop(&packet.Packet{Seq: uint64(i), TTL: 1}, simnet.DropTTL, "A")
+	}
+
+	evs := cap.Events()
+	if len(evs) != capSize {
+		t.Fatalf("ring holds %d events, want %d", len(evs), capSize)
+	}
+	// Only the newest capSize records survive, oldest first.
+	for i, e := range evs {
+		want := uint64(total - capSize + i)
+		if e.Seq != want {
+			t.Errorf("event %d seq = %d, want %d (oldest must be evicted first)", i, e.Seq, want)
+		}
+	}
+	if cap.Total() != total {
+		t.Errorf("Total = %d, want %d", cap.Total(), total)
+	}
+	if want := int64(total - capSize); cap.Displaced() != want {
+		t.Errorf("Displaced = %d, want %d", cap.Displaced(), want)
+	}
+	if got := n.Metrics().CounterValue("kar_trace_evicted_total"); got != cap.Displaced() {
+		t.Errorf("kar_trace_evicted_total = %d, Displaced() = %d — registry diverged", got, cap.Displaced())
+	}
+}

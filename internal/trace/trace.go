@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/packet"
 	"repro/internal/simnet"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 )
 
@@ -80,12 +81,12 @@ func And(fs ...Filter) Filter {
 
 // Capture is a bounded ring buffer of events attached to a network.
 type Capture struct {
-	filter  Filter
-	max     int
-	events  []Event
-	start   int // ring start when full
-	total   int64
-	dropped int64 // events displaced from the ring
+	filter   Filter
+	max      int
+	events   []Event
+	start    int // ring start when full
+	total    int64
+	cEvicted *telemetry.Counter // events displaced from the ring
 }
 
 // New creates a capture holding at most max events (default 4096) and
@@ -94,7 +95,11 @@ func New(net *simnet.Network, max int, filter Filter) *Capture {
 	if max <= 0 {
 		max = 4096
 	}
-	c := &Capture{filter: filter, max: max}
+	c := &Capture{
+		filter:   filter,
+		max:      max,
+		cEvicted: net.Metrics().Counter("kar_trace_evicted_total"),
+	}
 	net.SetDeliverHook(func(pkt *packet.Packet, at *topology.Node, inPort int) {
 		c.record(Event{
 			At: net.Scheduler().Now(), Kind: EventDeliver, Where: at.Name(), InPort: inPort,
@@ -122,7 +127,7 @@ func (c *Capture) record(e Event) {
 	}
 	c.events[c.start] = e
 	c.start = (c.start + 1) % c.max
-	c.dropped++
+	c.cEvicted.Inc()
 }
 
 // Events returns the captured events in arrival order.
@@ -138,8 +143,8 @@ func (c *Capture) Events() []Event {
 func (c *Capture) Total() int64 { return c.total }
 
 // Displaced returns how many matched events were pushed out of the
-// ring.
-func (c *Capture) Displaced() int64 { return c.dropped }
+// ring (read back from the registry's kar_trace_evicted_total).
+func (c *Capture) Displaced() int64 { return c.cEvicted.Value() }
 
 // String renders the capture tcpdump-style, one line per event.
 func (c *Capture) String() string {

@@ -12,6 +12,7 @@ import (
 	"repro/internal/edge"
 	"repro/internal/packet"
 	"repro/internal/simnet"
+	"repro/internal/telemetry"
 )
 
 // Config tunes a CBR flow.
@@ -44,6 +45,7 @@ type Sender struct {
 
 	sent    int
 	stopped bool
+	cSent   *telemetry.Counter
 }
 
 // Stats for the receiver side.
@@ -82,14 +84,31 @@ type Receiver struct {
 	gotAny  bool
 	seen    map[uint64]bool
 	stats   Stats
+
+	// Registry-backed counters and the one-way latency histogram.
+	cReceived  *telemetry.Counter
+	cReordered *telemetry.Counter
+	cDups      *telemetry.Counter
+	hLatency   *telemetry.Histogram
 }
 
 // NewFlow wires a CBR sender and receiver; the forward route must be
 // installed on srcEdge.
 func NewFlow(net *simnet.Network, srcEdge, dstEdge *edge.Edge, flow packet.FlowID, cfg Config) (*Sender, *Receiver) {
 	cfg = cfg.Defaults()
-	s := &Sender{sched: net.Scheduler(), edge: srcEdge, flow: flow, cfg: cfg}
-	r := &Receiver{sched: net.Scheduler(), seen: make(map[uint64]bool)}
+	reg := net.Metrics()
+	f := flow.String()
+	s := &Sender{
+		sched: net.Scheduler(), edge: srcEdge, flow: flow, cfg: cfg,
+		cSent: reg.Counter("kar_udp_sent_total", "flow", f),
+	}
+	r := &Receiver{
+		sched: net.Scheduler(), seen: make(map[uint64]bool),
+		cReceived:  reg.Counter("kar_udp_received_total", "flow", f),
+		cReordered: reg.Counter("kar_udp_reordered_total", "flow", f),
+		cDups:      reg.Counter("kar_udp_dup_total", "flow", f),
+		hLatency:   reg.Histogram("kar_udp_latency_us", telemetry.LatencyBucketsUs, "flow", f),
+	}
 	dstEdge.Attach(flow, edge.ReceiverFunc(r.onData))
 	return s, r
 }
@@ -115,6 +134,7 @@ func (s *Sender) tick() {
 		SentAt: s.sched.Now(),
 	}
 	s.sent++
+	s.cSent.Inc()
 	_ = s.edge.Inject(pkt)
 	s.sched.After(s.cfg.Interval, s.tick)
 }
@@ -122,22 +142,26 @@ func (s *Sender) tick() {
 func (r *Receiver) onData(pkt *packet.Packet) {
 	st := &r.stats
 	if r.seen[pkt.Seq] {
-		st.DupSeqs++
+		r.cDups.Inc()
 		return
 	}
 	r.seen[pkt.Seq] = true
-	st.Received++
+	r.cReceived.Inc()
 	st.TotalHops += int64(pkt.Hops)
-	if st.Received == 1 || pkt.Hops < st.MinHops {
+	if r.cReceived.Value() == 1 || pkt.Hops < st.MinHops {
 		st.MinHops = pkt.Hops
 	}
 	if pkt.Hops > st.MaxHops {
 		st.MaxHops = pkt.Hops
 	}
-	st.Latency = append(st.Latency, r.sched.Now()-pkt.SentAt)
+	lat := r.sched.Now() - pkt.SentAt
+	st.Latency = append(st.Latency, lat)
+	// Whole microseconds keep the histogram sum integral, preserving
+	// byte-determinism of merged dumps.
+	r.hLatency.Observe(float64(lat / time.Microsecond))
 	st.LastArrive = r.sched.Now()
 	if r.gotAny && pkt.Seq < r.highSeq {
-		st.Reordered++
+		r.cReordered.Inc()
 	}
 	if pkt.Seq > r.highSeq || !r.gotAny {
 		r.highSeq = pkt.Seq
@@ -145,9 +169,13 @@ func (r *Receiver) onData(pkt *packet.Packet) {
 	r.gotAny = true
 }
 
-// Stats returns a snapshot including the sender's emission count.
+// Stats returns a snapshot including the sender's emission count,
+// counter fields read back from the registry.
 func (r *Receiver) Stats(sender *Sender) Stats {
 	st := r.stats
 	st.Sent = sender.Sent()
+	st.Received = int(r.cReceived.Value())
+	st.Reordered = int(r.cReordered.Value())
+	st.DupSeqs = int(r.cDups.Value())
 	return st
 }
