@@ -17,6 +17,7 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/packet"
 	"repro/internal/rns"
+	"repro/internal/simnet"
 	"repro/internal/topology"
 	"repro/internal/udpsim"
 )
@@ -62,36 +63,138 @@ func BenchmarkCRTEncodeWide(b *testing.B) {
 	}
 }
 
-// BenchmarkForwardModulo measures the entire per-packet data plane:
-// one modulo.
-func BenchmarkForwardModulo(b *testing.B) {
-	r := rns.RouteIDFromUint64(4402485597509) // a 43-bit route ID
-	sink := 0
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		sink += core.Forward(r, 29)
+// forwardIDs builds 8 distinct ≤43-bit route IDs. Benchmarks index
+// them per iteration so the modulo argument is never loop-invariant —
+// a constant argument lets the compiler hoist the entire reduction out
+// of the loop and the benchmark measures nothing.
+func forwardIDs() [8]rns.RouteID {
+	var ids [8]rns.RouteID
+	for i := range ids {
+		ids[i] = rns.RouteIDFromUint64(4402485597509 + uint64(i)*977)
 	}
-	_ = sink
+	return ids
 }
 
-// BenchmarkForwardModuloWide measures forwarding with a >64-bit route
-// ID.
-func BenchmarkForwardModuloWide(b *testing.B) {
+// wideForwardIDs builds 8 distinct >64-bit route IDs on the 16-prime
+// full-protection basis.
+func wideForwardIDs(b *testing.B) [8]rns.RouteID {
 	moduli := []uint64{7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67}
 	sys, err := rns.NewSystem(moduli)
 	if err != nil {
 		b.Fatal(err)
 	}
-	r, err := sys.Encode(make([]uint64, len(moduli)))
-	if err != nil {
-		b.Fatal(err)
+	var ids [8]rns.RouteID
+	residues := make([]uint64, len(moduli))
+	for i := range ids {
+		for j, m := range moduli {
+			residues[j] = uint64(i+j) % m
+		}
+		id, err := sys.Encode(residues)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ids[i] = id
 	}
+	return ids
+}
+
+// benchSwitchID and benchWideSwitchID are deliberately variables, not
+// constants: a compile-time-constant modulus lets the compiler
+// strength-reduce % into multiplies, which no running switch (whose ID
+// arrives from the topology at runtime) gets to do. Keeping them in
+// package scope makes the division baselines measure the DIV
+// instruction the pre-reducer data plane actually executed.
+var (
+	benchSwitchID     uint64 = 29
+	benchWideSwitchID uint64 = 67
+)
+
+// BenchmarkForwardModulo measures the entire per-packet data plane of
+// a running switch: the small/wide dispatch plus one precomputed
+// reduction, exactly the construct kswitch inlines into its packet
+// loop (view.Forward). The division baseline below inlines the same
+// way, so the two benchmarks compare like with like.
+func BenchmarkForwardModulo(b *testing.B) {
+	red := rns.NewReducer(benchSwitchID)
+	ids := forwardIDs()
 	sink := 0
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sink += core.Forward(r, 67)
+		if u, ok := ids[i&7].Uint64(); ok {
+			sink += int(red.Mod64(u))
+		} else {
+			sink += core.ForwardReduced(red, ids[i&7])
+		}
 	}
-	_ = sink
+	if sink < 0 {
+		b.Fatal("impossible sink")
+	}
+}
+
+// BenchmarkForwardModuloDiv is the ablation baseline: the same
+// forwarding computed with the pre-reducer division path
+// (core.Forward), for direct comparison against BenchmarkForwardModulo.
+func BenchmarkForwardModuloDiv(b *testing.B) {
+	ids := forwardIDs()
+	sink := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink += core.Forward(ids[i&7], benchSwitchID)
+	}
+	if sink < 0 {
+		b.Fatal("impossible sink")
+	}
+}
+
+// BenchmarkForwardModuloWide measures forwarding with >64-bit route
+// IDs (math/big residues) through the precomputed reducer.
+func BenchmarkForwardModuloWide(b *testing.B) {
+	red := rns.NewReducer(benchWideSwitchID)
+	ids := wideForwardIDs(b)
+	sink := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink += core.ForwardReduced(red, ids[i&7])
+	}
+	if sink < 0 {
+		b.Fatal("impossible sink")
+	}
+}
+
+// BenchmarkForwardModuloWideDiv is the wide-path division baseline.
+func BenchmarkForwardModuloWideDiv(b *testing.B) {
+	ids := wideForwardIDs(b)
+	sink := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink += core.Forward(ids[i&7], benchWideSwitchID)
+	}
+	if sink < 0 {
+		b.Fatal("impossible sink")
+	}
+}
+
+// BenchmarkSchedulerSteadyState measures one schedule+dispatch cycle
+// against a pre-warmed event heap: the zero-allocation core loop of
+// every simulation.
+func BenchmarkSchedulerSteadyState(b *testing.B) {
+	var s simnet.Scheduler
+	fn := func() {}
+	for i := 0; i < 1024; i++ {
+		s.After(time.Duration(i)*time.Microsecond, fn)
+	}
+	for s.Step() {
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.After(time.Microsecond, fn)
+		s.Step()
+	}
 }
 
 // BenchmarkHeaderCodec measures the shim header marshal+unmarshal
@@ -113,6 +216,23 @@ func BenchmarkHeaderCodec(b *testing.B) {
 	}
 }
 
+// BenchmarkHeaderMarshalPooled measures a marshal round trip through
+// the packet.Buffer pool — the allocation-free encap path.
+func BenchmarkHeaderMarshalPooled(b *testing.B) {
+	h := packet.Header{Version: 1, TTL: 64, RouteID: rns.RouteIDFromUint64(4402485597509)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf := packet.GetBuffer()
+		out, err := h.Marshal(buf.B)
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf.B = out
+		buf.Put()
+	}
+}
+
 // BenchmarkSwitchPipeline measures simulated forwarding throughput:
 // packets per second through the full edge→core→edge pipeline on the
 // Fig. 1 network.
@@ -129,9 +249,14 @@ func BenchmarkSwitchPipeline(b *testing.B) {
 	flow := packet.FlowID{Src: "S", Dst: "D"}
 	delivered := 0
 	w.Edges["D"].Attach(flow, edgeCounter{&delivered})
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		p := &packet.Packet{Flow: flow, Kind: packet.KindData, Seq: uint64(i), Size: 1500}
+		p := packet.Get()
+		p.Flow = flow
+		p.Kind = packet.KindData
+		p.Seq = uint64(i)
+		p.Size = 1500
 		if err := w.Edges["S"].Inject(p); err != nil {
 			b.Fatal(err)
 		}
@@ -147,7 +272,10 @@ func BenchmarkSwitchPipeline(b *testing.B) {
 
 type edgeCounter struct{ n *int }
 
-func (c edgeCounter) Deliver(*packet.Packet) { *c.n++ }
+func (c edgeCounter) Deliver(p *packet.Packet) {
+	*c.n++
+	p.Release()
+}
 
 // ---------------------------------------------------------------------------
 // Table and figure benchmarks.

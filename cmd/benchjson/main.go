@@ -1,0 +1,190 @@
+// Command benchjson converts `go test -bench -benchmem` output into a
+// stable JSON document and, given a previous document, annotates each
+// benchmark with the relative change — the repository's perf-regression
+// ledger (scripts/bench.sh drives it and commits BENCH_<date>.json).
+//
+// Usage:
+//
+//	go test -bench . -benchmem | benchjson [-label after] [-prev old.json] [-o out.json]
+//
+// The input is the standard benchmark text format:
+//
+//	BenchmarkName-8   1000000   123.4 ns/op   16 B/op   2 allocs/op   5.0 custom-metric
+//
+// Output maps benchmark name (GOMAXPROCS suffix stripped) to its
+// metrics. When -prev is given, each entry gains a "delta_ns_pct"
+// field ((new−old)/old·100, negative = faster) and the document gains
+// a "baseline" block embedding the previous run, so a single committed
+// file records before and after.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result holds the parsed metrics of one benchmark line.
+type Result struct {
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_op"`
+	BytesPerOp *float64           `json:"b_op,omitempty"`
+	AllocsOp   *float64           `json:"allocs_op,omitempty"`
+	Custom     map[string]float64 `json:"custom,omitempty"`
+	DeltaNsPct *float64           `json:"delta_ns_pct,omitempty"`
+}
+
+// Doc is the emitted JSON document.
+type Doc struct {
+	Label      string             `json:"label,omitempty"`
+	Go         string             `json:"go,omitempty"`
+	CPU        string             `json:"cpu,omitempty"`
+	Benchmarks map[string]*Result `json:"benchmarks"`
+	Baseline   *Doc               `json:"baseline,omitempty"`
+}
+
+func main() {
+	label := flag.String("label", "", "label recorded in the document (e.g. a commit hash)")
+	prevPath := flag.String("prev", "", "previous benchjson document to diff against")
+	outPath := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	doc := &Doc{Label: *label, Benchmarks: map[string]*Result{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "cpu:"):
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case strings.HasPrefix(line, "go:"):
+			doc.Go = strings.TrimSpace(strings.TrimPrefix(line, "go:"))
+			continue
+		}
+		name, res, ok := parseLine(line)
+		if !ok {
+			continue
+		}
+		// -count>1 repeats a name; keep the fastest run, the standard
+		// way to suppress scheduling noise on a shared box.
+		if old, dup := doc.Benchmarks[name]; !dup || res.NsPerOp < old.NsPerOp {
+			doc.Benchmarks[name] = res
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatalf("reading stdin: %v", err)
+	}
+	if len(doc.Benchmarks) == 0 {
+		fatalf("no benchmark lines found on stdin")
+	}
+
+	if *prevPath != "" {
+		prev := &Doc{}
+		raw, err := os.ReadFile(*prevPath)
+		if err != nil {
+			fatalf("reading previous document: %v", err)
+		}
+		if err := json.Unmarshal(raw, prev); err != nil {
+			fatalf("parsing %s: %v", *prevPath, err)
+		}
+		// Never chain baselines: a committed file records exactly one
+		// before/after pair.
+		prev.Baseline = nil
+		doc.Baseline = prev
+		for name, res := range doc.Benchmarks {
+			if old, ok := prev.Benchmarks[name]; ok && old.NsPerOp > 0 {
+				pct := (res.NsPerOp - old.NsPerOp) / old.NsPerOp * 100
+				res.DeltaNsPct = &pct
+			}
+		}
+	}
+
+	out, err := marshalStable(doc)
+	if err != nil {
+		fatalf("encoding: %v", err)
+	}
+	if *outPath == "" {
+		fmt.Println(string(out))
+		return
+	}
+	if err := os.WriteFile(*outPath, append(out, '\n'), 0o644); err != nil {
+		fatalf("writing %s: %v", *outPath, err)
+	}
+	// A human-readable echo of the headline comparisons.
+	names := make([]string, 0, len(doc.Benchmarks))
+	for name := range doc.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		res := doc.Benchmarks[name]
+		delta := ""
+		if res.DeltaNsPct != nil {
+			delta = fmt.Sprintf("  (%+.1f%% vs baseline)", *res.DeltaNsPct)
+		}
+		fmt.Printf("%-40s %10.2f ns/op%s\n", name, res.NsPerOp, delta)
+	}
+}
+
+// parseLine parses one benchmark result line. Returns ok=false for
+// non-benchmark lines (headers, PASS, ok ...).
+func parseLine(line string) (string, *Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", nil, false
+	}
+	name := fields[0]
+	// Strip the -<GOMAXPROCS> suffix so documents from different boxes
+	// compare by benchmark identity.
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return "", nil, false
+	}
+	res := &Result{Iterations: iters}
+	seenNs := false
+	// Remaining fields come in "<value> <unit>" pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", nil, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			res.NsPerOp = val
+			seenNs = true
+		case "B/op":
+			res.BytesPerOp = &val
+		case "allocs/op":
+			res.AllocsOp = &val
+		default:
+			if res.Custom == nil {
+				res.Custom = map[string]float64{}
+			}
+			res.Custom[unit] = val
+		}
+	}
+	return name, res, seenNs
+}
+
+// marshalStable renders the document with sorted keys (encoding/json
+// sorts map keys) and stable indentation, so committed files diff
+// cleanly between PRs.
+func marshalStable(doc *Doc) ([]byte, error) {
+	return json.MarshalIndent(doc, "", "  ")
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchjson: "+format+"\n", args...)
+	os.Exit(1)
+}

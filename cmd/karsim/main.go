@@ -61,7 +61,7 @@ func run(args []string) error {
 	fs.IntVar(&opts.runs, "runs", 30, "repetitions for fig5/fig7/fig8 (the paper used 30)")
 	fs.DurationVar(&opts.duration, "duration", 6*time.Second, "virtual duration per fig5/fig7/fig8 run (paper: 5s + ramp)")
 	fs.Int64Var(&opts.seed, "seed", 1, "base random seed")
-	fs.IntVar(&opts.workers, "workers", 8, "parallel simulation workers")
+	fs.IntVar(&opts.workers, "workers", 0, "parallel simulation workers (0 = one per CPU)")
 	fs.BoolVar(&opts.csv, "csv", false, "emit CSV instead of aligned tables")
 	fs.StringVar(&opts.metrics, "metrics", "", "write a Prometheus-text metrics dump to this path (plus <path>.json with events) and print a MetricsReport")
 	fs.StringVar(&opts.pprof, "pprof", "", "write runtime profiles to <prefix>.cpu.pprof and <prefix>.heap.pprof")

@@ -1,0 +1,43 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/rns"
+)
+
+// TestForwardZeroAlloc: the per-packet data plane — reducer-based and
+// division-based, small and wide route IDs — must not allocate.
+func TestForwardZeroAlloc(t *testing.T) {
+	small := rns.RouteIDFromUint64(4402485597509)
+	sys, err := rns.NewSystem([]uint64{7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := sys.Encode([]uint64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wide.IsWide() {
+		t.Fatal("16-prime route ID unexpectedly fits 64 bits")
+	}
+	red := rns.NewReducer(29)
+	sink := 0
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"ForwardReduced/small", func() { sink += ForwardReduced(red, small) }},
+		{"ForwardReduced/wide", func() { sink += ForwardReduced(red, wide) }},
+		{"Forward/small", func() { sink += Forward(small, 29) }},
+		{"Forward/wide", func() { sink += Forward(wide, 29) }},
+	}
+	for _, tc := range cases {
+		if allocs := testing.AllocsPerRun(100, tc.fn); allocs != 0 {
+			t.Errorf("%s allocates %.1f objects/op, want 0", tc.name, allocs)
+		}
+	}
+	if sink < 0 {
+		t.Fatal("impossible sink")
+	}
+}

@@ -219,6 +219,16 @@ func primaryHops(path topology.Path) ([]Hop, error) {
 // the output port of a switch for a packet carrying route ID r.
 // The result may not correspond to an existing or healthy port; that
 // is what deflection policies handle.
+//
+// Hot paths should precompute a per-switch rns.NewReducer(switchID)
+// once and use ForwardReduced, which replaces the per-packet division
+// with two multiplications.
 func Forward(r rns.RouteID, switchID uint64) int {
 	return int(r.Mod(switchID))
+}
+
+// ForwardReduced is Forward with the switch's precomputed reduction
+// constants: the per-packet pipeline of a running switch, division-free.
+func ForwardReduced(red rns.Reducer, r rns.RouteID) int {
+	return int(red.Mod(r))
 }

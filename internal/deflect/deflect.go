@@ -20,17 +20,21 @@ package deflect
 import (
 	"math/rand"
 
-	"repro/internal/core"
 	"repro/internal/rns"
 )
 
 // SwitchView is what a deflection policy may observe about a switch:
-// its KAR ID and the state of its ports. Implemented by the simulated
-// switch; small on purpose so policies stay decoupled from the
-// simulator.
+// its KAR ID, the modulo-forwarding function over that ID, and the
+// state of its ports. Implemented by the simulated switch; small on
+// purpose so policies stay decoupled from the simulator.
 type SwitchView interface {
 	// SwitchID returns the switch's coprime KAR ID.
 	SwitchID() uint64
+	// Forward returns the modulo-computed output port for routeID
+	// (Eq. 3, routeID mod SwitchID). Implementations hold the
+	// switch's precomputed rns.Reducer so the per-packet path never
+	// re-derives division constants.
+	Forward(routeID rns.RouteID) int
 	// NumPorts returns the size of the port index space.
 	NumPorts() int
 	// PortUp reports whether port i exists, is attached and healthy.
@@ -98,7 +102,7 @@ func (None) Name() string { return "none" }
 
 // Decide implements Policy.
 func (None) Decide(view SwitchView, routeID rns.RouteID, inPort int, wasDeflected bool, rng *rand.Rand) Decision {
-	port := core.Forward(routeID, view.SwitchID())
+	port := view.Forward(routeID)
 	if !view.PortUp(port) {
 		return Decision{Drop: true}
 	}
@@ -115,7 +119,7 @@ func (HotPotato) Name() string { return "hp" }
 // Decide implements Policy.
 func (HotPotato) Decide(view SwitchView, routeID rns.RouteID, inPort int, wasDeflected bool, rng *rand.Rand) Decision {
 	if !wasDeflected {
-		if port := core.Forward(routeID, view.SwitchID()); view.PortUp(port) {
+		if port := view.Forward(routeID); view.PortUp(port) {
 			return Decision{Port: port}
 		}
 	}
@@ -137,7 +141,7 @@ func (AnyValidPort) Name() string { return "avp" }
 
 // Decide implements Policy.
 func (AnyValidPort) Decide(view SwitchView, routeID rns.RouteID, inPort int, wasDeflected bool, rng *rand.Rand) Decision {
-	if port := core.Forward(routeID, view.SwitchID()); view.PortUp(port) {
+	if port := view.Forward(routeID); view.PortUp(port) {
 		return Decision{Port: port}
 	}
 	port, ok := randomPort(view, rng, -1)
@@ -157,7 +161,7 @@ func (NotInputPort) Name() string { return "nip" }
 
 // Decide implements Policy.
 func (NotInputPort) Decide(view SwitchView, routeID rns.RouteID, inPort int, wasDeflected bool, rng *rand.Rand) Decision {
-	if port := core.Forward(routeID, view.SwitchID()); view.PortUp(port) && port != inPort {
+	if port := view.Forward(routeID); view.PortUp(port) && port != inPort {
 		return Decision{Port: port}
 	}
 	port, ok := randomPort(view, rng, inPort)

@@ -14,7 +14,10 @@ type fakeView struct {
 }
 
 func (f fakeView) SwitchID() uint64 { return f.id }
-func (f fakeView) NumPorts() int    { return len(f.ports) }
+func (f fakeView) Forward(r rns.RouteID) int {
+	return int(rns.NewReducer(f.id).Mod(r))
+}
+func (f fakeView) NumPorts() int { return len(f.ports) }
 func (f fakeView) PortUp(i int) bool {
 	return i >= 0 && i < len(f.ports) && f.ports[i]
 }

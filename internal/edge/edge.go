@@ -41,6 +41,14 @@ type routeEntry struct {
 	outPort int
 }
 
+// endpoint is one attached local flow: its transport receiver and its
+// path-stretch histogram, kept together so the per-delivery hot path
+// does a single map lookup.
+type endpoint struct {
+	r       Receiver
+	stretch *telemetry.Histogram
+}
+
 // Edge is one KAR edge node.
 type Edge struct {
 	net  *simnet.Network
@@ -52,7 +60,7 @@ type Edge struct {
 	reencodeDelay time.Duration
 
 	routes map[string]routeEntry      // destination edge → route
-	local  map[packet.FlowID]Receiver // attached transport endpoints
+	local  map[packet.FlowID]endpoint // attached transport endpoints + stretch histograms
 
 	// Registry-backed counters (labelled edge=<node>).
 	cEncapped     *telemetry.Counter
@@ -61,9 +69,6 @@ type Edge struct {
 	cReencoded    *telemetry.Counter
 	cUnclaimed    *telemetry.Counter
 	cNoRoute      *telemetry.Counter
-
-	// Per-flow path-stretch histograms, observed at decap.
-	stretch map[packet.FlowID]*telemetry.Histogram
 
 	// Event-log dedup: re-encodes happen per misdelivered packet, so
 	// the control-plane log records only the first per flow; the
@@ -97,14 +102,13 @@ func New(net *simnet.Network, node *topology.Node, ctrl Reencoder, opts ...Optio
 		ctrl:           ctrl,
 		reencodeDelay:  DefaultReencodeDelay,
 		routes:         make(map[string]routeEntry),
-		local:          make(map[packet.FlowID]Receiver),
+		local:          make(map[packet.FlowID]endpoint),
 		cEncapped:      reg.Counter("kar_edge_encap_total", "edge", name),
 		cDelivered:     reg.Counter("kar_edge_decap_total", "edge", name),
 		cMisdelivered:  reg.Counter("kar_edge_misdelivered_total", "edge", name),
 		cReencoded:     reg.Counter("kar_edge_reencode_total", "edge", name),
 		cUnclaimed:     reg.Counter("kar_edge_unclaimed_total", "edge", name),
 		cNoRoute:       reg.Counter("kar_edge_noroute_total", "edge", name),
-		stretch:        make(map[packet.FlowID]*telemetry.Histogram),
 		loggedReencode: make(map[packet.FlowID]bool),
 	}
 	for _, opt := range opts {
@@ -126,9 +130,11 @@ func (e *Edge) InstallRoute(dstEdge string, id rns.RouteID, outPort int) {
 // Attach registers the local receiver for a flow (the transport
 // endpoint terminating at this edge) and its stretch histogram.
 func (e *Edge) Attach(flow packet.FlowID, r Receiver) {
-	e.local[flow] = r
-	e.stretch[flow] = e.net.Metrics().Histogram(
-		"kar_flow_stretch_hops", telemetry.HopBuckets, "flow", flow.String())
+	e.local[flow] = endpoint{
+		r: r,
+		stretch: e.net.Metrics().Histogram(
+			"kar_flow_stretch_hops", telemetry.HopBuckets, "flow", flow.String()),
+	}
 }
 
 // Inject encapsulates a locally originated packet — stamps the route
@@ -155,17 +161,17 @@ func (e *Edge) Inject(pkt *packet.Packet) error {
 func (e *Edge) HandlePacket(pkt *packet.Packet, inPort int) {
 	if pkt.Flow.Dst == e.node.Name() {
 		pkt.RouteID = rns.RouteID{} // decap
-		r, ok := e.local[pkt.Flow]
+		ep, ok := e.local[pkt.Flow]
 		if !ok {
 			e.cUnclaimed.Inc()
 			e.net.Drop(pkt, simnet.DropNoPort, e.node.Name())
 			return
 		}
 		e.cDelivered.Inc()
-		if h := e.stretch[pkt.Flow]; h != nil {
-			h.Observe(float64(pkt.Hops))
+		if ep.stretch != nil {
+			ep.stretch.Observe(float64(pkt.Hops))
 		}
-		r.Deliver(pkt)
+		ep.r.Deliver(pkt)
 		return
 	}
 

@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -240,7 +241,9 @@ func (c Fig5Config) defaults() Fig5Config {
 		c.WarmUp = time.Second
 	}
 	if c.Workers == 0 {
-		c.Workers = 8
+		// Worker count only affects wall clock, never results: each run
+		// is an isolated world keyed by its (deterministic) seed.
+		c.Workers = runtime.GOMAXPROCS(0)
 	}
 	if len(c.Policies) == 0 {
 		c.Policies = []string{"avp", "nip"}
@@ -350,7 +353,9 @@ func (c Fig7Config) defaults() Fig7Config {
 		c.WarmUp = time.Second
 	}
 	if c.Workers == 0 {
-		c.Workers = 8
+		// As in Fig5Config: parallelism is wall-clock only, results are
+		// seed-determined per run.
+		c.Workers = runtime.GOMAXPROCS(0)
 	}
 	return c
 }

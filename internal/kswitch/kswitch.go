@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/deflect"
 	"repro/internal/packet"
+	"repro/internal/rns"
 	"repro/internal/simnet"
 	"repro/internal/telemetry"
 	"repro/internal/topology"
@@ -32,28 +33,50 @@ const (
 	CauseRandomWalk = "random-walk"
 )
 
+// Dense cause indices: the hot path bumps counters through a small
+// array instead of a map keyed by the cause label.
+const (
+	causeIdxInvalidPort = iota
+	causeIdxPortDown
+	causeIdxInputPort
+	causeIdxRandomWalk
+	causeCount
+)
+
+// causeNames maps dense indices back to the exported label strings.
+var causeNames = [causeCount]string{
+	causeIdxInvalidPort: CauseInvalidPort,
+	causeIdxPortDown:    CausePortDown,
+	causeIdxInputPort:   CauseInputPort,
+	causeIdxRandomWalk:  CauseRandomWalk,
+}
+
 // Switch is a KAR core switch bound to one topology node. It keeps no
-// per-flow state: forwarding is route ID mod switch ID, with the
-// deflection policy handling failed or invalid ports. Counters live in
-// the network's telemetry registry, labelled by switch name (plus any
-// world base labels such as the policy).
+// per-flow state: forwarding is route ID mod switch ID — computed with
+// reduction constants derived once at construction, the paper's "one
+// modulo per switch" as two multiplications — with the deflection
+// policy handling failed or invalid ports. Counters live in the
+// network's telemetry registry, labelled by switch name (plus any
+// world base labels such as the policy); the hot path holds resolved
+// counter cells and never touches the registry.
 type Switch struct {
 	net    *simnet.Network
 	node   *topology.Node
 	policy deflect.Policy
 	rng    *rand.Rand
+	red    rns.Reducer // precomputed constants for node.ID()
 
 	// Cached registry handles.
 	cReceived    *telemetry.Counter
 	cForwarded   *telemetry.Counter
 	cTTLDrops    *telemetry.Counter
 	cPolicyDrops *telemetry.Counter
-	cDeflections map[string]*telemetry.Counter // keyed by cause
+	cDeflections [causeCount]*telemetry.Counter
 
 	// Event-log dedup: deflections and policy drops are per-packet
 	// (millions per run), so the control-plane log records only the
 	// first occurrence per cause / per flow; counters keep the volume.
-	loggedDeflect map[string]bool
+	loggedDeflect [causeCount]bool
 	loggedDrop    map[string]bool
 }
 
@@ -70,20 +93,19 @@ func New(net *simnet.Network, node *topology.Node, policy deflect.Policy, seed i
 	reg.Help("kar_switch_deflections_total", "Packets deflected off their encoded path, by cause.")
 	reg.Help("kar_switch_forwards_total", "Packets forwarded (encoded or deflected).")
 	s := &Switch{
-		net:           net,
-		node:          node,
-		policy:        policy,
-		rng:           rand.New(rand.NewSource(seed)),
-		cReceived:     reg.Counter("kar_switch_received_total", "switch", node.Name()),
-		cForwarded:    reg.Counter("kar_switch_forwards_total", "switch", node.Name()),
-		cTTLDrops:     reg.Counter("kar_switch_ttl_expired_total", "switch", node.Name()),
-		cPolicyDrops:  reg.Counter("kar_switch_policy_drops_total", "switch", node.Name()),
-		cDeflections:  make(map[string]*telemetry.Counter, 4),
-		loggedDeflect: make(map[string]bool, 4),
-		loggedDrop:    make(map[string]bool),
+		net:          net,
+		node:         node,
+		policy:       policy,
+		rng:          rand.New(rand.NewSource(seed)),
+		red:          rns.NewReducer(node.ID()),
+		cReceived:    reg.Counter("kar_switch_received_total", "switch", node.Name()),
+		cForwarded:   reg.Counter("kar_switch_forwards_total", "switch", node.Name()),
+		cTTLDrops:    reg.Counter("kar_switch_ttl_expired_total", "switch", node.Name()),
+		cPolicyDrops: reg.Counter("kar_switch_policy_drops_total", "switch", node.Name()),
+		loggedDrop:   make(map[string]bool),
 	}
-	for _, cause := range []string{CauseInvalidPort, CausePortDown, CauseInputPort, CauseRandomWalk} {
-		s.cDeflections[cause] = reg.Counter("kar_switch_deflections_total",
+	for idx, cause := range causeNames {
+		s.cDeflections[idx] = reg.Counter("kar_switch_deflections_total",
 			"switch", node.Name(), "cause", cause)
 	}
 	net.Bind(node, s)
@@ -96,7 +118,18 @@ type view struct {
 }
 
 func (v view) SwitchID() uint64 { return v.s.node.ID() }
-func (v view) NumPorts() int    { return v.s.node.PortSpan() }
+
+// Forward computes the encoded output port (Eq. 3). The small-ID
+// dispatch is written out so Reducer.Mod64 inlines here: route IDs
+// below 2⁶⁴ — every partial-protection encoding — reduce without a
+// function call, like the plain % they replace did.
+func (v view) Forward(r rns.RouteID) int {
+	if u, ok := r.Uint64(); ok {
+		return int(v.s.red.Mod64(u))
+	}
+	return core.ForwardReduced(v.s.red, r)
+}
+func (v view) NumPorts() int { return v.s.node.PortSpan() }
 func (v view) PortUp(i int) bool {
 	return v.s.net.PortUp(v.s.node, i)
 }
@@ -127,7 +160,7 @@ func (s *Switch) HandlePacket(pkt *packet.Packet, inPort int) {
 		s.cDeflections[cause].Inc()
 		if !s.loggedDeflect[cause] {
 			s.loggedDeflect[cause] = true
-			s.net.Events().Record(telemetry.EventDeflect, s.node.Name(), cause)
+			s.net.Events().Record(telemetry.EventDeflect, s.node.Name(), causeNames[cause])
 		}
 	}
 	s.cForwarded.Inc()
@@ -137,18 +170,23 @@ func (s *Switch) HandlePacket(pkt *packet.Packet, inPort int) {
 // deflectCause classifies why the encoded modulo port was not used:
 // it does not exist, its link is down, it is the (NIP-excluded) input
 // port, or the policy random-walked past a perfectly usable port (HP
-// after the first deflection).
-func (s *Switch) deflectCause(pkt *packet.Packet, inPort int) string {
-	port := core.Forward(pkt.RouteID, s.node.ID())
+// after the first deflection). Returns a dense causeIdx* value.
+func (s *Switch) deflectCause(pkt *packet.Packet, inPort int) int {
+	var port int
+	if u, ok := pkt.RouteID.Uint64(); ok {
+		port = int(s.red.Mod64(u))
+	} else {
+		port = core.ForwardReduced(s.red, pkt.RouteID)
+	}
 	switch {
 	case port < 0 || port >= s.node.PortSpan():
-		return CauseInvalidPort
+		return causeIdxInvalidPort
 	case !s.net.PortUp(s.node, port):
-		return CausePortDown
+		return causeIdxPortDown
 	case port == inPort:
-		return CauseInputPort
+		return causeIdxInputPort
 	default:
-		return CauseRandomWalk
+		return causeIdxRandomWalk
 	}
 }
 

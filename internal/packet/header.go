@@ -47,20 +47,22 @@ const headerFixed = 3
 
 // WireSize returns the encoded size in bytes.
 func (h *Header) WireSize() int {
-	return headerFixed + len(h.RouteID.Bytes())
+	return headerFixed + h.RouteID.ByteLen()
 }
 
 // Marshal appends the wire encoding to dst and returns the result.
+// With a pooled buffer (packet.GetBuffer) of sufficient capacity it
+// performs no allocations for route IDs below 2^64.
 func (h *Header) Marshal(dst []byte) ([]byte, error) {
 	if h.Version > 0xf || h.Flags > 0xf {
 		return nil, fmt.Errorf("version %d flags %#x: %w", h.Version, h.Flags, ErrFieldOverflow)
 	}
-	id := h.RouteID.Bytes()
-	if len(id) > 255 {
-		return nil, fmt.Errorf("route ID is %d bytes: %w", len(id), ErrRouteIDTooLong)
+	n := h.RouteID.ByteLen()
+	if n > 255 {
+		return nil, fmt.Errorf("route ID is %d bytes: %w", n, ErrRouteIDTooLong)
 	}
-	dst = append(dst, h.Version<<4|h.Flags, h.TTL, uint8(len(id)))
-	return append(dst, id...), nil
+	dst = append(dst, h.Version<<4|h.Flags, h.TTL, uint8(n))
+	return h.RouteID.AppendTo(dst), nil
 }
 
 // Unmarshal parses a header from the front of buf and returns the

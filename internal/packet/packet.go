@@ -79,6 +79,11 @@ type Packet struct {
 	// Simulation bookkeeping (not on the wire).
 	Hops      int  // links traversed so far
 	Deflected bool // has left its encoded path at least once
+
+	// pooled marks packets obtained from Get; Release recycles only
+	// these, so hand-built &Packet{} values stay inert and safe to
+	// retain (tests, captures).
+	pooled bool
 }
 
 // SACKBlock is one selective-acknowledgement range: segments

@@ -1,0 +1,59 @@
+package packet
+
+import "sync"
+
+// Packet and buffer pooling. Per-packet allocation dominates the
+// simulator's heap churn: every transport segment and ACK used to be a
+// fresh Packet plus a fresh marshal buffer, all dying within a few
+// virtual microseconds. The pools below recycle both.
+//
+// Ownership rule: a packet obtained from Get is owned by whoever holds
+// it last — the terminal sink (transport receiver on delivery, or
+// simnet.Network.Drop on loss) calls Release. Release on a hand-built
+// &Packet{} is a no-op, so code that constructs packets directly (and
+// tests that retain them) never has to opt in.
+
+var pktPool = sync.Pool{New: func() any { return new(Packet) }}
+
+// Get returns a zeroed pool-owned Packet. The caller must hand it to
+// exactly one sink that calls Release (or call Release itself on
+// error paths).
+func Get() *Packet {
+	p := pktPool.Get().(*Packet)
+	p.pooled = true
+	return p
+}
+
+// Release recycles a pool-owned packet; it is a no-op for packets not
+// obtained from Get, and for nil. The SACKBlocks backing array is kept
+// so ACK senders can refill it without reallocating. After Release the
+// caller must not touch the packet again.
+func (p *Packet) Release() {
+	if p == nil || !p.pooled {
+		return
+	}
+	sack := p.SACKBlocks[:0]
+	*p = Packet{SACKBlocks: sack}
+	pktPool.Put(p)
+}
+
+// Buffer is a reusable header-marshal buffer. GetBuffer/Put move a
+// single pointer through the pool, so a marshal round-trip performs
+// zero allocations once the backing array has grown to the working
+// header size.
+type Buffer struct {
+	B []byte
+}
+
+var bufPool = sync.Pool{New: func() any { return &Buffer{B: make([]byte, 0, 64)} }}
+
+// GetBuffer returns an empty marshal buffer from the pool.
+func GetBuffer() *Buffer {
+	b := bufPool.Get().(*Buffer)
+	b.B = b.B[:0]
+	return b
+}
+
+// Put returns the buffer (and whatever its slice has grown to) to the
+// pool. The caller must not touch b.B afterwards.
+func (b *Buffer) Put() { bufPool.Put(b) }

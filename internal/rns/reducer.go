@@ -1,0 +1,151 @@
+package rns
+
+import "math/bits"
+
+// Reducer computes values modulo one fixed modulus without division
+// instructions. A KAR switch ID is fixed for the lifetime of a run, so
+// each switch precomputes a Reducer once and the data plane (Eq. 3,
+// output port = R mod s) never re-derives division constants per
+// packet.
+//
+// The implementation is Lemire-style fastmod ("Faster Remainder by
+// Direct Computation", Lemire, Kaser & Kurz): with
+// c = ⌊(2¹²⁸−1)/m⌋ + 1, the remainder of any 64-bit v is
+//
+//	((c·v) mod 2¹²⁸ · m) >> 128,
+//
+// exact for every m ≥ 2 because 128 fraction bits ≥ 64 + log₂(m).
+// Wide (>64-bit) route IDs are reduced by Horner's rule over their
+// words using the precomputed r64 = 2⁶⁴ mod m; for moduli below 2³²
+// (every realistic switch ID) each word folds with three multiplies
+// into a lazy 64-bit accumulator and a single fastmod finishes, so
+// the wide path is division-free too.
+//
+// The zero Reducer is invalid; construct with NewReducer. A Reducer is
+// immutable and safe for concurrent use.
+type Reducer struct {
+	m        uint64
+	cHi, cLo uint64 // ⌊(2¹²⁸−1)/m⌋ + 1
+	r64      uint64 // 2⁶⁴ mod m
+	narrow   bool   // m < 2³²: division-free wide path applies
+}
+
+// NewReducer precomputes the reduction constants for modulus m.
+// m must be non-zero; KAR switch IDs are ≥ 2.
+func NewReducer(m uint64) Reducer {
+	if m == 0 {
+		panic("rns: zero modulus")
+	}
+	// c = ⌊(2¹²⁸−1)/m⌋ + 1, as a 128-bit (cHi, cLo) pair. The high
+	// word is ⌊(2⁶⁴−1)/m⌋; the low word continues the long division
+	// with the remainder (which is < m, so Div64 cannot trap).
+	cHi := ^uint64(0) / m
+	rem := ^uint64(0) % m
+	cLo, _ := bits.Div64(rem, ^uint64(0), m)
+	var carry uint64
+	cLo, carry = bits.Add64(cLo, 1, 0)
+	cHi += carry
+	// 2⁶⁴ mod m = ((2⁶⁴−1) mod m + 1) mod m.
+	r64 := rem + 1
+	if r64 == m {
+		r64 = 0
+	}
+	// For m == 1 the sum c = 2¹²⁸ wraps to (0, 0), and fastmod with
+	// c ≡ 0 returns 0 for every input — exactly v mod 1 — so no
+	// special case is needed anywhere on the hot path.
+	return Reducer{m: m, cHi: cHi, cLo: cLo, r64: r64, narrow: m < 1<<32}
+}
+
+// Modulus returns the fixed modulus.
+func (rd Reducer) Modulus() uint64 { return rd.m }
+
+// fastmod returns v mod m given the precomputed c = (cHi, cLo). It
+// takes scalars rather than a Reducer receiver so that inlined call
+// sites read the constants straight out of registers — with a struct
+// receiver the compiler materialises a 40-byte stack copy per call and
+// every multiply stalls on store-to-load forwarding.
+func fastmod(v, m, cHi, cLo uint64) uint64 {
+	// lowbits = (c·v) mod 2¹²⁸.
+	lbHi, lbLo := bits.Mul64(cLo, v)
+	lbHi += cHi * v
+	// (lowbits·m) >> 128: m·lbLo occupies bits 0..127, m·lbHi bits
+	// 64..191; the remainder is bits 128..191 of the sum.
+	pHi1, _ := bits.Mul64(lbLo, m)
+	pHi2, pLo2 := bits.Mul64(lbHi, m)
+	_, carry := bits.Add64(pHi1, pLo2, 0)
+	return pHi2 + carry
+}
+
+// Mod64 returns v mod m using two 128-bit multiplications and no
+// division.
+func (rd Reducer) Mod64(v uint64) uint64 {
+	return fastmod(v, rd.m, rd.cHi, rd.cLo)
+}
+
+// Mod returns r mod m. Small route IDs take one fastmod; wide route
+// IDs fold word by word (most significant first), division-free when
+// m < 2³². Mod is one flat function so either path costs exactly one
+// call from the data plane; callers that already know the route ID is
+// small (the switch packet loop) can inline Reducer.Mod64 instead and
+// skip the call entirely.
+func (rd Reducer) Mod(r RouteID) uint64 {
+	if r.wide == nil {
+		return fastmod(r.small, rd.m, rd.cHi, rd.cLo)
+	}
+	// big.Int words are 64-bit on every supported platform (the
+	// pre-existing RouteID.Mod shares this assumption).
+	words := r.wide.Bits()
+	if rd.narrow {
+		// Fast path for two-word values — every full-protection set up
+		// to 128 bits, including the 16-prime basis of the paper's
+		// evaluation. This is one fold step of the general loop below
+		// with the first iteration (acc = 0 ⇒ acc' = top word)
+		// constant-folded away, plus a single-multiply shortcut when
+		// the top word fits 32 bits (route IDs up to 96 bits), where
+		// w₁·r64 cannot overflow.
+		if len(words) == 2 {
+			w1, w0 := uint64(words[1]), uint64(words[0])
+			if w1 < 1<<32 {
+				s, c := bits.Add64(w1*rd.r64, w0, 0)
+				return fastmod(s+c*rd.r64, rd.m, rd.cHi, rd.cLo)
+			}
+			pHi, pLo := bits.Mul64(w1, rd.r64)
+			s, c := bits.Add64(pLo, w0, 0)
+			t := pHi + c
+			s, c = bits.Add64(s, t*rd.r64, 0)
+			return fastmod(s+c*rd.r64, rd.m, rd.cHi, rd.cLo)
+		}
+		// Horner over 64-bit words with a lazy accumulator: acc is
+		// congruent to the prefix mod m but only bounded by 2⁶⁴, not
+		// reduced. One step rewrites acc·2⁶⁴ + w using 2⁶⁴ ≡ r64:
+		//
+		//	acc·2⁶⁴ + w = pHi·2⁶⁴ + pLo + w        (pHi,pLo = acc·r64)
+		//	            ≡ (pHi+c₁)·r64 + s₁        (s₁,c₁ = pLo + w)
+		//	            ≡ c₂·r64 + s₂              (s₂,c₂ = s₁ + t·r64)
+		//
+		// Every product stays below 2⁶⁴ because pHi ≤ r64−1 < 2³² and
+		// t = pHi+c₁ ≤ r64, so t·r64 ≤ r64² < 2⁶⁴; and when the final
+		// add carries, s₂ < t·r64 ≤ 2⁶⁴−2³³ leaves room for +r64, so
+		// the fold never overflows. A single fastmod finishes the job,
+		// and the per-word work is three multiplies with no division —
+		// shorter in both latency and port pressure than a 128-by-64
+		// divide per word.
+		r64 := rd.r64
+		var acc uint64
+		for i := len(words) - 1; i >= 0; i-- {
+			pHi, pLo := bits.Mul64(acc, r64)
+			s, c := bits.Add64(pLo, uint64(words[i]), 0)
+			t := pHi + c
+			s, c = bits.Add64(s, t*r64, 0)
+			acc = s + c*r64
+		}
+		return fastmod(acc, rd.m, rd.cHi, rd.cLo)
+	}
+	// Wide modulus (≥ 2³², unrealistic for switch IDs): rem·2⁶⁴ + word
+	// needs a 128-by-64 division; rem < m keeps Div64 in range.
+	var rem uint64
+	for i := len(words) - 1; i >= 0; i-- {
+		_, rem = bits.Div64(rem, uint64(words[i]), rd.m)
+	}
+	return rem
+}

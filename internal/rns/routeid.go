@@ -1,6 +1,7 @@
 package rns
 
 import (
+	"encoding/binary"
 	"math/big"
 	"math/bits"
 	"strconv"
@@ -68,16 +69,35 @@ func (r RouteID) Bytes() []byte {
 	if r.small == 0 {
 		return nil
 	}
-	buf := make([]byte, 8)
-	for i := 7; i >= 0; i-- {
-		buf[i] = byte(r.small >> (8 * (7 - i)))
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], r.small)
+	// bits.Len64 names the minimal encoding directly: ⌈bitlen/8⌉ bytes.
+	return buf[8-(bits.Len64(r.small)+7)/8:]
+}
+
+// ByteLen returns the length of the minimal big-endian encoding
+// (0 for zero) without materialising it.
+func (r RouteID) ByteLen() int {
+	return (r.BitLen() + 7) / 8
+}
+
+// AppendTo appends the minimal big-endian encoding to dst. For values
+// below 2^64 this performs no allocation, which keeps the header
+// marshal path allocation-free with a pooled buffer.
+func (r RouteID) AppendTo(dst []byte) []byte {
+	if r.wide != nil {
+		n := (r.wide.BitLen() + 7) / 8
+		old := len(dst)
+		dst = append(dst, make([]byte, n)...)
+		r.wide.FillBytes(dst[old:])
+		return dst
 	}
-	// Trim leading zeros to the minimal form.
-	i := 0
-	for i < 7 && buf[i] == 0 {
-		i++
+	if r.small == 0 {
+		return dst
 	}
-	return buf[i:]
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], r.small)
+	return append(dst, buf[8-(bits.Len64(r.small)+7)/8:]...)
 }
 
 // BitLen returns the number of bits in the value (0 for zero).

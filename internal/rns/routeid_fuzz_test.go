@@ -1,0 +1,60 @@
+package rns
+
+import (
+	"bytes"
+	"math/big"
+	"testing"
+)
+
+// FuzzRouteIDBytes round-trips the wire encoding: Bytes must be the
+// minimal big-endian form (no leading zeros) and RouteIDFromBytes must
+// reconstruct an equal RouteID, for both small and wide values.
+func FuzzRouteIDBytes(f *testing.F) {
+	f.Add(uint64(0), []byte(nil))
+	f.Add(uint64(1), []byte{0x01})
+	f.Add(uint64(4402485597509), []byte{0xff, 0xfe})
+	f.Add(uint64(1<<56), []byte{0x80, 0, 0, 0, 0, 0, 0, 0, 1})
+	f.Add(uint64(1<<64-1), []byte{0, 0, 7})
+	f.Fuzz(func(t *testing.T, v uint64, hi []byte) {
+		// Small path.
+		small := RouteIDFromUint64(v)
+		enc := small.Bytes()
+		if len(enc) > 0 && enc[0] == 0 {
+			t.Fatalf("Bytes(%d) = % x: leading zero", v, enc)
+		}
+		if v == 0 && len(enc) != 0 {
+			t.Fatalf("Bytes(0) = % x, want empty", enc)
+		}
+		if got := RouteIDFromBytes(enc); !got.Equal(small) {
+			t.Fatalf("round trip of %d gave %s", v, got)
+		}
+		if got := small.AppendTo(nil); !bytes.Equal(got, enc) {
+			t.Fatalf("AppendTo(%d) = % x, Bytes = % x", v, got, enc)
+		}
+		if small.ByteLen() != len(enc) {
+			t.Fatalf("ByteLen(%d) = %d, len(Bytes) = %d", v, small.ByteLen(), len(enc))
+		}
+
+		// Wide path: hi·2⁶⁴ + v.
+		wideVal := new(big.Int).SetBytes(hi)
+		wideVal.Lsh(wideVal, 64)
+		wideVal.Or(wideVal, new(big.Int).SetUint64(v))
+		wide := RouteIDFromBig(wideVal)
+		encW := wide.Bytes()
+		if len(encW) > 0 && encW[0] == 0 {
+			t.Fatalf("Bytes(%s) = % x: leading zero", wideVal, encW)
+		}
+		if !bytes.Equal(encW, wideVal.Bytes()) {
+			t.Fatalf("Bytes(%s) = % x, want % x", wideVal, encW, wideVal.Bytes())
+		}
+		if got := RouteIDFromBytes(encW); !got.Equal(wide) {
+			t.Fatalf("round trip of %s gave %s", wideVal, got)
+		}
+		if got := wide.AppendTo([]byte{0xaa}); len(got) < 1 || got[0] != 0xaa || !bytes.Equal(got[1:], encW) {
+			t.Fatalf("AppendTo(%s) = % x, want aa ++ % x", wideVal, got, encW)
+		}
+		if wide.ByteLen() != len(encW) {
+			t.Fatalf("ByteLen(%s) = %d, len(Bytes) = %d", wideVal, wide.ByteLen(), len(encW))
+		}
+	})
+}

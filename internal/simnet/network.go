@@ -68,10 +68,16 @@ type Drop struct {
 // dirState models one direction of a link: a FIFO transmission queue
 // feeding a fixed-rate serializer. Counters live in the network's
 // telemetry registry (labelled link/dir); the handles are cached here
-// to keep the send path off the registry's mutex.
+// to keep the send path off the registry's mutex, and the receiving
+// endpoint is resolved once at construction so per-packet delivery
+// events carry no closures.
 type dirState struct {
 	busyUntil time.Duration
 	queued    int
+
+	// Receiving endpoint of this direction, fixed by the topology.
+	dst     *topology.Node
+	dstPort int
 
 	// Registry-backed counters.
 	sentPackets   *telemetry.Counter
@@ -82,6 +88,7 @@ type dirState struct {
 
 // Line is the live state of one topology link inside a Network.
 type Line struct {
+	net        *Network
 	link       *topology.Link
 	up         bool
 	lastDownAt time.Duration // most recent failure instant (for in-flight kills)
@@ -161,6 +168,8 @@ func New(topo *topology.Graph, opts ...Option) *Network {
 	}
 	n.events = telemetry.NewEventLog(cfg.eventCap, n.sched.Now)
 	n.events.SetEvictedCounter(n.metrics.Counter("kar_events_evicted_total"))
+	n.metrics.Help("kar_sched_past_events_total", "Events scheduled for an already-elapsed virtual time (clamped to now).")
+	n.sched.SetPastEventCounter(n.metrics.Counter("kar_sched_past_events_total"))
 	n.metrics.Help("kar_net_delivered_total", "Packets handed to node handlers.")
 	n.metrics.Help("kar_net_drops_total", "Packets lost anywhere, by reason.")
 	n.metrics.Help("kar_net_sends_total", "Packets submitted to links.")
@@ -170,10 +179,16 @@ func New(topo *topology.Graph, opts ...Option) *Network {
 		n.cDrops[r] = n.metrics.Counter("kar_net_drops_total", "reason", r.String())
 	}
 	for _, l := range topo.Links() {
-		line := &Line{link: l, up: true, gaugeUp: n.metrics.Gauge("kar_link_up", "link", l.Name())}
+		line := &Line{net: n, link: l, up: true, gaugeUp: n.metrics.Gauge("kar_link_up", "link", l.Name())}
 		line.gaugeUp.Set(1)
 		for d, dir := range [2]string{"fwd", "rev"} {
+			dst := l.B()
+			if d == 1 {
+				dst = l.A()
+			}
 			line.dirs[d] = dirState{
+				dst:           dst,
+				dstPort:       l.PortOf(dst),
 				sentPackets:   n.metrics.Counter("kar_link_sent_packets_total", "link", l.Name(), "dir", dir),
 				sentBytes:     n.metrics.Counter("kar_link_sent_bytes_total", "link", l.Name(), "dir", dir),
 				queueDrops:    n.metrics.Counter("kar_link_queue_drops_total", "link", l.Name(), "dir", dir),
@@ -216,12 +231,15 @@ func (n *Network) SetDeliverHook(fn func(pkt *packet.Packet, at *topology.Node, 
 }
 
 // Drop records a packet loss originating at a node (TTL expiry,
-// no-viable-port). Links report their own drops internally.
+// no-viable-port). Links report their own drops internally. Drop is a
+// lifecycle sink: pool-owned packets are recycled here, after the drop
+// hook has observed them (hooks must copy, never retain).
 func (n *Network) Drop(pkt *packet.Packet, reason DropReason, where string) {
 	n.countDrop(reason)
 	if n.dropHook != nil {
 		n.dropHook(Drop{Packet: pkt, Reason: reason, Where: where, At: n.sched.now})
 	}
+	pkt.Release()
 }
 
 // countDrop bumps the per-reason drop counter; Dropped() sums these,
@@ -284,20 +302,23 @@ func (n *Network) Send(node *topology.Node, i int, pkt *packet.Packet) {
 	ds.sentPackets.Inc()
 	ds.sentBytes.Add(int64(pkt.Size))
 
-	dst := l.Other(node)
-	dstPort := l.PortOf(dst)
-	txStart := start
-	n.sched.At(done, func() { ds.queued-- })
-	n.sched.At(done+l.Delay(), func() {
-		// The packet dies if the link failed at any point after its
-		// transmission began.
-		if !line.up || (line.everDown && line.lastDownAt >= txStart) {
-			ds.inFlightDrops.Inc()
-			n.Drop(pkt, DropInFlight, l.Name())
-			return
-		}
-		n.Deliver(pkt, dst, dstPort)
+	n.sched.post(done, event{kind: evtDequeue, ds: ds})
+	n.sched.post(done+l.Delay(), event{
+		kind: evtDeliver, dir: uint8(dir), line: line, pkt: pkt, txStart: start,
 	})
+}
+
+// finishTransit completes one evtDeliver: the packet dies if the link
+// failed at any point after its transmission began, otherwise it is
+// handed to the endpoint precomputed for this direction.
+func (l *Line) finishTransit(pkt *packet.Packet, dir int, txStart time.Duration) {
+	ds := &l.dirs[dir]
+	if !l.up || (l.everDown && l.lastDownAt >= txStart) {
+		ds.inFlightDrops.Inc()
+		l.net.Drop(pkt, DropInFlight, l.link.Name())
+		return
+	}
+	l.net.Deliver(pkt, ds.dst, ds.dstPort)
 }
 
 // Deliver hands a packet to a node's handler immediately (used by

@@ -8,80 +8,174 @@
 package simnet
 
 import (
-	"container/heap"
 	"time"
+
+	"repro/internal/packet"
+	"repro/internal/telemetry"
 )
+
+// Event kinds. The two per-packet events of the transport hot path
+// (queue-slot release and delivery) are encoded as typed fields on the
+// event struct rather than closures, so steady-state scheduling never
+// allocates; evtFunc remains for control-plane and user callbacks.
+const (
+	evtFunc    = iota // fn()
+	evtDequeue        // ds.queued--
+	evtDeliver        // in-flight check, then deliver pkt over line/dir
+)
+
+// event is one scheduled occurrence. Exactly one kind-dependent field
+// group is meaningful; the struct is stored by value in the heap slice
+// so scheduling moves no separate allocation.
+type event struct {
+	at  time.Duration
+	seq uint64 // FIFO tiebreak for equal times
+
+	kind uint8
+	dir  uint8 // evtDeliver: line direction index
+
+	fn      func()         // evtFunc
+	ds      *dirState      // evtDequeue
+	line    *Line          // evtDeliver
+	pkt     *packet.Packet // evtDeliver
+	txStart time.Duration  // evtDeliver: serialization start (in-flight kill check)
+}
+
+// before is the heap order: time, then scheduling order.
+func (e *event) before(o *event) bool {
+	if e.at != o.at {
+		return e.at < o.at
+	}
+	return e.seq < o.seq
+}
 
 // Scheduler is a virtual-time event loop. Events at equal times run in
 // scheduling (FIFO) order, making runs fully deterministic. Not safe
 // for concurrent use: one scheduler per simulated world, many worlds
 // in parallel.
+//
+// The queue is a 4-ary min-heap in a plain slice: no interface boxing
+// on push/pop, shallower sift paths than a binary heap, and the
+// backing array is reused across the run, so steady-state scheduling
+// performs zero allocations.
 type Scheduler struct {
 	now    time.Duration
-	events eventHeap
+	events []event
 	seq    uint64
-}
 
-type event struct {
-	at  time.Duration
-	seq uint64
-	fn  func()
-}
-
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	e := old[len(old)-1]
-	old[len(old)-1] = event{}
-	*h = old[:len(old)-1]
-	return e
+	// cPast counts events scheduled for an already-elapsed virtual
+	// time (clamped to "now"); nil until a Network attaches one.
+	cPast *telemetry.Counter
 }
 
 // Now returns the current virtual time.
 func (s *Scheduler) Now() time.Duration { return s.now }
 
+// SetPastEventCounter attaches the counter bumped whenever an event is
+// scheduled in the virtual past. Nil (the default) disables counting.
+func (s *Scheduler) SetPastEventCounter(c *telemetry.Counter) { s.cPast = c }
+
 // At schedules fn at absolute virtual time t; times in the past run
-// "now" (next step).
+// "now" (next step) and are counted on the past-event counter.
 func (s *Scheduler) At(t time.Duration, fn func()) {
-	if t < s.now {
-		t = s.now
-	}
-	s.seq++
-	heap.Push(&s.events, event{at: t, seq: s.seq, fn: fn})
+	s.post(t, event{kind: evtFunc, fn: fn})
 }
 
 // After schedules fn d from now.
 func (s *Scheduler) After(d time.Duration, fn func()) { s.At(s.now+d, fn) }
 
+// post clamps t, stamps the FIFO sequence and pushes e.
+func (s *Scheduler) post(t time.Duration, e event) {
+	if t < s.now {
+		t = s.now
+		if s.cPast != nil {
+			s.cPast.Inc()
+		}
+	}
+	e.at = t
+	s.seq++
+	e.seq = s.seq
+	s.push(e)
+}
+
+// push appends e and sifts it up the 4-ary heap.
+func (s *Scheduler) push(e event) {
+	q := append(s.events, e)
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !q[i].before(&q[p]) {
+			break
+		}
+		q[i], q[p] = q[p], q[i]
+		i = p
+	}
+	s.events = q
+}
+
+// pop removes and returns the earliest event. The vacated tail slot is
+// zeroed so the heap never pins dead packets or closures.
+func (s *Scheduler) pop() event {
+	q := s.events
+	top := q[0]
+	last := len(q) - 1
+	q[0] = q[last]
+	q[last] = event{}
+	q = q[:last]
+	s.events = q
+	i := 0
+	for {
+		min := i
+		c := 4*i + 1
+		end := c + 4
+		if end > len(q) {
+			end = len(q)
+		}
+		for ; c < end; c++ {
+			if q[c].before(&q[min]) {
+				min = c
+			}
+		}
+		if min == i {
+			break
+		}
+		q[i], q[min] = q[min], q[i]
+		i = min
+	}
+	return top
+}
+
+// dispatch runs one event at the already-advanced clock.
+func (s *Scheduler) dispatch(e *event) {
+	switch e.kind {
+	case evtFunc:
+		e.fn()
+	case evtDequeue:
+		e.ds.queued--
+	case evtDeliver:
+		e.line.finishTransit(e.pkt, int(e.dir), e.txStart)
+	}
+}
+
 // Step runs the earliest pending event; it reports false when none
 // remain.
 func (s *Scheduler) Step() bool {
-	if s.events.Len() == 0 {
+	if len(s.events) == 0 {
 		return false
 	}
-	e := heap.Pop(&s.events).(event)
+	e := s.pop()
 	s.now = e.at
-	e.fn()
+	s.dispatch(&e)
 	return true
 }
 
 // RunUntil processes every event scheduled at or before t, then
 // advances the clock to t.
 func (s *Scheduler) RunUntil(t time.Duration) {
-	for s.events.Len() > 0 && s.events[0].at <= t {
-		e := heap.Pop(&s.events).(event)
+	for len(s.events) > 0 && s.events[0].at <= t {
+		e := s.pop()
 		s.now = e.at
-		e.fn()
+		s.dispatch(&e)
 	}
 	if s.now < t {
 		s.now = t
@@ -90,4 +184,4 @@ func (s *Scheduler) RunUntil(t time.Duration) {
 
 // Pending returns the number of scheduled events (for tests and
 // leak-detection assertions).
-func (s *Scheduler) Pending() int { return s.events.Len() }
+func (s *Scheduler) Pending() int { return len(s.events) }

@@ -52,8 +52,14 @@ type SACKSender struct {
 	rttSentAt         time.Duration
 	rttPending        bool
 
-	timerGen uint64
-	m        senderCounters
+	// RTO timer: single outstanding scheduler event, movable deadline
+	// (see Sender.armTimer).
+	timerDeadline time.Duration
+	timerPending  bool
+	timerStopped  bool
+	timerFn       func()
+
+	m senderCounters
 }
 
 // NewSACKFlow wires a SACK sender at srcEdge and the standard
@@ -75,6 +81,7 @@ func NewSACKFlow(net *simnet.Network, srcEdge, dstEdge *edge.Edge, flow packet.F
 		rto:       time.Second,
 		m:         newSenderCounters(net.Metrics(), flow),
 	}
+	s.timerFn = s.timerFire
 	r := &Receiver{
 		sched:     net.Scheduler(),
 		edge:      dstEdge,
@@ -180,14 +187,13 @@ func (s *SACKSender) nextLost() (uint64, bool) {
 }
 
 func (s *SACKSender) sendSegment(seq uint64, retrans bool) {
-	pkt := &packet.Packet{
-		Flow:    s.flow,
-		Kind:    packet.KindData,
-		Seq:     seq,
-		Size:    s.cfg.MSS + s.cfg.HeaderBytes,
-		SentAt:  s.sched.Now(),
-		Retrans: retrans,
-	}
+	pkt := packet.Get()
+	pkt.Flow = s.flow
+	pkt.Kind = packet.KindData
+	pkt.Seq = seq
+	pkt.Size = s.cfg.MSS + s.cfg.HeaderBytes
+	pkt.SentAt = s.sched.Now()
+	pkt.Retrans = retrans
 	s.m.segments.Inc()
 	if retrans {
 		s.m.retransmits.Inc()
@@ -199,11 +205,15 @@ func (s *SACKSender) sendSegment(seq uint64, retrans bool) {
 		s.rttSentAt = s.sched.Now()
 		s.rttPending = true
 	}
-	_ = s.edge.Inject(pkt)
+	if err := s.edge.Inject(pkt); err != nil {
+		pkt.Release()
+	}
 }
 
-// onAck processes a cumulative ACK with SACK blocks.
+// onAck processes a cumulative ACK with SACK blocks. The ACK
+// terminates here, so the sender recycles it.
 func (s *SACKSender) onAck(pkt *packet.Packet) {
+	defer pkt.Release()
 	if t := pkt.ReorderExtent + 1; t > s.dupThresh {
 		s.dupThresh = t
 		if s.dupThresh > s.cfg.MaxDupAckThreshold {
@@ -331,17 +341,30 @@ func (s *SACKSender) sampleRTT(ack uint64) {
 }
 
 func (s *SACKSender) armTimer() {
-	s.timerGen++
 	if s.nextSeq == s.highAck && s.stopped {
+		s.timerStopped = true
 		return
 	}
-	gen := s.timerGen
-	s.sched.After(s.rto, func() {
-		if gen != s.timerGen {
-			return
-		}
-		s.onTimeout()
-	})
+	s.timerStopped = false
+	s.timerDeadline = s.sched.Now() + s.rto
+	if !s.timerPending {
+		s.timerPending = true
+		s.sched.At(s.timerDeadline, s.timerFn)
+	}
+}
+
+// timerFire dispatches the outstanding RTO event (see Sender.timerFire).
+func (s *SACKSender) timerFire() {
+	s.timerPending = false
+	if s.timerStopped {
+		return
+	}
+	if s.sched.Now() < s.timerDeadline {
+		s.timerPending = true
+		s.sched.At(s.timerDeadline, s.timerFn)
+		return
+	}
+	s.onTimeout()
 }
 
 func (s *SACKSender) onTimeout() {

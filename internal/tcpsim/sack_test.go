@@ -153,7 +153,7 @@ func TestSACKRanges(t *testing.T) {
 	r := &Receiver{cfg: Config{}.Defaults(), buf: map[uint64]bool{
 		5: true, 6: true, 9: true, 12: true, 13: true, 14: true,
 	}, expected: 3, sackBlock: true}
-	blocks := r.sackRanges(3)
+	blocks := r.sackRanges(nil, 3)
 	want := []packet.SACKBlock{{From: 5, To: 7}, {From: 9, To: 10}, {From: 12, To: 15}}
 	if len(blocks) != len(want) {
 		t.Fatalf("blocks = %v, want %v", blocks, want)
@@ -165,7 +165,7 @@ func TestSACKRanges(t *testing.T) {
 	}
 	// Cap at 3 blocks even with more gaps.
 	r.buf[20] = true
-	if got := r.sackRanges(3); len(got) != 3 {
+	if got := r.sackRanges(nil, 3); len(got) != 3 {
 		t.Errorf("got %d blocks, want cap at 3", len(got))
 	}
 }

@@ -197,7 +197,13 @@ type Sender struct {
 	rttSentAt         time.Duration
 	rttPending        bool
 
-	timerGen uint64 // RTO timer generation (stale timers no-op)
+	// RTO timer: a single scheduler event is kept outstanding; re-arming
+	// just moves the deadline, so the per-ACK path schedules (and
+	// allocates) nothing.
+	timerDeadline time.Duration
+	timerPending  bool
+	timerStopped  bool
+	timerFn       func() // cached method value
 
 	m senderCounters
 }
@@ -256,6 +262,7 @@ func NewFlow(net *simnet.Network, srcEdge, dstEdge *edge.Edge, flow packet.FlowI
 		rto:       time.Second, // RFC 6298 initial RTO
 		m:         newSenderCounters(net.Metrics(), flow),
 	}
+	s.timerFn = s.timerFire
 	r := &Receiver{
 		sched: net.Scheduler(),
 		edge:  dstEdge,
@@ -325,14 +332,13 @@ func (s *Sender) trySend() {
 }
 
 func (s *Sender) sendSegment(seq uint64, retrans bool) {
-	pkt := &packet.Packet{
-		Flow:    s.flow,
-		Kind:    packet.KindData,
-		Seq:     seq,
-		Size:    s.cfg.MSS + s.cfg.HeaderBytes,
-		SentAt:  s.sched.Now(),
-		Retrans: retrans,
-	}
+	pkt := packet.Get()
+	pkt.Flow = s.flow
+	pkt.Kind = packet.KindData
+	pkt.Seq = seq
+	pkt.Size = s.cfg.MSS + s.cfg.HeaderBytes
+	pkt.SentAt = s.sched.Now()
+	pkt.Retrans = retrans
 	s.m.segments.Inc()
 	if retrans {
 		s.m.retransmits.Inc()
@@ -346,12 +352,16 @@ func (s *Sender) sendSegment(seq uint64, retrans bool) {
 	}
 	// Injection failures (no route) surface through edge stats; the
 	// segment is then recovered like any other loss.
-	_ = s.edge.Inject(pkt)
+	if err := s.edge.Inject(pkt); err != nil {
+		pkt.Release()
+	}
 }
 
 // onAck processes an arriving cumulative ACK. pkt.Seq carries the
-// receiver's next expected segment.
+// receiver's next expected segment. The ACK terminates here, so the
+// sender recycles it.
 func (s *Sender) onAck(pkt *packet.Packet) {
+	defer pkt.Release()
 	if pkt.DSACK && s.undoArmed && !s.cfg.DisableUndo {
 		// Our fast retransmit was spurious: the receiver already had
 		// the segment. Restore the pre-reduction window.
@@ -504,19 +514,34 @@ func (s *Sender) sampleRTT(ack uint64) {
 	s.rto = rto
 }
 
-// armTimer (re)starts the RTO timer; stale generations no-op.
+// armTimer (re)sets the RTO deadline. One scheduler event stays
+// outstanding at a time; firing before the live deadline re-arms.
 func (s *Sender) armTimer() {
-	s.timerGen++
 	if s.flight() == 0 && s.stopped {
+		s.timerStopped = true
 		return
 	}
-	gen := s.timerGen
-	s.sched.After(s.rto, func() {
-		if gen != s.timerGen {
-			return
-		}
-		s.onTimeout()
-	})
+	s.timerStopped = false
+	s.timerDeadline = s.sched.Now() + s.rto
+	if !s.timerPending {
+		s.timerPending = true
+		s.sched.At(s.timerDeadline, s.timerFn)
+	}
+}
+
+// timerFire dispatches the outstanding RTO event: stopped timers
+// no-op, deadlines pushed into the future re-arm, elapsed ones fire.
+func (s *Sender) timerFire() {
+	s.timerPending = false
+	if s.timerStopped {
+		return
+	}
+	if s.sched.Now() < s.timerDeadline {
+		s.timerPending = true
+		s.sched.At(s.timerDeadline, s.timerFn)
+		return
+	}
+	s.onTimeout()
 }
 
 func (s *Sender) onTimeout() {
@@ -544,8 +569,10 @@ func (s *Sender) onTimeout() {
 	s.armTimer()
 }
 
-// onData handles an arriving data segment at the receiver.
+// onData handles an arriving data segment at the receiver. The
+// segment terminates here, so the receiver recycles it.
 func (r *Receiver) onData(pkt *packet.Packet) {
+	defer pkt.Release()
 	seq := pkt.Seq
 	switch {
 	case seq == r.expected:
@@ -582,30 +609,32 @@ func (r *Receiver) onData(pkt *packet.Packet) {
 }
 
 func (r *Receiver) sendAck() {
-	ack := &packet.Packet{
-		Flow:          r.flow.Reverse(),
-		Kind:          packet.KindAck,
-		Seq:           r.expected,
-		Size:          r.cfg.AckBytes,
-		SentAt:        r.sched.Now(),
-		ReorderExtent: r.reorderExtent,
-		DSACK:         r.dsackPending,
-	}
+	ack := packet.Get()
+	ack.Flow = r.flow.Reverse()
+	ack.Kind = packet.KindAck
+	ack.Seq = r.expected
+	ack.Size = r.cfg.AckBytes
+	ack.SentAt = r.sched.Now()
+	ack.ReorderExtent = r.reorderExtent
+	ack.DSACK = r.dsackPending
 	if r.sackBlock && len(r.buf) > 0 {
-		ack.SACKBlocks = r.sackRanges(3)
+		// Refill the pooled packet's SACK slice in place: its backing
+		// array survives Release, so steady-state ACKs allocate nothing.
+		ack.SACKBlocks = r.sackRanges(ack.SACKBlocks[:0], 3)
 	}
 	r.dsackPending = false
 	r.m.acks.Inc()
-	_ = r.edge.Inject(ack)
+	if err := r.edge.Inject(ack); err != nil {
+		ack.Release()
+	}
 }
 
 // sackRanges scans the out-of-order buffer upward from the in-order
-// point and returns up to max contiguous received ranges.
-func (r *Receiver) sackRanges(max int) []packet.SACKBlock {
-	var blocks []packet.SACKBlock
+// point and appends up to max contiguous received ranges to dst.
+func (r *Receiver) sackRanges(dst []packet.SACKBlock, max int) []packet.SACKBlock {
 	const scanLimit = 4096 // bound the walk; windows are far smaller
 	seq := r.expected + 1
-	for n := 0; n < scanLimit && len(blocks) < max; n++ {
+	for n := 0; n < scanLimit && len(dst) < max; n++ {
 		if !r.buf[seq] {
 			seq++
 			continue
@@ -614,9 +643,9 @@ func (r *Receiver) sackRanges(max int) []packet.SACKBlock {
 		for r.buf[seq] {
 			seq++
 		}
-		blocks = append(blocks, packet.SACKBlock{From: start, To: seq})
+		dst = append(dst, packet.SACKBlock{From: start, To: seq})
 	}
-	return blocks
+	return dst
 }
 
 // Stats reads the counters back from the registry.

@@ -46,6 +46,7 @@ type Sender struct {
 	sent    int
 	stopped bool
 	cSent   *telemetry.Counter
+	tickFn  func() // cached method value: rescheduling allocates nothing
 }
 
 // Stats for the receiver side.
@@ -102,6 +103,7 @@ func NewFlow(net *simnet.Network, srcEdge, dstEdge *edge.Edge, flow packet.FlowI
 		sched: net.Scheduler(), edge: srcEdge, flow: flow, cfg: cfg,
 		cSent: reg.Counter("kar_udp_sent_total", "flow", f),
 	}
+	s.tickFn = s.tick
 	r := &Receiver{
 		sched: net.Scheduler(), seen: make(map[uint64]bool),
 		cReceived:  reg.Counter("kar_udp_received_total", "flow", f),
@@ -126,20 +128,24 @@ func (s *Sender) tick() {
 	if s.stopped || (s.cfg.Count > 0 && s.sent >= s.cfg.Count) {
 		return
 	}
-	pkt := &packet.Packet{
-		Flow:   s.flow,
-		Kind:   packet.KindData,
-		Seq:    uint64(s.sent),
-		Size:   s.cfg.Size,
-		SentAt: s.sched.Now(),
-	}
+	pkt := packet.Get()
+	pkt.Flow = s.flow
+	pkt.Kind = packet.KindData
+	pkt.Seq = uint64(s.sent)
+	pkt.Size = s.cfg.Size
+	pkt.SentAt = s.sched.Now()
 	s.sent++
 	s.cSent.Inc()
-	_ = s.edge.Inject(pkt)
-	s.sched.After(s.cfg.Interval, s.tick)
+	if err := s.edge.Inject(pkt); err != nil {
+		pkt.Release()
+	}
+	s.sched.After(s.cfg.Interval, s.tickFn)
 }
 
+// onData terminates the flow: it records stats and, as the packet's
+// final owner, recycles it.
 func (r *Receiver) onData(pkt *packet.Packet) {
+	defer pkt.Release()
 	st := &r.stats
 	if r.seen[pkt.Seq] {
 		r.cDups.Inc()

@@ -50,4 +50,28 @@ cmp -s "$tmp/a.prom.json" "$tmp/b.prom.json" || {
 }
 echo "metrics smoke test OK ($(wc -l < "$tmp/a.prom") lines, byte-identical across runs)"
 
+echo "==> worker-count determinism (fig4, -workers 1 vs 3)"
+# Results are keyed by cell index, not completion order, so the same
+# seed must produce byte-identical dumps at any parallelism.
+"$tmp/karsim" -exp fig4 -seed 1 -workers 1 -metrics "$tmp/w1.prom" > /dev/null
+"$tmp/karsim" -exp fig4 -seed 1 -workers 3 -metrics "$tmp/w3.prom" > /dev/null
+cmp -s "$tmp/w1.prom" "$tmp/w3.prom" || {
+    echo "FAIL: metrics dumps differ across worker counts" >&2
+    exit 1
+}
+cmp -s "$tmp/a.prom" "$tmp/w1.prom" || {
+    echo "FAIL: -workers 1 dump differs from default-workers dump" >&2
+    exit 1
+}
+echo "worker-count determinism OK"
+
+echo "==> benchmark smoke (BenchmarkForwardModulo, 100 iterations)"
+# Allocation budgets (0 allocs/op for Forward, the scheduler steady
+# state, and pooled header marshal) are asserted by regular tests:
+# internal/core TestForwardZeroAlloc, internal/simnet
+# TestSchedulerSteadyStateZeroAlloc, internal/packet
+# TestMarshalPooledBufferZeroAlloc. This smoke run just proves the
+# benchmark harness itself still compiles and executes.
+go test -run '^$' -bench 'BenchmarkForwardModulo' -benchtime 100x .
+
 echo "ALL CHECKS PASSED"
