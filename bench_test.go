@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/controller"
 	"repro/internal/core"
 	"repro/internal/experiment"
 	"repro/internal/packet"
@@ -194,6 +195,127 @@ func BenchmarkSchedulerSteadyState(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s.After(time.Microsecond, fn)
 		s.Step()
+	}
+}
+
+// BenchmarkShortestPath measures one steady-state Dijkstra on a
+// 64-core random topology — the controller's reroute inner loop
+// (typed 4-ary heap, pooled scratch arrays, reused result buffer).
+func BenchmarkShortestPath(b *testing.B) {
+	g, err := topology.Generate(topology.GenConfig{Cores: 64, ExtraLinks: 128, Edges: 24, Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	edges := g.EdgeNodes()
+	src, dst := edges[0].Name(), edges[len(edges)-1].Name()
+	var buf []*topology.Node
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, err = topology.AppendShortestPath(buf[:0], g, src, dst, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEncodeRouteCached measures re-encoding the Net15
+// partial-protection route through an Encoder with a warm basis cache
+// — the controller's reroute encode path.
+func BenchmarkEncodeRouteCached(b *testing.B) {
+	g, err := topology.Net15()
+	if err != nil {
+		b.Fatal(err)
+	}
+	path, err := topology.ShortestPath(g, "AS1", "AS3", nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hops, err := core.HopsFromPairs(g, topology.Net15PartialProtection)
+	if err != nil {
+		b.Fatal(err)
+	}
+	enc := core.NewEncoder()
+	if _, err := enc.EncodeRoute(path, hops); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := enc.EncodeRoute(path, hops); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEncodeRouteUncached is the ablation baseline for
+// BenchmarkEncodeRouteCached: every encode revalidates the basis and
+// rebuilds the CRT constants.
+func BenchmarkEncodeRouteUncached(b *testing.B) {
+	g, err := topology.Net15()
+	if err != nil {
+		b.Fatal(err)
+	}
+	path, err := topology.ShortestPath(g, "AS1", "AS3", nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hops, err := core.HopsFromPairs(g, topology.Net15PartialProtection)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.EncodeRoute(path, hops); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReinstallAfterFailure measures one failure/repair reaction
+// cycle on a 64-switch topology with 552 installed routes: the
+// controller recomputes only routes crossing the failed link (then
+// only detoured ones on repair) instead of the whole table. The
+// recompute savings are asserted by TestIncrementalRerouteSavings;
+// this benchmark prices the cycle.
+func BenchmarkReinstallAfterFailure(b *testing.B) {
+	g, err := topology.Generate(topology.GenConfig{Cores: 64, ExtraLinks: 128, Edges: 24, Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctrl := controller.New(g, controller.WithFailureReaction())
+	edges := g.EdgeNodes()
+	routes := 0
+	for _, src := range edges {
+		for _, dst := range edges {
+			if src == dst {
+				continue
+			}
+			if _, err := ctrl.InstallRoute(src.Name(), dst.Name(), nil); err != nil {
+				b.Fatal(err)
+			}
+			routes++
+		}
+	}
+	if routes < 500 {
+		b.Fatalf("installed %d routes, want >= 500", routes)
+	}
+	r, ok := ctrl.Route(edges[0].Name(), edges[len(edges)-1].Name())
+	if !ok {
+		b.Fatal("route not installed")
+	}
+	links := r.Path.Links()
+	link := links[len(links)/2]
+	b.ReportMetric(float64(routes), "routes")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ctrl.NotifyFailure(link); err != nil {
+			b.Fatal(err)
+		}
+		if err := ctrl.NotifyRepair(link); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

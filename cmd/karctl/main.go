@@ -188,12 +188,22 @@ func runDecode(args []string) error {
 		}
 		moduli = append(moduli, m)
 	}
-	if err := rns.CheckPairwiseCoprime(moduli); err != nil {
-		fmt.Printf("warning: %v\n", err)
-	}
 	fmt.Printf("route ID %s (%d bits)\n", id, id.BitLen())
-	for _, m := range moduli {
-		fmt.Printf("  %s mod %-4d = %d\n", id, m, id.Mod(m))
+	if err := rns.CheckPairwiseCoprime(moduli); err != nil {
+		// Not a valid basis; decompose residue by residue anyway.
+		fmt.Printf("warning: %v\n", err)
+		for _, m := range moduli {
+			fmt.Printf("  %s mod %-4d = %d\n", id, m, id.Mod(m))
+		}
+		return nil
+	}
+	sys, err := rns.NewSystem(moduli)
+	if err != nil {
+		return err
+	}
+	residues := sys.AppendResidues(make([]uint64, 0, len(moduli)), id)
+	for i, m := range moduli {
+		fmt.Printf("  %s mod %-4d = %d\n", id, m, residues[i])
 	}
 	return nil
 }

@@ -57,7 +57,7 @@ type options struct {
 func run(args []string) error {
 	fs := flag.NewFlagSet("karsim", flag.ContinueOnError)
 	opts := options{}
-	fs.StringVar(&opts.exp, "exp", "all", "experiment: table1, fig4, fig5, fig7, fig8, table2, coverage, all")
+	fs.StringVar(&opts.exp, "exp", "all", "experiment: table1, fig4, fig5, fig7, fig8, table2, coverage, ablation, reaction, all")
 	fs.IntVar(&opts.runs, "runs", 30, "repetitions for fig5/fig7/fig8 (the paper used 30)")
 	fs.DurationVar(&opts.duration, "duration", 6*time.Second, "virtual duration per fig5/fig7/fig8 run (paper: 5s + ramp)")
 	fs.Int64Var(&opts.seed, "seed", 1, "base random seed")
@@ -105,8 +105,9 @@ func run(args []string) error {
 		"table2":   runTable2,
 		"coverage": runCoverage,
 		"ablation": runAblation,
+		"reaction": runReaction,
 	}
-	order := []string{"table1", "fig4", "fig5", "fig7", "fig8", "table2", "coverage", "ablation"}
+	order := []string{"table1", "fig4", "fig5", "fig7", "fig8", "table2", "coverage", "ablation", "reaction"}
 
 	if opts.exp == "all" {
 		for _, name := range order {
@@ -260,6 +261,25 @@ func runAblation(opts options) error {
 		return err
 	}
 	emit(opts, experiment.ReactionTable(reaction))
+	return nil
+}
+
+// runReaction is the control-plane experiment: deflection vs a
+// reactive controller doing incremental rerouting. With -metrics, the
+// dump carries the kar_ctrl_reroutes_{recomputed,skipped}_total
+// counters and must be byte-identical across -workers settings —
+// scripts/check.sh gates on exactly that.
+func runReaction(opts options) error {
+	rows, err := experiment.Reaction(experiment.ReactionConfig{
+		ControlDelay: 250 * time.Millisecond,
+		Seed:         opts.seed,
+		Workers:      opts.workers,
+		Metrics:      opts.collector,
+	})
+	if err != nil {
+		return err
+	}
+	emit(opts, experiment.ReactionTable(rows))
 	return nil
 }
 

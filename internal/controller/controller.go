@@ -7,10 +7,20 @@
 // data-plane failure notifications by default — resilience must come
 // from deflection alone. Failure-reactive rerouting is available as an
 // opt-in (the "traditional approach" the paper contrasts against).
+// When enabled, reaction is incremental: a link→routes inverted index
+// picks out the routes actually crossing a failed link, and a
+// baseline-path cache picks out the routes actually detoured when a
+// link comes back, so reaction cost scales with affected routes, not
+// installed routes.
 package controller
 
 import (
+	"errors"
 	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/rns"
@@ -22,24 +32,47 @@ type pair struct {
 	src, dst string
 }
 
-// Controller is the routing brain. It is not safe for concurrent use;
-// each simulated world owns one controller.
+// routeEntry is one installed route plus the bookkeeping incremental
+// rerouting needs: the protection requested at install time, the
+// baseline path (the shortest path under the empty failure set, ""
+// while unknown), and whether the current path deviates from it.
+type routeEntry struct {
+	route      *core.Route
+	protection []core.Hop
+	baseline   string
+	detoured   bool
+}
+
+// Controller is the routing brain. Its public methods are not safe
+// for concurrent use (each simulated world owns one controller), but
+// reroute recomputation internally fans out across a worker pool.
 type Controller struct {
 	g      *topology.Graph
 	weight topology.WeightFunc
 
 	reactToFailures bool
+	workers         int
 	failed          map[*topology.Link]bool
 
-	routes     map[pair]*core.Route
-	protection map[pair][]core.Hop // protection requested at install time
+	entries map[pair]*routeEntry
+	// byLink inverts the route table: for every link, the pairs whose
+	// current primary path crosses it. NotifyFailure consults it to
+	// recompute only crossing routes.
+	byLink map[*topology.Link]map[pair]struct{}
+
+	// enc caches RNS bases across encodes: reroutes re-encode routes
+	// over recurring (path ∪ protection) switch sets.
+	enc *core.Encoder
 
 	// Telemetry (a private registry when the world supplies none).
-	events     *telemetry.EventLog
-	cComputes  *telemetry.Counter
-	cInstalls  *telemetry.Counter
-	cReencodes *telemetry.Counter
-	cNotifies  *telemetry.Counter
+	events           *telemetry.EventLog
+	cComputes        *telemetry.Counter
+	cInstalls        *telemetry.Counter
+	cReencodes       *telemetry.Counter
+	cNotifies        *telemetry.Counter
+	cRerouted        *telemetry.Counter
+	cRerouteSkipped  *telemetry.Counter
+	cRerouteFailures *telemetry.Counter
 }
 
 // Option configures a Controller.
@@ -57,6 +90,14 @@ func WithWeight(w topology.WeightFunc) Option {
 // experiments deliberately ignore notifications).
 func WithFailureReaction() Option {
 	return func(c *Controller) { c.reactToFailures = true }
+}
+
+// WithWorkers bounds the reroute recomputation pool (0 or unset: one
+// worker per CPU). Worker count changes wall clock only: recomputes
+// are keyed by table position and installed in deterministic order,
+// so results and telemetry are identical at any parallelism.
+func WithWorkers(n int) Option {
+	return func(c *Controller) { c.workers = n }
 }
 
 // WithTelemetry points the controller's counters and control-plane
@@ -77,20 +118,27 @@ func WithTelemetry(reg *telemetry.Registry, ev *telemetry.EventLog) Option {
 // bindRegistry (re)creates the counter handles on reg.
 func (c *Controller) bindRegistry(reg *telemetry.Registry) {
 	reg.Help("kar_ctrl_route_computes_total", "Shortest-path computations performed.")
+	reg.Help("kar_ctrl_reroutes_recomputed_total", "Routes recomputed by incremental failure/repair reaction.")
+	reg.Help("kar_ctrl_reroutes_skipped_total", "Installed routes left untouched by incremental failure/repair reaction.")
+	reg.Help("kar_ctrl_reroute_failures_total", "Reroute recomputes that failed (unreachable pair or encode error); the old route is kept.")
 	c.cComputes = reg.Counter("kar_ctrl_route_computes_total")
 	c.cInstalls = reg.Counter("kar_ctrl_route_installs_total")
 	c.cReencodes = reg.Counter("kar_ctrl_reencode_total")
 	c.cNotifies = reg.Counter("kar_ctrl_notifications_total")
+	c.cRerouted = reg.Counter("kar_ctrl_reroutes_recomputed_total")
+	c.cRerouteSkipped = reg.Counter("kar_ctrl_reroutes_skipped_total")
+	c.cRerouteFailures = reg.Counter("kar_ctrl_reroute_failures_total")
 }
 
 // New builds a controller over a validated topology.
 func New(g *topology.Graph, opts ...Option) *Controller {
 	c := &Controller{
-		g:          g,
-		weight:     topology.HopWeight,
-		failed:     make(map[*topology.Link]bool),
-		routes:     make(map[pair]*core.Route),
-		protection: make(map[pair][]core.Hop),
+		g:       g,
+		weight:  topology.HopWeight,
+		failed:  make(map[*topology.Link]bool),
+		entries: make(map[pair]*routeEntry),
+		byLink:  make(map[*topology.Link]map[pair]struct{}),
+		enc:     core.NewEncoder(),
 	}
 	c.bindRegistry(telemetry.NewRegistry())
 	c.events = telemetry.NewEventLog(0, nil)
@@ -118,6 +166,56 @@ func (c *Controller) pathWeight() topology.WeightFunc {
 	}
 }
 
+// index/unindex maintain the link→routes inverted map for one entry's
+// primary path.
+func (c *Controller) index(k pair, route *core.Route) {
+	for _, l := range route.Path.Links() {
+		m := c.byLink[l]
+		if m == nil {
+			m = make(map[pair]struct{})
+			c.byLink[l] = m
+		}
+		m[k] = struct{}{}
+	}
+}
+
+func (c *Controller) unindex(k pair, route *core.Route) {
+	for _, l := range route.Path.Links() {
+		if m := c.byLink[l]; m != nil {
+			delete(m, k)
+			if len(m) == 0 {
+				delete(c.byLink, l)
+			}
+		}
+	}
+}
+
+// install replaces (or creates) the entry for k, maintaining the
+// inverted index and the baseline/detour bookkeeping: under an empty
+// failure set the installed path IS the baseline; under failures the
+// entry is detoured whenever its path deviates from a known baseline
+// (or the baseline is unknown, which repair reaction treats
+// conservatively as detoured).
+func (c *Controller) install(k pair, route *core.Route, protection []core.Hop) {
+	old := c.entries[k]
+	if old != nil {
+		c.unindex(k, old.route)
+	}
+	e := &routeEntry{route: route, protection: protection}
+	ps := route.Path.String()
+	switch {
+	case len(c.failed) == 0:
+		e.baseline = ps
+	case old != nil && old.baseline != "":
+		e.baseline = old.baseline
+		e.detoured = ps != old.baseline
+	default:
+		e.detoured = true
+	}
+	c.entries[k] = e
+	c.index(k, route)
+}
+
 // InstallRoute selects the best path from src to dst (both edge
 // nodes), encodes it together with the given protection hops, and
 // remembers it. Reinstalling a pair overwrites it.
@@ -127,13 +225,11 @@ func (c *Controller) InstallRoute(src, dst string, protection []core.Hop) (*core
 	if err != nil {
 		return nil, fmt.Errorf("controller: route %s->%s: %w", src, dst, err)
 	}
-	route, err := core.EncodeRoute(path, protection)
+	route, err := c.enc.EncodeRoute(path, protection)
 	if err != nil {
 		return nil, fmt.Errorf("controller: route %s->%s: %w", src, dst, err)
 	}
-	k := pair{src: src, dst: dst}
-	c.routes[k] = route
-	c.protection[k] = append([]core.Hop(nil), protection...)
+	c.install(pair{src: src, dst: dst}, route, append([]core.Hop(nil), protection...))
 	c.recordInstall(src, dst, route)
 	return route, nil
 }
@@ -148,7 +244,9 @@ func (c *Controller) recordInstall(src, dst string, route *core.Route) {
 
 // InstallRouteOnPath installs an explicitly chosen path (the paper's
 // controller "by any reason selects" specific routes) instead of the
-// shortest one.
+// shortest one. An explicit route is left alone by incremental
+// reaction until a failure touches its path; from then on it is
+// recomputed by shortest path like any other route.
 func (c *Controller) InstallRouteOnPath(nodeNames []string, protection []core.Hop) (*core.Route, error) {
 	nodes := make([]*topology.Node, len(nodeNames))
 	for i, name := range nodeNames {
@@ -159,23 +257,27 @@ func (c *Controller) InstallRouteOnPath(nodeNames []string, protection []core.Ho
 		nodes[i] = n
 	}
 	path := topology.Path{Nodes: nodes}
-	route, err := core.EncodeRoute(path, protection)
+	route, err := c.enc.EncodeRoute(path, protection)
 	if err != nil {
 		return nil, fmt.Errorf("controller: explicit route %s: %w", path, err)
 	}
 	src, dst := nodeNames[0], nodeNames[len(nodeNames)-1]
-	k := pair{src: src, dst: dst}
-	c.routes[k] = route
-	c.protection[k] = append([]core.Hop(nil), protection...)
+	c.install(pair{src: src, dst: dst}, route, append([]core.Hop(nil), protection...))
 	c.recordInstall(src, dst, route)
 	return route, nil
 }
 
 // Route returns the installed route for a pair.
 func (c *Controller) Route(src, dst string) (*core.Route, bool) {
-	r, ok := c.routes[pair{src: src, dst: dst}]
-	return r, ok
+	e, ok := c.entries[pair{src: src, dst: dst}]
+	if !ok {
+		return nil, false
+	}
+	return e.route, true
 }
+
+// Routes returns the number of installed routes.
+func (c *Controller) Routes() int { return len(c.entries) }
 
 // IngressPort returns the port the ingress edge uses to reach the
 // first core switch of an installed route.
@@ -197,12 +299,12 @@ func (c *Controller) IngressPort(route *core.Route) (int, error) {
 func (c *Controller) ReencodeRoute(fromEdge, dstEdge string) (rns.RouteID, int, error) {
 	c.cReencodes.Inc()
 	k := pair{src: fromEdge, dst: dstEdge}
-	if r, ok := c.routes[k]; ok {
-		port, err := c.IngressPort(r)
+	if e, ok := c.entries[k]; ok {
+		port, err := c.IngressPort(e.route)
 		if err != nil {
 			return rns.RouteID{}, 0, err
 		}
-		return r.ID, port, nil
+		return e.route.ID, port, nil
 	}
 	protection := c.protectionToward(dstEdge)
 	c.cComputes.Inc()
@@ -210,12 +312,11 @@ func (c *Controller) ReencodeRoute(fromEdge, dstEdge string) (rns.RouteID, int, 
 	if err != nil {
 		return rns.RouteID{}, 0, fmt.Errorf("controller: re-encode %s->%s: %w", fromEdge, dstEdge, err)
 	}
-	route, err := core.EncodeRoute(path, filterHops(protection, path))
+	route, err := c.enc.EncodeRoute(path, filterHops(protection, path))
 	if err != nil {
 		return rns.RouteID{}, 0, fmt.Errorf("controller: re-encode %s->%s: %w", fromEdge, dstEdge, err)
 	}
-	c.routes[k] = route
-	c.protection[k] = route.Protection
+	c.install(k, route, route.Protection)
 	c.recordInstall(fromEdge, dstEdge, route)
 	port, err := c.IngressPort(route)
 	if err != nil {
@@ -228,9 +329,9 @@ func (c *Controller) ReencodeRoute(fromEdge, dstEdge string) (rns.RouteID, int, 
 // ending at dstEdge (they form a tree toward the destination, so they
 // remain valid from any ingress).
 func (c *Controller) protectionToward(dstEdge string) []core.Hop {
-	for k, hops := range c.protection {
-		if k.dst == dstEdge && len(hops) > 0 {
-			return hops
+	for k, e := range c.entries {
+		if k.dst == dstEdge && len(e.protection) > 0 {
+			return e.protection
 		}
 	}
 	return nil
@@ -250,7 +351,9 @@ func filterHops(hops []core.Hop, path topology.Path) []core.Hop {
 
 // NotifyFailure receives a data-plane failure report. In the paper's
 // evaluation mode (default) it only counts; with failure reaction
-// enabled it reroutes every installed route that crosses the link.
+// enabled it reroutes exactly the installed routes whose current path
+// crosses the link — the inverted index makes every other route a
+// skip, counted in kar_ctrl_reroutes_skipped_total.
 func (c *Controller) NotifyFailure(l *topology.Link) error {
 	c.cNotifies.Inc()
 	c.events.Record(telemetry.EventNotify, l.Name(), "fail")
@@ -258,10 +361,13 @@ func (c *Controller) NotifyFailure(l *topology.Link) error {
 		return nil
 	}
 	c.failed[l] = true
-	return c.reinstallAll()
+	return c.reroute(c.sortedPairs(c.byLink[l]))
 }
 
-// NotifyRepair clears a failure.
+// NotifyRepair clears a failure. With reaction enabled it recomputes
+// only the routes currently detoured off their baseline path — routes
+// already on their pre-failure shortest path cannot improve and are
+// skipped.
 func (c *Controller) NotifyRepair(l *topology.Link) error {
 	c.cNotifies.Inc()
 	c.events.Record(telemetry.EventNotify, l.Name(), "repair")
@@ -269,27 +375,132 @@ func (c *Controller) NotifyRepair(l *topology.Link) error {
 		return nil
 	}
 	delete(c.failed, l)
-	return c.reinstallAll()
+	affected := make([]pair, 0, len(c.entries))
+	for k, e := range c.entries {
+		if e.detoured {
+			affected = append(affected, k)
+		}
+	}
+	sortPairs(affected)
+	return c.reroute(affected)
+}
+
+// sortedPairs copies a pair set into deterministic (src, dst) order.
+func (c *Controller) sortedPairs(set map[pair]struct{}) []pair {
+	out := make([]pair, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sortPairs(out)
+	return out
+}
+
+func sortPairs(ps []pair) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].src != ps[j].src {
+			return ps[i].src < ps[j].src
+		}
+		return ps[i].dst < ps[j].dst
+	})
+}
+
+// reroute recomputes the given routes under the current failure set.
+// Path searches and encodes fan out across the worker pool (reads
+// only); installs run sequentially in the caller's deterministic
+// order, so the route table and every counter are byte-identical at
+// any worker count.
+//
+// A pair that becomes unreachable keeps its old route and bumps
+// kar_ctrl_reroute_failures_total — a stale route the data plane can
+// still deflect around beats no route. Only genuine encode failures
+// surface in the aggregate error (also keeping the old route, so an
+// error mid-batch can no longer strand the table half-updated).
+func (c *Controller) reroute(affected []pair) error {
+	c.cRerouted.Add(int64(len(affected)))
+	c.cRerouteSkipped.Add(int64(len(c.entries) - len(affected)))
+	if len(affected) == 0 {
+		return nil
+	}
+
+	type result struct {
+		route       *core.Route
+		err         error
+		unreachable bool
+	}
+	results := make([]result, len(affected))
+	weight := c.pathWeight()
+	compute := func(i int) {
+		k := affected[i]
+		e := c.entries[k]
+		path, err := topology.ShortestPath(c.g, k.src, k.dst, weight)
+		if err != nil {
+			results[i] = result{err: err, unreachable: true}
+			return
+		}
+		route, err := c.enc.EncodeRoute(path, filterHops(e.protection, path))
+		if err != nil {
+			results[i] = result{err: err}
+			return
+		}
+		results[i] = result{route: route}
+	}
+
+	workers := c.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(affected) {
+		workers = len(affected)
+	}
+	if workers <= 1 {
+		for i := range affected {
+			compute(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(affected) {
+						return
+					}
+					compute(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	var errs []error
+	for i, k := range affected {
+		c.cComputes.Inc()
+		res := results[i]
+		if res.err != nil {
+			c.cRerouteFailures.Inc()
+			if !res.unreachable {
+				errs = append(errs, fmt.Errorf("controller: reroute %s->%s: %w", k.src, k.dst, res.err))
+			}
+			continue // keep the old route
+		}
+		c.install(k, res.route, c.entries[k].protection)
+	}
+	return errors.Join(errs...)
 }
 
 // reinstallAll recomputes every installed route under the current
-// failure set. A failure may detour routes that crossed the link; a
-// repair may restore shortest paths for routes that no longer do —
-// recomputing everything covers both.
+// failure set — the from-scratch fallback incremental reaction is
+// checked against: after any fail/repair sequence it must be a no-op.
 func (c *Controller) reinstallAll() error {
-	for k := range c.routes {
-		c.cComputes.Inc()
-		path, err := topology.ShortestPath(c.g, k.src, k.dst, c.pathWeight())
-		if err != nil {
-			return fmt.Errorf("controller: reroute %s->%s: %w", k.src, k.dst, err)
-		}
-		newRoute, err := core.EncodeRoute(path, filterHops(c.protection[k], path))
-		if err != nil {
-			return fmt.Errorf("controller: reroute %s->%s: %w", k.src, k.dst, err)
-		}
-		c.routes[k] = newRoute
+	all := make([]pair, 0, len(c.entries))
+	for k := range c.entries {
+		all = append(all, k)
 	}
-	return nil
+	sortPairs(all)
+	return c.reroute(all)
 }
 
 // Notifications returns how many failure/repair reports arrived.

@@ -7,6 +7,7 @@ import (
 	"repro/internal/measure"
 	"repro/internal/packet"
 	"repro/internal/tcpsim"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 	"repro/internal/udpsim"
 )
@@ -102,6 +103,21 @@ type ReactionRow struct {
 	MeanHops  float64
 }
 
+// ReactionConfig parameterises the reaction-strategy comparison.
+type ReactionConfig struct {
+	// ControlDelay is the data-plane→controller→ingress round trip the
+	// reactive strategy pays before the recomputed route takes effect.
+	ControlDelay time.Duration
+	// Seed drives the per-switch RNGs.
+	Seed int64
+	// Workers bounds the reactive controller's reroute worker pool
+	// (0: one per CPU). Results are worker-count invariant.
+	Workers int
+	// Metrics, when non-nil, collects each strategy world's registry
+	// and event log under a deterministic run label.
+	Metrics *telemetry.Collector
+}
+
 // ReactionComparison contrasts KAR's data-plane reaction with the
 // "traditional approach" the paper's introduction describes: no
 // deflection, the switch reports the failure, and the controller
@@ -110,6 +126,16 @@ type ReactionRow struct {
 // installed. CBR probes (1 ms spacing) over Net15 with SW7-SW13
 // failing at t=100 ms.
 func ReactionComparison(controlDelay time.Duration, seed int64) ([]ReactionRow, error) {
+	return Reaction(ReactionConfig{ControlDelay: controlDelay, Seed: seed})
+}
+
+// Reaction is ReactionComparison with explicit configuration (worker
+// pool, telemetry collection). The reactive world carries a route for
+// every ordered edge pair — the probes only use AS1→AS3, but the
+// controller's incremental reroute then has a realistic table to skip
+// over, which is what the recomputed-vs-skipped counters in the
+// -metrics dump are about.
+func Reaction(cfg ReactionConfig) ([]ReactionRow, error) {
 	const (
 		probes   = 2000
 		failAt   = 100 * time.Millisecond
@@ -117,12 +143,13 @@ func ReactionComparison(controlDelay time.Duration, seed int64) ([]ReactionRow, 
 	)
 	strategies := []struct {
 		name     string
+		slug     string
 		policy   string
 		reactive bool
 	}{
-		{name: "KAR driven deflection (NIP)", policy: "nip", reactive: false},
-		{name: fmt.Sprintf("reactive controller (%v notify+install)", controlDelay), policy: "none", reactive: true},
-		{name: "no deflection, no reaction", policy: "none", reactive: false},
+		{name: "KAR driven deflection (NIP)", slug: "kar-nip", policy: "nip", reactive: false},
+		{name: fmt.Sprintf("reactive controller (%v notify+install)", cfg.ControlDelay), slug: "reactive", policy: "none", reactive: true},
+		{name: "no deflection, no reaction", slug: "static", policy: "none", reactive: false},
 	}
 
 	rows := make([]ReactionRow, 0, len(strategies))
@@ -133,15 +160,31 @@ func ReactionComparison(controlDelay time.Duration, seed int64) ([]ReactionRow, 
 		}
 		var opts []WorldOption
 		if s.reactive {
-			opts = append(opts, WithFailureReaction())
+			opts = append(opts, WithFailureReaction(), WithControlWorkers(cfg.Workers))
 		}
-		w := NewWorld(g, mustPolicy(s.policy), seed, opts...)
+		w := NewWorld(g, mustPolicy(s.policy), cfg.Seed, opts...)
 		var protection [][2]string
 		if s.policy == "nip" {
 			protection = topology.Net15FullProtection
 		}
 		if _, err := w.InstallRoute("AS1", "AS3", protection); err != nil {
 			return nil, err
+		}
+		if s.reactive {
+			// Fill the reactive controller's table: every other edge
+			// pair too. Policy "none" never misdelivers, so these
+			// routes carry no probe traffic — they exist to be skipped
+			// (or not) by the incremental reroute.
+			for _, a := range g.EdgeNodes() {
+				for _, b := range g.EdgeNodes() {
+					if a == b || (a.Name() == "AS1" && b.Name() == "AS3") {
+						continue
+					}
+					if _, err := w.InstallRoute(a.Name(), b.Name(), nil); err != nil {
+						return nil, err
+					}
+				}
+			}
 		}
 		link, ok := g.LinkBetween("SW7", "SW13")
 		if !ok {
@@ -152,7 +195,7 @@ func ReactionComparison(controlDelay time.Duration, seed int64) ([]ReactionRow, 
 			// The data plane reports the failure; after the control
 			// round trip the controller recomputes and the ingress is
 			// reprogrammed with the new route ID.
-			w.Net.Scheduler().At(failAt+controlDelay, func() {
+			w.Net.Scheduler().At(failAt+cfg.ControlDelay, func() {
 				if err := w.Ctrl.NotifyFailure(link); err != nil {
 					return
 				}
@@ -179,6 +222,11 @@ func ReactionComparison(controlDelay time.Duration, seed int64) ([]ReactionRow, 
 			LostPct:   float64(st.Sent-st.Received) / float64(st.Sent) * 100,
 			MeanHops:  st.MeanHops(),
 		})
+		// Run labels derive from configuration only, keeping the
+		// collector dump byte-identical per seed at any worker count.
+		cfg.Metrics.Add(
+			fmt.Sprintf("reaction/%s/seed=%d", s.slug, cfg.Seed),
+			w.Net.Metrics(), w.Net.Events())
 	}
 	return rows, nil
 }

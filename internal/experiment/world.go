@@ -42,7 +42,10 @@ func NewWorld(g *topology.Graph, policy deflect.Policy, seed int64, opts ...Worl
 	// Controller telemetry shares the world's registry and event log:
 	// route installs and re-encodes interleave with link failures on
 	// one virtual timeline.
-	ctrlOpts := []controller.Option{controller.WithTelemetry(w.Net.Metrics(), w.Net.Events())}
+	ctrlOpts := []controller.Option{
+		controller.WithTelemetry(w.Net.Metrics(), w.Net.Events()),
+		controller.WithWorkers(cfg.controlWorkers),
+	}
 	if cfg.reactToFailures {
 		ctrlOpts = append(ctrlOpts, controller.WithFailureReaction())
 	}
@@ -58,6 +61,7 @@ func NewWorld(g *topology.Graph, policy deflect.Policy, seed int64, opts ...Worl
 type worldConfig struct {
 	reencodeDelay   time.Duration
 	reactToFailures bool
+	controlWorkers  int
 }
 
 // WorldOption tunes world assembly.
@@ -73,6 +77,13 @@ func WithReencodeDelay(d time.Duration) WorldOption {
 // non-paper baseline).
 func WithFailureReaction() WorldOption {
 	return func(c *worldConfig) { c.reactToFailures = true }
+}
+
+// WithControlWorkers bounds the controller's reroute worker pool
+// (0: one per CPU). Worker count never changes results — reroute
+// installs are ordered deterministically — only wall clock.
+func WithControlWorkers(n int) WorldOption {
+	return func(c *worldConfig) { c.controlWorkers = n }
 }
 
 // InstallRoute computes, encodes and installs the shortest route from

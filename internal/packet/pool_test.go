@@ -30,6 +30,9 @@ func TestPoolRoundTrip(t *testing.T) {
 // TestReleaseKeepsSACKCapacity: the SACK backing array survives a
 // Release/Get cycle so ACK senders can refill it without allocating.
 func TestReleaseKeepsSACKCapacity(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops values under the race detector")
+	}
 	p := Get()
 	p.SACKBlocks = append(p.SACKBlocks[:0], SACKBlock{1, 2}, SACKBlock{4, 6}, SACKBlock{9, 12})
 	p.Release()
@@ -63,6 +66,9 @@ func TestDoubleReleaseIsNoop(t *testing.T) {
 // TestMarshalPooledBufferZeroAlloc: a header marshal through the
 // buffer pool allocates nothing once the buffer has its capacity.
 func TestMarshalPooledBufferZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops values under the race detector")
+	}
 	h := Header{Version: 1, TTL: 64, RouteID: rns.RouteIDFromUint64(4402485597509)}
 	// Warm the pool so the backing array exists.
 	warm := GetBuffer()

@@ -1,0 +1,8 @@
+//go:build race
+
+package packet
+
+// raceEnabled: under the race detector sync.Pool deliberately drops
+// values (poolRaceHash), so pool-identity and allocation assertions
+// do not hold there.
+const raceEnabled = true

@@ -159,9 +159,15 @@ func (s *System) encodeWide(residues []uint64) RouteID {
 // Residues decomposes R into its residue vector over the basis
 // (Eq. 2–3): residues[i] = R mod sᵢ.
 func (s *System) Residues(r RouteID) []uint64 {
-	out := make([]uint64, len(s.moduli))
-	for i, id := range s.moduli {
-		out[i] = r.Mod(id)
+	return s.AppendResidues(make([]uint64, 0, len(s.moduli)), r)
+}
+
+// AppendResidues appends R's residue vector to dst and returns the
+// extended slice — the allocation-aware form of Residues for callers
+// that reuse a scratch buffer (controller re-encode, decoders).
+func (s *System) AppendResidues(dst []uint64, r RouteID) []uint64 {
+	for _, id := range s.moduli {
+		dst = append(dst, r.Mod(id))
 	}
-	return out
+	return dst
 }

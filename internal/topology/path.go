@@ -1,10 +1,10 @@
 package topology
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // ErrNoPath indicates the destination is unreachable from the source.
@@ -35,17 +35,22 @@ func (p Path) Contains(name string) bool {
 
 // Links returns the traversed links in order.
 func (p Path) Links() []*Link {
-	out := make([]*Link, 0, p.Hops())
+	return p.AppendLinks(make([]*Link, 0, p.Hops()))
+}
+
+// AppendLinks appends the traversed links in order to dst and returns
+// the extended slice — the reuse-friendly form of Links.
+func (p Path) AppendLinks(dst []*Link) []*Link {
 	for i := 0; i+1 < len(p.Nodes); i++ {
 		cur := p.Nodes[i]
 		for _, l := range cur.ports {
 			if l != nil && l.Other(cur) == p.Nodes[i+1] {
-				out = append(out, l)
+				dst = append(dst, l)
 				break
 			}
 		}
 	}
-	return out
+	return dst
 }
 
 func (p Path) String() string {
@@ -67,38 +72,156 @@ func HopWeight(*Link) float64 { return 1 }
 // LatencyWeight scores links by propagation delay.
 func LatencyWeight(l *Link) float64 { return float64(l.Delay()) }
 
-// dijkstraItem is a priority-queue entry; ties break on node insertion
-// index so results are deterministic.
-type dijkstraItem struct {
-	node *Node
-	dist float64
-	pos  int
+// pathSearch is the reusable scratch state of one Dijkstra run: dist,
+// prev and done keyed by Node.Index(), a 4-ary min-heap of node
+// indexes, and an epoch stamp so arrays never need clearing between
+// searches. Steady state allocates nothing.
+type pathSearch struct {
+	dist []float64
+	prev []int32 // predecessor node index; -1 at the source
+	// stamp[i] == epoch marks dist/prev[i] valid; doneAt[i] == epoch
+	// marks node i finalised.
+	stamp  []uint32
+	doneAt []uint32
+	heap   []int32
+	epoch  uint32
 }
 
-type dijkstraQueue []*dijkstraItem
+var searchPool = sync.Pool{New: func() any { return new(pathSearch) }}
 
-func (q dijkstraQueue) Len() int { return len(q) }
-func (q dijkstraQueue) Less(i, j int) bool {
-	if q[i].dist != q[j].dist {
-		return q[i].dist < q[j].dist
+// begin sizes the arrays for n nodes and opens a fresh epoch.
+func (s *pathSearch) begin(n int) {
+	if cap(s.dist) < n {
+		s.dist = make([]float64, n)
+		s.prev = make([]int32, n)
+		s.stamp = make([]uint32, n)
+		s.doneAt = make([]uint32, n)
+		s.epoch = 0
 	}
-	return q[i].node.idx < q[j].node.idx
+	s.dist = s.dist[:n]
+	s.prev = s.prev[:n]
+	s.stamp = s.stamp[:n]
+	s.doneAt = s.doneAt[:n]
+	s.heap = s.heap[:0]
+	s.epoch++
+	if s.epoch == 0 { // wrapped: stale stamps could collide, clear once
+		for i := range s.stamp {
+			s.stamp[i], s.doneAt[i] = 0, 0
+		}
+		s.epoch = 1
+	}
 }
-func (q dijkstraQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].pos, q[j].pos = i, j
+
+// seen reports whether node i has a valid tentative distance.
+func (s *pathSearch) seen(i int32) bool { return s.stamp[i] == s.epoch }
+
+// done reports whether node i is finalised.
+func (s *pathSearch) done(i int32) bool { return s.doneAt[i] == s.epoch }
+
+// relax records a better tentative distance for node i and pushes it.
+// Duplicate heap entries are resolved at pop time via done.
+func (s *pathSearch) relax(i int32, d float64, from int32) {
+	s.dist[i] = d
+	s.prev[i] = from
+	s.stamp[i] = s.epoch
+	s.push(i)
 }
-func (q *dijkstraQueue) Push(x any) {
-	it := x.(*dijkstraItem)
-	it.pos = len(*q)
-	*q = append(*q, it)
+
+// less orders heap entries by (dist, node index): the node insertion
+// index is the deterministic tie-break the whole repository's
+// same-seed byte-identity rests on.
+func (s *pathSearch) less(a, b int32) bool {
+	if s.dist[a] != s.dist[b] {
+		return s.dist[a] < s.dist[b]
+	}
+	return a < b
 }
-func (q *dijkstraQueue) Pop() any {
-	old := *q
-	it := old[len(old)-1]
-	old[len(old)-1] = nil
-	*q = old[:len(old)-1]
-	return it
+
+// push and pop implement a 4-ary min-heap over node indexes. The
+// shallow tree does ~half the sift-down levels of a binary heap, and
+// a plain []int32 keeps the hot loop free of interface boxing.
+func (s *pathSearch) push(i int32) {
+	s.heap = append(s.heap, i)
+	c := len(s.heap) - 1
+	for c > 0 {
+		p := (c - 1) / 4
+		if !s.less(s.heap[c], s.heap[p]) {
+			break
+		}
+		s.heap[c], s.heap[p] = s.heap[p], s.heap[c]
+		c = p
+	}
+}
+
+func (s *pathSearch) pop() int32 {
+	h := s.heap
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	s.heap = h[:last]
+	h = s.heap
+	p := 0
+	for {
+		first := 4*p + 1
+		if first >= len(h) {
+			break
+		}
+		best := first
+		end := first + 4
+		if end > len(h) {
+			end = len(h)
+		}
+		for c := first + 1; c < end; c++ {
+			if s.less(h[c], h[best]) {
+				best = c
+			}
+		}
+		if !s.less(h[best], h[p]) {
+			break
+		}
+		h[p], h[best] = h[best], h[p]
+		p = best
+	}
+	return top
+}
+
+// run executes Dijkstra from node `from`. Edge nodes other than the
+// source are never expanded (no transit through customer edges, per
+// the paper's core/edge split); when `to` is non-nil the search stops
+// as soon as it is finalised. With relaxEdges false, edge nodes other
+// than the source are not even relaxed into (the ShortestPathTree
+// variant: an edge never forwards toward the root).
+func (s *pathSearch) run(g *Graph, from, to *Node, weight WeightFunc, relaxEdges bool) {
+	s.begin(len(g.order))
+	s.relax(int32(from.idx), 0, -1)
+	for len(s.heap) > 0 {
+		ci := s.pop()
+		if s.done(ci) {
+			continue // stale duplicate
+		}
+		s.doneAt[ci] = s.epoch
+		cur := g.order[ci]
+		if to != nil && cur == to {
+			return
+		}
+		if cur.kind == KindEdge && cur != from {
+			continue // no transit through edges
+		}
+		for _, l := range cur.ports {
+			if l == nil {
+				continue
+			}
+			next := l.Other(cur)
+			if !relaxEdges && next.kind == KindEdge && next != from {
+				continue
+			}
+			ni := int32(next.idx)
+			nd := s.dist[ci] + weight(l)
+			if !s.seen(ni) || nd < s.dist[ni] {
+				s.relax(ni, nd, ci)
+			}
+		}
+	}
 }
 
 // ShortestPath runs Dijkstra from src to dst under the given weight
@@ -106,71 +229,56 @@ func (q *dijkstraQueue) Pop() any {
 // used as transit — the paper's core/edge split means traffic cannot
 // cut through a customer edge.
 func ShortestPath(g *Graph, src, dst string, weight WeightFunc) (Path, error) {
+	nodes, err := AppendShortestPath(nil, g, src, dst, weight)
+	if err != nil {
+		return Path{}, err
+	}
+	return Path{Nodes: nodes}, nil
+}
+
+// AppendShortestPath is ShortestPath writing into buf's backing array
+// (grown as needed): with a reused buffer a steady-state search
+// allocates nothing. The result aliases buf's storage, so callers
+// that retain paths (route installs) must copy or hand over the slice.
+func AppendShortestPath(buf []*Node, g *Graph, src, dst string, weight WeightFunc) ([]*Node, error) {
 	if weight == nil {
 		weight = HopWeight
 	}
 	from, ok := g.Node(src)
 	if !ok {
-		return Path{}, fmt.Errorf("source %q: %w", src, ErrUnknownNode)
+		return buf, fmt.Errorf("source %q: %w", src, ErrUnknownNode)
 	}
 	to, ok := g.Node(dst)
 	if !ok {
-		return Path{}, fmt.Errorf("destination %q: %w", dst, ErrUnknownNode)
+		return buf, fmt.Errorf("destination %q: %w", dst, ErrUnknownNode)
 	}
 	if from == to {
-		return Path{Nodes: []*Node{from}}, nil
+		return append(buf, from), nil
 	}
 
-	prev := make(map[*Node]*Node, len(g.order))
-	dist := make(map[*Node]float64, len(g.order))
-	done := make(map[*Node]bool, len(g.order))
-	var q dijkstraQueue
-	dist[from] = 0
-	heap.Push(&q, &dijkstraItem{node: from, dist: 0})
-
-	for q.Len() > 0 {
-		cur := heap.Pop(&q).(*dijkstraItem)
-		if done[cur.node] {
-			continue
-		}
-		done[cur.node] = true
-		if cur.node == to {
-			break
-		}
-		if cur.node.kind == KindEdge && cur.node != from {
-			continue // no transit through edges
-		}
-		for _, l := range cur.node.ports {
-			if l == nil {
-				continue
-			}
-			next := l.Other(cur.node)
-			nd := cur.dist + weight(l)
-			if d, seen := dist[next]; !seen || nd < d {
-				dist[next] = nd
-				prev[next] = cur.node
-				heap.Push(&q, &dijkstraItem{node: next, dist: nd})
-			}
-		}
+	s := searchPool.Get().(*pathSearch)
+	defer searchPool.Put(s)
+	s.run(g, from, to, weight, true)
+	ti := int32(to.idx)
+	if !s.done(ti) {
+		return buf, fmt.Errorf("%s -> %s: %w", src, dst, ErrNoPath)
 	}
-	if !done[to] {
-		return Path{}, fmt.Errorf("%s -> %s: %w", src, dst, ErrNoPath)
+	// Walk the prev chain to count, then fill the result tail-first.
+	n := 0
+	for i := ti; i >= 0; i = s.prev[i] {
+		n++
 	}
-	var rev []*Node
-	for n := to; n != nil; n = prev[n] {
-		rev = append(rev, n)
-		if n == from {
-			break
-		}
+	base := len(buf)
+	for len(buf) < base+n {
+		buf = append(buf, nil)
 	}
-	nodes := make([]*Node, len(rev))
-	for i, n := range rev {
-		nodes[len(rev)-1-i] = n
+	for i, k := ti, base+n-1; i >= 0; i, k = s.prev[i], k-1 {
+		buf[k] = g.order[i]
 	}
-	if nodes[0] != from {
-		return Path{}, fmt.Errorf("%s -> %s: %w", src, dst, ErrNoPath)
+	if buf[base] != from {
+		return buf[:base], fmt.Errorf("%s -> %s: %w", src, dst, ErrNoPath)
 	}
-	return Path{Nodes: nodes}, nil
+	return buf, nil
 }
 
 // ShortestPathTree computes, for every node that can reach root, the
@@ -187,32 +295,25 @@ func ShortestPathTree(g *Graph, root string, weight WeightFunc) (map[*Node]*Link
 		return nil, fmt.Errorf("root %q: %w", root, ErrUnknownNode)
 	}
 
-	next := make(map[*Node]*Link, len(g.order))
-	dist := make(map[*Node]float64, len(g.order))
-	var q dijkstraQueue
-	dist[r] = 0
-	heap.Push(&q, &dijkstraItem{node: r, dist: 0})
-	done := make(map[*Node]bool, len(g.order))
+	s := searchPool.Get().(*pathSearch)
+	defer searchPool.Put(s)
+	s.run(g, r, nil, weight, false)
 
-	for q.Len() > 0 {
-		cur := heap.Pop(&q).(*dijkstraItem)
-		if done[cur.node] {
+	next := make(map[*Node]*Link, len(g.order))
+	for i, n := range g.order {
+		if n == r || !s.seen(int32(i)) {
 			continue
 		}
-		done[cur.node] = true
-		for _, l := range cur.node.ports {
-			if l == nil {
-				continue
-			}
-			nb := l.Other(cur.node)
-			if nb.kind == KindEdge && nb != r {
-				continue // an edge node never forwards toward the root
-			}
-			nd := cur.dist + weight(l)
-			if d, seen := dist[nb]; !seen || nd < d {
-				dist[nb] = nd
-				next[nb] = l // nb's first hop toward root is this link
-				heap.Push(&q, &dijkstraItem{node: nb, dist: nd})
+		pi := s.prev[i]
+		if pi < 0 {
+			continue
+		}
+		// n's first hop toward root is the link to its predecessor.
+		prevNode := g.order[pi]
+		for _, l := range n.ports {
+			if l != nil && l.Other(n) == prevNode {
+				next[n] = l
+				break
 			}
 		}
 	}

@@ -65,6 +65,32 @@ cmp -s "$tmp/a.prom" "$tmp/w1.prom" || {
 }
 echo "worker-count determinism OK"
 
+echo "==> control-plane determinism (reaction, -workers 1 vs 4)"
+# The reactive controller fans reroute recomputes across a worker
+# pool but installs in deterministic order: the same seed and failure
+# schedule must yield byte-identical dumps at any parallelism, and the
+# dump must carry the incremental-reroute counters.
+"$tmp/karsim" -exp reaction -seed 1 -workers 1 -metrics "$tmp/c1.prom" > /dev/null
+"$tmp/karsim" -exp reaction -seed 1 -workers 4 -metrics "$tmp/c4.prom" > /dev/null
+for series in \
+    'kar_ctrl_reroutes_recomputed_total{' \
+    'kar_ctrl_reroutes_skipped_total{' \
+    'kar_ctrl_reroute_failures_total{'; do
+    grep -q "^$series" "$tmp/c1.prom" || {
+        echo "FAIL: reaction dump is missing $series" >&2
+        exit 1
+    }
+done
+cmp -s "$tmp/c1.prom" "$tmp/c4.prom" || {
+    echo "FAIL: reaction metrics dumps differ across worker counts" >&2
+    exit 1
+}
+cmp -s "$tmp/c1.prom.json" "$tmp/c4.prom.json" || {
+    echo "FAIL: reaction JSON dumps differ across worker counts" >&2
+    exit 1
+}
+echo "control-plane determinism OK"
+
 echo "==> benchmark smoke (BenchmarkForwardModulo, 100 iterations)"
 # Allocation budgets (0 allocs/op for Forward, the scheduler steady
 # state, and pooled header marshal) are asserted by regular tests:
