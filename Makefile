@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench check
+.PHONY: all build test vet race bench check scenarios
 
 all: vet build test
 
@@ -19,8 +19,14 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
-# Full quality gates: vet + build + race tests + telemetry smoke test
-# (fig4 -metrics dump well-formed and byte-identical across same-seed
-# runs). See scripts/check.sh.
+# Scenario smoke: run every declarative fault scenario in
+# examples/scenarios/ and require each verdict to PASS.
+scenarios:
+	sh scripts/scenarios.sh
+
+# Full quality gates: vet + gofmt + build + race tests + telemetry
+# smoke test (fig4 -metrics dump well-formed and byte-identical across
+# same-seed runs) + scenario determinism and smoke. See
+# scripts/check.sh.
 check:
 	sh scripts/check.sh

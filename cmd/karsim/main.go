@@ -41,6 +41,7 @@ func main() {
 
 type options struct {
 	exp      string
+	scenario string
 	runs     int
 	duration time.Duration
 	seed     int64
@@ -58,6 +59,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("karsim", flag.ContinueOnError)
 	opts := options{}
 	fs.StringVar(&opts.exp, "exp", "all", "experiment: table1, fig4, fig5, fig7, fig8, table2, coverage, ablation, reaction, all")
+	fs.StringVar(&opts.scenario, "scenario", "", "run a declarative fault scenario file (JSON, see examples/scenarios/) instead of -exp")
 	fs.IntVar(&opts.runs, "runs", 30, "repetitions for fig5/fig7/fig8 (the paper used 30)")
 	fs.DurationVar(&opts.duration, "duration", 6*time.Second, "virtual duration per fig5/fig7/fig8 run (paper: 5s + ramp)")
 	fs.Int64Var(&opts.seed, "seed", 1, "base random seed")
@@ -94,6 +96,20 @@ func run(args []string) error {
 				fmt.Fprintln(os.Stderr, "karsim: heap profile:", err)
 			}
 		}()
+	}
+
+	if opts.scenario != "" {
+		v, err := runScenario(opts)
+		if err != nil {
+			return err
+		}
+		if err := writeMetrics(opts); err != nil {
+			return err
+		}
+		if !v.Pass {
+			return fmt.Errorf("scenario %s: FAIL", v.Scenario)
+		}
+		return nil
 	}
 
 	experiments := map[string]func(options) error{

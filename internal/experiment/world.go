@@ -31,14 +31,21 @@ type World struct {
 // node per edge, connected to a controller in the paper's
 // ignore-failures mode.
 func NewWorld(g *topology.Graph, policy deflect.Policy, seed int64, opts ...WorldOption) *World {
-	// The policy rides as a base label on every metric of this world,
-	// so merged per-run dumps stay separable (e.g.
-	// kar_switch_deflections_total{policy="nip",...}).
-	w := &World{Net: simnet.New(g, simnet.WithMetricLabels("policy", policy.Name()))}
 	cfg := worldConfig{reencodeDelay: edge.DefaultReencodeDelay}
 	for _, opt := range opts {
 		opt(&cfg)
 	}
+	// The policy rides as a base label on every metric of this world,
+	// so merged per-run dumps stay separable (e.g.
+	// kar_switch_deflections_total{policy="nip",...}).
+	netOpts := []simnet.Option{simnet.WithMetricLabels("policy", policy.Name())}
+	if len(cfg.metricLabels) > 0 {
+		netOpts = append(netOpts, simnet.WithMetricLabels(cfg.metricLabels...))
+	}
+	if cfg.detectDown > 0 || cfg.detectUp > 0 {
+		netOpts = append(netOpts, simnet.WithDetectionDelay(cfg.detectDown, cfg.detectUp))
+	}
+	w := &World{Net: simnet.New(g, netOpts...)}
 	// Controller telemetry shares the world's registry and event log:
 	// route installs and re-encodes interleave with link failures on
 	// one virtual timeline.
@@ -62,6 +69,9 @@ type worldConfig struct {
 	reencodeDelay   time.Duration
 	reactToFailures bool
 	controlWorkers  int
+	detectDown      time.Duration
+	detectUp        time.Duration
+	metricLabels    []string
 }
 
 // WorldOption tunes world assembly.
@@ -84,6 +94,24 @@ func WithFailureReaction() WorldOption {
 // installs are ordered deterministically — only wall clock.
 func WithControlWorkers(n int) WorldOption {
 	return func(c *worldConfig) { c.controlWorkers = n }
+}
+
+// WithWorldMetricLabels attaches extra constant key/value labels to
+// every metric of the world (on top of the policy label), so merged
+// multi-run dumps stay separable per run.
+func WithWorldMetricLabels(kv ...string) WorldOption {
+	return func(c *worldConfig) { c.metricLabels = append(c.metricLabels, kv...) }
+}
+
+// WithDetectionDelays threads a failure-detection latency model into
+// the world's network (see simnet.WithDetectionDelay): switches see a
+// link transition only down/up after it happens, so pre-detection
+// packets black-hole instead of being cleanly dropped.
+func WithDetectionDelays(down, up time.Duration) WorldOption {
+	return func(c *worldConfig) {
+		c.detectDown = down
+		c.detectUp = up
+	}
 }
 
 // InstallRoute computes, encodes and installs the shortest route from
@@ -126,6 +154,17 @@ func (w *World) programIngress(src, dst string, route *core.Route) error {
 	}
 	e.InstallRoute(dst, route.ID, port)
 	return nil
+}
+
+// RefreshIngress reprograms the ingress edge of an installed pair with
+// the controller's current route — the step a reactive control plane
+// performs after NotifyFailure/NotifyRepair recomputes routes.
+func (w *World) RefreshIngress(src, dst string) error {
+	route, ok := w.Ctrl.Route(src, dst)
+	if !ok {
+		return fmt.Errorf("experiment: no installed route %s->%s to refresh", src, dst)
+	}
+	return w.programIngress(src, dst, route)
 }
 
 // FailLinkBetween schedules a failure of the named link.

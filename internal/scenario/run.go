@@ -1,0 +1,314 @@
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/experiment"
+	"repro/internal/fault"
+	"repro/internal/packet"
+	"repro/internal/telemetry"
+	"repro/internal/topology"
+	"repro/internal/udpsim"
+)
+
+// DefaultDrain is the post-emission settling window when the file sets
+// none.
+const DefaultDrain = 100 * time.Millisecond
+
+// RunOptions tunes scenario execution, not results: worker count and
+// telemetry collection never change a run's outcome.
+type RunOptions struct {
+	// Workers bounds parallel runs (default 4, clamped to the run
+	// count).
+	Workers int
+	// Metrics, when set, receives every run's registry and event log
+	// under the deterministic label scenario/<name>/run=<i>/seed=<s>.
+	Metrics *telemetry.Collector
+}
+
+// FlowResult is one flow's end-of-run traffic accounting.
+type FlowResult struct {
+	Src           string  `json:"src"`
+	Dst           string  `json:"dst"`
+	Sent          int     `json:"sent"`
+	Received      int     `json:"received"`
+	Reordered     int     `json:"reordered"`
+	DeliveryRatio float64 `json:"delivery_ratio"`
+	MeanHops      float64 `json:"mean_hops"`
+}
+
+// PhaseStats is the traffic delta inside one declared phase.
+type PhaseStats struct {
+	Name     string   `json:"name"`
+	Until    Duration `json:"until"`
+	Sent     int64    `json:"sent"`
+	Received int64    `json:"received"`
+}
+
+// RunResult is one seeded repetition's outcome.
+type RunResult struct {
+	Run  int   `json:"run"`
+	Seed int64 `json:"seed"`
+
+	Flows  []FlowResult `json:"flows"`
+	Phases []PhaseStats `json:"phases,omitempty"`
+
+	Sent        int64 `json:"sent"`
+	Delivered   int64 `json:"delivered"`
+	GrayDrops   int64 `json:"gray_drops"`
+	Corrupted   int64 `json:"corrupted"`
+	Deflections int64 `json:"deflections"`
+
+	// Violations lists every failed expectation; empty means Pass.
+	Violations []string `json:"violations,omitempty"`
+	Pass       bool     `json:"pass"`
+}
+
+// LossFraction returns 1 - delivered/sent across all flows.
+func (r *RunResult) LossFraction() float64 {
+	if r.Sent == 0 {
+		return 0
+	}
+	return 1 - float64(r.Delivered)/float64(r.Sent)
+}
+
+// Verdict is the scenario's structured outcome: one entry per run plus
+// the conjunction of their expectation checks.
+type Verdict struct {
+	Scenario string      `json:"scenario"`
+	Topology string      `json:"topology"`
+	Policy   string      `json:"policy"`
+	Runs     []RunResult `json:"runs"`
+	Pass     bool        `json:"pass"`
+}
+
+// Run executes every seeded repetition of the scenario and evaluates
+// its expectations. Runs execute in parallel (each world is its own
+// single-threaded simulation); results are keyed by run index and
+// collector labels derive from configuration only, so the merged
+// telemetry dump is byte-identical per seed regardless of Workers.
+func Run(spec *Spec, opts RunOptions) (*Verdict, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	runs := spec.Runs
+	if runs <= 0 {
+		runs = 1
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = 4
+	}
+	if workers > runs {
+		workers = runs
+	}
+
+	results := make([]RunResult, runs)
+	errs := make([]error, runs)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				res, err := runOne(spec, i, opts.Metrics)
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				results[i] = *res
+			}
+		}()
+	}
+	for i := 0; i < runs; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	v := &Verdict{Scenario: spec.Name, Topology: spec.Topology, Policy: spec.Policy, Runs: results, Pass: true}
+	for i := range v.Runs {
+		if !v.Runs[i].Pass {
+			v.Pass = false
+		}
+	}
+	return v, nil
+}
+
+// RunFile loads path and runs it.
+func RunFile(path string, opts RunOptions) (*Verdict, error) {
+	spec, err := Load(path)
+	if err != nil {
+		return nil, err
+	}
+	return Run(spec, opts)
+}
+
+func runOne(spec *Spec, idx int, coll *telemetry.Collector) (*RunResult, error) {
+	seed := spec.Seed + int64(idx)*1_000_003
+	g, err := BuildTopology(spec.Topology)
+	if err != nil {
+		return nil, err
+	}
+	policy, err := experiment.PolicyByName(spec.Policy)
+	if err != nil {
+		return nil, err
+	}
+	protection, err := ProtectionPairs(spec.Topology, spec.Protection)
+	if err != nil {
+		return nil, err
+	}
+
+	worldOpts := []experiment.WorldOption{
+		experiment.WithWorldMetricLabels("scenario", spec.Name, "run", strconv.Itoa(idx)),
+	}
+	det := spec.Detection
+	if det != nil {
+		if det.DownDelay > 0 || det.UpDelay > 0 {
+			worldOpts = append(worldOpts, experiment.WithDetectionDelays(det.DownDelay.D(), det.UpDelay.D()))
+		}
+		if det.React {
+			worldOpts = append(worldOpts, experiment.WithFailureReaction())
+		}
+	}
+	w := experiment.NewWorld(g, policy, seed, worldOpts...)
+	sched := w.Net.Scheduler()
+
+	for i, f := range spec.Flows {
+		if len(f.Path) > 0 {
+			_, err = w.InstallRouteOnPath(f.Path, protection)
+		} else {
+			_, err = w.InstallRoute(f.Src, f.Dst, protection)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: flow %d (%s->%s): %w", spec.Name, i, f.Src, f.Dst, err)
+		}
+	}
+
+	// Reactive control plane: the controller hears about a transition
+	// NotifyDelay after the switches detect it, recomputes routes, and
+	// the scenario replays each flow's ingress programming — the
+	// control-plane churn PR-3's incremental rerouting is built for.
+	if det != nil && det.React {
+		w.Net.SetLinkDetectionHook(func(l *topology.Link, up bool) {
+			sched.After(det.NotifyDelay.D(), func() {
+				if up {
+					_ = w.Ctrl.NotifyRepair(l)
+				} else {
+					_ = w.Ctrl.NotifyFailure(l)
+				}
+				for _, f := range spec.Flows {
+					_ = w.RefreshIngress(f.Src, f.Dst)
+				}
+			})
+		})
+	}
+
+	injectors := make([]fault.Injector, 0, len(spec.Injections))
+	for i, inj := range spec.Injections {
+		built, err := inj.build(seed, i)
+		if err != nil {
+			return nil, err
+		}
+		injectors = append(injectors, built)
+	}
+	if err := fault.InstallAll(w.Net, injectors); err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", spec.Name, err)
+	}
+
+	type liveFlow struct {
+		spec     Flow
+		sender   *udpsim.Sender
+		receiver *udpsim.Receiver
+	}
+	flows := make([]liveFlow, 0, len(spec.Flows))
+	for _, f := range spec.Flows {
+		cfg := udpsim.Config{Interval: f.Interval.D(), Size: f.Size}
+		s, r := udpsim.NewFlow(w.Net, w.Edges[f.Src], w.Edges[f.Dst], packet.FlowID{Src: f.Src, Dst: f.Dst}, cfg)
+		sched.At(0, s.Start)
+		sched.At(spec.Duration.D(), s.Stop)
+		flows = append(flows, liveFlow{spec: f, sender: s, receiver: r})
+	}
+
+	// Sample cumulative traffic counters at each phase boundary; the
+	// per-phase deltas come out after the run.
+	reg := w.Net.Metrics()
+	type sample struct{ sent, received int64 }
+	samples := make([]sample, len(spec.Phases))
+	for i, p := range spec.Phases {
+		i := i
+		sched.At(p.Until.D(), func() {
+			samples[i] = sample{
+				sent:     reg.SumCounter("kar_udp_sent_total"),
+				received: reg.SumCounter("kar_udp_received_total"),
+			}
+		})
+	}
+
+	drain := spec.Drain.D()
+	if drain <= 0 {
+		drain = DefaultDrain
+	}
+	w.Run(spec.Duration.D() + drain)
+
+	res := &RunResult{Run: idx, Seed: seed}
+	for _, lf := range flows {
+		st := lf.receiver.Stats(lf.sender)
+		res.Flows = append(res.Flows, FlowResult{
+			Src: lf.spec.Src, Dst: lf.spec.Dst,
+			Sent: st.Sent, Received: st.Received, Reordered: st.Reordered,
+			DeliveryRatio: st.DeliveryRatio(), MeanHops: st.MeanHops(),
+		})
+		res.Sent += int64(st.Sent)
+		res.Delivered += int64(st.Received)
+	}
+	var prev sample
+	for i, p := range spec.Phases {
+		res.Phases = append(res.Phases, PhaseStats{
+			Name: p.Name, Until: p.Until,
+			Sent:     samples[i].sent - prev.sent,
+			Received: samples[i].received - prev.received,
+		})
+		prev = samples[i]
+	}
+	res.GrayDrops = reg.SumCounter("kar_fault_gray_drops_total")
+	res.Corrupted = reg.SumCounter("kar_fault_corrupted_total")
+	res.Deflections = reg.SumCounter("kar_switch_deflections_total")
+	spec.Expect.evaluate(res)
+
+	coll.Add(fmt.Sprintf("scenario/%s/run=%d/seed=%d", spec.Name, idx, seed), w.Net.Metrics(), w.Net.Events())
+	return res, nil
+}
+
+// evaluate checks every set expectation against the run, recording
+// violations.
+func (e Expect) evaluate(r *RunResult) {
+	fail := func(format string, args ...any) {
+		r.Violations = append(r.Violations, fmt.Sprintf(format, args...))
+	}
+	if e.MaxLossFraction != nil && r.LossFraction() > *e.MaxLossFraction {
+		fail("loss fraction %.4f > max %.4f", r.LossFraction(), *e.MaxLossFraction)
+	}
+	if e.MinDelivered != nil && r.Delivered < *e.MinDelivered {
+		fail("delivered %d < min %d", r.Delivered, *e.MinDelivered)
+	}
+	if e.MinGrayDrops != nil && r.GrayDrops < *e.MinGrayDrops {
+		fail("gray drops %d < min %d", r.GrayDrops, *e.MinGrayDrops)
+	}
+	if e.MinCorrupted != nil && r.Corrupted < *e.MinCorrupted {
+		fail("corrupted %d < min %d", r.Corrupted, *e.MinCorrupted)
+	}
+	if e.MinDeflections != nil && r.Deflections < *e.MinDeflections {
+		fail("deflections %d < min %d", r.Deflections, *e.MinDeflections)
+	}
+	r.Pass = len(r.Violations) == 0
+}

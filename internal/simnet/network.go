@@ -2,9 +2,11 @@ package simnet
 
 import (
 	"fmt"
+	"math/rand"
 	"time"
 
 	"repro/internal/packet"
+	"repro/internal/rns"
 	"repro/internal/telemetry"
 	"repro/internal/topology"
 )
@@ -33,6 +35,10 @@ const (
 	DropTTL
 	// DropNoViablePort: the deflection policy found no usable port.
 	DropNoViablePort
+	// DropGray: a gray-failure impairment silently discarded the packet
+	// in transit (distinct from queue and in-flight drops: the link is
+	// nominally up and nobody detects anything).
+	DropGray
 
 	// dropReasonCount bounds the per-reason counter cache.
 	dropReasonCount
@@ -52,6 +58,8 @@ func (r DropReason) String() string {
 		return "ttl"
 	case DropNoViablePort:
 		return "no-viable-port"
+	case DropGray:
+		return "gray"
 	default:
 		return "unknown"
 	}
@@ -86,19 +94,46 @@ type dirState struct {
 	inFlightDrops *telemetry.Counter
 }
 
+// Impairment is a gray-failure model attached to a line: every packet
+// that survives transit is independently dropped with DropProb or has
+// one bit of its route ID flipped with CorruptProb (modelling a link
+// that corrupts headers without failing — the receiving switch then
+// forwards by a wrong modulo, exercising invalid-port deflection and
+// edge re-encoding). Rand must be the installing injector's own seeded
+// source so runs stay deterministic.
+type Impairment struct {
+	DropProb    float64
+	CorruptProb float64
+	Rand        *rand.Rand
+}
+
 // Line is the live state of one topology link inside a Network.
+//
+// Down-state is reference counted: every concurrent failure cause
+// (scheduled windows, flap generators, switch crashes, the manual
+// FailLink hold) takes one hold, and the link is up exactly when no
+// holds remain. epoch stamps actual state transitions so delayed
+// detection events can recognise that the world moved on under them.
 type Line struct {
 	net        *Network
 	link       *topology.Link
-	up         bool
+	downRefs   int  // outstanding down-holds; up ⇔ downRefs == 0
+	manualHold bool // FailLink/RepairLink's dedicated (idempotent) hold
+	seenUp     bool // the adjacent switches' *detected* view of the link
+	epoch      uint64
 	lastDownAt time.Duration // most recent failure instant (for in-flight kills)
 	everDown   bool
 	dirs       [2]dirState // 0: A→B, 1: B→A
 	gaugeUp    *telemetry.Gauge
+
+	// Gray-failure impairment (nil = healthy line) and its counters.
+	imp        *Impairment
+	cGrayDrops *telemetry.Counter
+	cCorrupted *telemetry.Counter
 }
 
-// Up reports link health.
-func (l *Line) Up() bool { return l.up }
+// Up reports actual link health (no outstanding down-holds).
+func (l *Line) Up() bool { return l.downRefs == 0 }
 
 // LineStats is a snapshot of one link's counters, summed over both
 // directions.
@@ -120,6 +155,16 @@ type Network struct {
 	dropHook    func(Drop)
 	deliverHook func(pkt *packet.Packet, at *topology.Node, inPort int)
 
+	// Detection-latency model: how long after an actual link-state
+	// transition the adjacent switches' local view (PortUp) follows.
+	// Zero (the default) is the paper's instant local detection.
+	detectDown time.Duration
+	detectUp   time.Duration
+	// linkStateHook fires when the *detected* state of a link changes
+	// (after the detection delay) — the attachment point for delayed
+	// controller failure notifications.
+	linkStateHook func(l *topology.Link, up bool)
+
 	// Telemetry: the registry and control-plane event log shared by
 	// every component of this world.
 	metrics *telemetry.Registry
@@ -137,6 +182,8 @@ type Option func(*netConfig)
 type netConfig struct {
 	baseLabels []string
 	eventCap   int
+	detectDown time.Duration
+	detectUp   time.Duration
 }
 
 // WithMetricLabels attaches constant key/value labels to every metric
@@ -152,6 +199,20 @@ func WithEventCapacity(n int) Option {
 	return func(c *netConfig) { c.eventCap = n }
 }
 
+// WithDetectionDelay sets the failure-detection latency model: a link
+// transition becomes visible to PortUp (and the detection hook) only
+// down/up after it actually happens. Before a failure is detected,
+// packets keep entering the dead link and black-hole as in-flight
+// drops — the realistic pre-detection loss the paper's instant-
+// detection evaluation never shows. Zero delays (the default) keep
+// detection instantaneous.
+func WithDetectionDelay(down, up time.Duration) Option {
+	return func(c *netConfig) {
+		c.detectDown = down
+		c.detectUp = up
+	}
+}
+
 // New builds a Network over a validated topology. Every topology link
 // starts up.
 func New(topo *topology.Graph, opts ...Option) *Network {
@@ -160,11 +221,13 @@ func New(topo *topology.Graph, opts ...Option) *Network {
 		opt(&cfg)
 	}
 	n := &Network{
-		sched:    &Scheduler{},
-		topo:     topo,
-		lines:    make(map[*topology.Link]*Line, len(topo.Links())),
-		handlers: make(map[*topology.Node]Handler, len(topo.Nodes())),
-		metrics:  telemetry.NewRegistry(telemetry.WithBaseLabels(cfg.baseLabels...)),
+		sched:      &Scheduler{},
+		topo:       topo,
+		lines:      make(map[*topology.Link]*Line, len(topo.Links())),
+		handlers:   make(map[*topology.Node]Handler, len(topo.Nodes())),
+		metrics:    telemetry.NewRegistry(telemetry.WithBaseLabels(cfg.baseLabels...)),
+		detectDown: cfg.detectDown,
+		detectUp:   cfg.detectUp,
 	}
 	n.events = telemetry.NewEventLog(cfg.eventCap, n.sched.Now)
 	n.events.SetEvictedCounter(n.metrics.Counter("kar_events_evicted_total"))
@@ -179,7 +242,7 @@ func New(topo *topology.Graph, opts ...Option) *Network {
 		n.cDrops[r] = n.metrics.Counter("kar_net_drops_total", "reason", r.String())
 	}
 	for _, l := range topo.Links() {
-		line := &Line{net: n, link: l, up: true, gaugeUp: n.metrics.Gauge("kar_link_up", "link", l.Name())}
+		line := &Line{net: n, link: l, seenUp: true, gaugeUp: n.metrics.Gauge("kar_link_up", "link", l.Name())}
 		line.gaugeUp.Set(1)
 		for d, dir := range [2]string{"fwd", "rev"} {
 			dst := l.B()
@@ -252,16 +315,23 @@ func (n *Network) countDrop(reason DropReason) {
 	n.metrics.Counter("kar_net_drops_total", "reason", reason.String()).Inc()
 }
 
-// PortUp reports whether node's port i exists and its link is up —
-// the switch-local failure detection of the paper (a switch "realizes
-// a link failure" on its own ports, with no control-plane round trip).
+// PortUp reports whether node's port i exists and its link is seen as
+// up — the switch-local failure detection of the paper (a switch
+// "realizes a link failure" on its own ports, with no control-plane
+// round trip). Under a detection-latency model this is the *detected*
+// state, which lags the physical one: a freshly dead link still reads
+// up here, and packets routed into it black-hole.
 func (n *Network) PortUp(node *topology.Node, i int) bool {
 	l, ok := node.PortLink(i)
 	if !ok {
 		return false
 	}
-	return n.lines[l].up
+	return n.lines[l].seenUp
 }
+
+// LinkUp reports the physical state of a link (no outstanding
+// down-holds), regardless of what the switches have detected.
+func (n *Network) LinkUp(l *topology.Link) bool { return n.lines[l].Up() }
 
 // Send transmits pkt out of node's port i: FIFO queueing, fixed-rate
 // serialization, propagation delay, then delivery to the neighbour's
@@ -275,7 +345,10 @@ func (n *Network) Send(node *topology.Node, i int, pkt *packet.Packet) {
 		return
 	}
 	line := n.lines[l]
-	if !line.up {
+	if line.downRefs > 0 && !line.seenUp {
+		// The sending switch has detected the failure: local drop, as
+		// before. While the failure is still undetected the packet is
+		// accepted and black-holes in flight instead.
 		n.Drop(pkt, DropLinkDown, l.Name())
 		return
 	}
@@ -309,16 +382,60 @@ func (n *Network) Send(node *topology.Node, i int, pkt *packet.Packet) {
 }
 
 // finishTransit completes one evtDeliver: the packet dies if the link
-// failed at any point after its transmission began, otherwise it is
-// handed to the endpoint precomputed for this direction.
+// failed at any point after its transmission began, then runs the
+// line's gray-failure impairment (if any), and otherwise hands the
+// packet to the endpoint precomputed for this direction.
 func (l *Line) finishTransit(pkt *packet.Packet, dir int, txStart time.Duration) {
 	ds := &l.dirs[dir]
-	if !l.up || (l.everDown && l.lastDownAt >= txStart) {
+	if l.downRefs > 0 || (l.everDown && l.lastDownAt >= txStart) {
 		ds.inFlightDrops.Inc()
 		l.net.Drop(pkt, DropInFlight, l.link.Name())
 		return
 	}
+	if imp := l.imp; imp != nil {
+		r := imp.Rand.Float64()
+		switch {
+		case r < imp.DropProb:
+			l.cGrayDrops.Inc()
+			l.net.Drop(pkt, DropGray, l.link.Name())
+			return
+		case r < imp.DropProb+imp.CorruptProb:
+			l.corrupt(pkt, imp.Rand)
+		}
+	}
 	l.net.Deliver(pkt, ds.dst, ds.dstPort)
+}
+
+// corrupt flips one random bit of the packet's route ID — the
+// receiving switch will compute a wrong (possibly invalid) output
+// port, which is exactly the failure mode KAR's deflection and edge
+// re-encoding must absorb. Wide (multi-word) route IDs fall back to a
+// gray drop: the flip would land in heap-shared big.Int words.
+func (l *Line) corrupt(pkt *packet.Packet, rng *rand.Rand) bool {
+	u, ok := pkt.RouteID.Uint64()
+	if !ok {
+		l.cGrayDrops.Inc()
+		l.net.Drop(pkt, DropGray, l.link.Name())
+		return false
+	}
+	l.cCorrupted.Inc()
+	pkt.RouteID = rns.RouteIDFromUint64(u ^ (1 << uint(rng.Intn(64))))
+	return true
+}
+
+// SetImpairment installs (or, with nil, removes) a gray-failure
+// impairment on a link. The per-link kar_fault_* counters are created
+// on first installation so un-impaired worlds keep their exact metric
+// surface.
+func (n *Network) SetImpairment(l *topology.Link, imp *Impairment) {
+	line := n.lines[l]
+	if imp != nil && line.cGrayDrops == nil {
+		n.metrics.Help("kar_fault_gray_drops_total", "Packets silently discarded by a gray-failure impairment, by link.")
+		n.metrics.Help("kar_fault_corrupted_total", "Packets whose route ID a gray-failure impairment bit-flipped, by link.")
+		line.cGrayDrops = n.metrics.Counter("kar_fault_gray_drops_total", "link", l.Name())
+		line.cCorrupted = n.metrics.Counter("kar_fault_corrupted_total", "link", l.Name())
+	}
+	line.imp = imp
 }
 
 // Deliver hands a packet to a node's handler immediately (used by
@@ -342,36 +459,128 @@ func transmissionTime(size int, rateMbps float64) time.Duration {
 	return time.Duration(float64(size*8) / rateMbps * float64(time.Microsecond))
 }
 
-// FailLink takes a link down; queued and in-flight packets die.
-func (n *Network) FailLink(l *topology.Link) {
-	line := n.lines[l]
-	if !line.up {
-		return
-	}
-	line.up = false
-	line.everDown = true
-	line.lastDownAt = n.sched.now
-	line.gaugeUp.Set(0)
-	n.events.Record(telemetry.EventLinkFail, l.Name(), "")
+// SetLinkDetectionHook registers a callback fired whenever a link's
+// *detected* state changes (after any configured detection delay) —
+// the attachment point for delayed controller notifications. Pass nil
+// to disable.
+func (n *Network) SetLinkDetectionHook(fn func(l *topology.Link, up bool)) {
+	n.linkStateHook = fn
 }
 
-// RepairLink brings a link back up.
-func (n *Network) RepairLink(l *topology.Link) {
-	line := n.lines[l]
-	if line.up {
+// AcquireLinkDown takes one down-hold on a link. The link goes
+// physically down on the first hold and stays down until every hold is
+// released, so overlapping failure windows compose instead of the
+// earlier window's repair re-raising a link a later window still
+// claims.
+func (n *Network) AcquireLinkDown(l *topology.Link) { n.acquireDown(n.lines[l]) }
+
+// ReleaseLinkDown releases one down-hold; the link comes back up when
+// the last hold is gone. Releasing with no holds outstanding is a
+// no-op.
+func (n *Network) ReleaseLinkDown(l *topology.Link) { n.releaseDown(n.lines[l]) }
+
+func (n *Network) acquireDown(line *Line) {
+	line.downRefs++
+	if line.downRefs > 1 {
 		return
 	}
-	line.up = true
+	line.everDown = true
+	line.lastDownAt = n.sched.now
+	line.epoch++
+	line.gaugeUp.Set(0)
+	n.events.Record(telemetry.EventLinkFail, line.link.Name(), "")
+	if n.detectDown <= 0 {
+		n.setDetected(line, false)
+		return
+	}
+	epoch := line.epoch
+	n.sched.After(n.detectDown, func() {
+		// Only detect if the link did not transition again meanwhile
+		// (a sub-detection-latency flap is never seen at all).
+		if line.epoch == epoch && line.downRefs > 0 {
+			n.setDetected(line, false)
+		}
+	})
+}
+
+func (n *Network) releaseDown(line *Line) {
+	if line.downRefs == 0 {
+		return
+	}
+	line.downRefs--
+	if line.downRefs > 0 {
+		return
+	}
+	line.epoch++
 	line.gaugeUp.Set(1)
-	n.events.Record(telemetry.EventLinkRepair, l.Name(), "")
+	n.events.Record(telemetry.EventLinkRepair, line.link.Name(), "")
+	if n.detectUp <= 0 {
+		n.setDetected(line, true)
+		return
+	}
+	epoch := line.epoch
+	n.sched.After(n.detectUp, func() {
+		if line.epoch == epoch && line.downRefs == 0 {
+			n.setDetected(line, true)
+		}
+	})
+}
+
+// setDetected flips the switches' local view of a line and fires the
+// detection hook. Detection events and counters appear only when a
+// latency model is active, keeping zero-delay worlds' telemetry
+// surface unchanged.
+func (n *Network) setDetected(line *Line, up bool) {
+	if line.seenUp == up {
+		return
+	}
+	line.seenUp = up
+	if n.detectDown > 0 || n.detectUp > 0 {
+		kind, state := telemetry.EventLinkDetectDown, "down"
+		if up {
+			kind, state = telemetry.EventLinkDetectUp, "up"
+		}
+		n.events.Record(kind, line.link.Name(), "")
+		n.metrics.Help("kar_fault_detections_total", "Delayed link-state detections by the adjacent switches, by resulting state.")
+		n.metrics.Counter("kar_fault_detections_total", "state", state).Inc()
+	}
+	if n.linkStateHook != nil {
+		n.linkStateHook(line.link, up)
+	}
+}
+
+// FailLink takes a link down; queued and in-flight packets die. It is
+// idempotent: it owns a single dedicated down-hold, so calling it
+// twice needs only one RepairLink, and it composes with holds taken by
+// scheduled windows or fault injectors.
+func (n *Network) FailLink(l *topology.Link) {
+	line := n.lines[l]
+	if line.manualHold {
+		return
+	}
+	line.manualHold = true
+	n.acquireDown(line)
+}
+
+// RepairLink releases FailLink's hold; the link comes back up unless
+// other holds (overlapping failure windows, injectors) remain.
+func (n *Network) RepairLink(l *topology.Link) {
+	line := n.lines[l]
+	if !line.manualHold {
+		return
+	}
+	line.manualHold = false
+	n.releaseDown(line)
 	// Queued counters drain through their already-scheduled dequeue
 	// events; nothing to reset here.
 }
 
-// ScheduleFailure fails the link during [from, from+duration).
+// ScheduleFailure fails the link during [from, from+duration). Each
+// window owns its own down-hold: overlapping windows on the same link
+// keep it down until the last one ends.
 func (n *Network) ScheduleFailure(l *topology.Link, from, duration time.Duration) {
-	n.sched.At(from, func() { n.FailLink(l) })
-	n.sched.At(from+duration, func() { n.RepairLink(l) })
+	n.sched.At(from, func() { n.AcquireLinkDown(l) })
+	n.sched.At(from+duration, func() { n.ReleaseLinkDown(l) })
 }
 
 // LineStats returns a link's counters, read back from the registry.

@@ -36,6 +36,12 @@ const (
 	EventDeflect      = "deflect"
 	EventPolicyDrop   = "policy_drop"
 	EventNotify       = "failure_notify"
+	// Fault-plane kinds: a switch's delayed *detection* of a link
+	// transition (distinct from the physical link_fail/link_repair
+	// instants), and a fault injector activating on the timeline.
+	EventLinkDetectDown = "link_detect_down"
+	EventLinkDetectUp   = "link_detect_up"
+	EventFaultInject    = "fault_inject"
 )
 
 // DefaultEventCapacity bounds an event log's retention when the caller

@@ -9,6 +9,14 @@ cd "$(dirname "$0")/.."
 echo "==> go vet ./..."
 go vet ./...
 
+echo "==> gofmt -l"
+unformatted="$(gofmt -l .)"
+if [ -n "$unformatted" ]; then
+    echo "FAIL: gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
 echo "==> go build ./..."
 go build ./...
 
@@ -90,6 +98,42 @@ cmp -s "$tmp/c1.prom.json" "$tmp/c4.prom.json" || {
     exit 1
 }
 echo "control-plane determinism OK"
+
+echo "==> scenario determinism (flap-net15, two runs, -workers 1 vs 4)"
+# The scenario engine's contract: the same file and seed produce
+# byte-identical telemetry dumps, across repeat runs and worker counts,
+# with the gray/flap losses under the kar_fault_* family.
+"$tmp/karsim" -scenario examples/scenarios/flap-net15.json -workers 1 -metrics "$tmp/s1.prom" > /dev/null
+"$tmp/karsim" -scenario examples/scenarios/flap-net15.json -workers 1 -metrics "$tmp/s2.prom" > /dev/null
+"$tmp/karsim" -scenario examples/scenarios/flap-net15.json -workers 4 -metrics "$tmp/s4.prom" > /dev/null
+for series in \
+    'kar_fault_injections_total{' \
+    'kar_net_drops_total{'; do
+    grep -q "^$series" "$tmp/s1.prom" || {
+        echo "FAIL: scenario dump is missing $series" >&2
+        exit 1
+    }
+done
+grep -q 'scenario="flap-net15"' "$tmp/s1.prom" || {
+    echo "FAIL: scenario dump is missing the scenario base label" >&2
+    exit 1
+}
+cmp -s "$tmp/s1.prom" "$tmp/s2.prom" || {
+    echo "FAIL: same-seed scenario dumps differ" >&2
+    exit 1
+}
+cmp -s "$tmp/s1.prom" "$tmp/s4.prom" || {
+    echo "FAIL: scenario dumps differ across worker counts" >&2
+    exit 1
+}
+cmp -s "$tmp/s1.prom.json" "$tmp/s4.prom.json" || {
+    echo "FAIL: scenario JSON dumps differ across worker counts" >&2
+    exit 1
+}
+echo "scenario determinism OK"
+
+echo "==> scenario smoke (examples/scenarios)"
+sh scripts/scenarios.sh "$tmp/karsim"
 
 echo "==> benchmark smoke (BenchmarkForwardModulo, 100 iterations)"
 # Allocation budgets (0 allocs/op for Forward, the scheduler steady

@@ -1,0 +1,39 @@
+#!/bin/sh
+# Scenario smoke runner: execute every declarative fault scenario in
+# examples/scenarios/ and require each verdict to PASS (karsim exits
+# non-zero on a failing verdict). Usage:
+#
+#   scripts/scenarios.sh [path-to-karsim]
+#
+# Without an argument the script builds karsim into a temp dir first.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+bin="${1:-}"
+if [ -z "$bin" ]; then
+    tmp="$(mktemp -d)"
+    trap 'rm -rf "$tmp"' EXIT
+    go build -o "$tmp/karsim" ./cmd/karsim
+    bin="$tmp/karsim"
+fi
+
+out="$(mktemp)"
+status=0
+for f in examples/scenarios/*.json; do
+    printf '==> %s: ' "$f"
+    if "$bin" -scenario "$f" > "$out" 2>&1; then
+        grep '^verdict:' "$out" || true
+    else
+        echo "FAIL"
+        cat "$out"
+        status=1
+    fi
+done
+rm -f "$out"
+if [ "$status" -eq 0 ]; then
+    echo "all scenarios PASS"
+else
+    echo "scenario smoke FAILED" >&2
+fi
+exit "$status"
