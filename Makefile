@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench check scenarios
+.PHONY: all build test vet race bench check scenarios verify
 
 all: vet build test
 
@@ -23,6 +23,14 @@ bench:
 # examples/scenarios/ and require each verdict to PASS.
 scenarios:
 	sh scripts/scenarios.sh
+
+# Resilience verification: exhaustively sweep every single-link
+# failure on Net15 under full protection and require 100% delivery
+# for avp/nip on the SW29-rooted routes (exits non-zero otherwise).
+verify:
+	$(GO) run ./cmd/karsim -verify net15 -verify-protection full \
+	    -verify-routes AS1:AS2,AS1:AS3,AS2:AS3,AS3:AS2 \
+	    -verify-policies avp,nip -verify-min 1.0
 
 # Full quality gates: vet + gofmt + build + race tests + telemetry
 # smoke test (fig4 -metrics dump well-formed and byte-identical across

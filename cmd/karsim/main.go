@@ -50,6 +50,14 @@ type options struct {
 	metrics  string
 	pprof    string
 
+	verify           string
+	verifyProtection string
+	verifyPolicies   string
+	verifyRoutes     string
+	verifyMin        float64
+	verifyPairs      int
+	verifyJSON       string
+
 	// collector gathers per-run telemetry when -metrics is set; nil
 	// otherwise (telemetry.Collector methods are nil-safe on Add).
 	collector *telemetry.Collector
@@ -67,6 +75,13 @@ func run(args []string) error {
 	fs.BoolVar(&opts.csv, "csv", false, "emit CSV instead of aligned tables")
 	fs.StringVar(&opts.metrics, "metrics", "", "write a Prometheus-text metrics dump to this path (plus <path>.json with events) and print a MetricsReport")
 	fs.StringVar(&opts.pprof, "pprof", "", "write runtime profiles to <prefix>.cpu.pprof and <prefix>.heap.pprof")
+	fs.StringVar(&opts.verify, "verify", "", "run the exhaustive failure-sweep resilience verifier on this topology (net15, rnp28, rnp28-fig8, fig1, or rand:<cores>:<extra-links>:<edges>:<seed>) instead of -exp")
+	fs.StringVar(&opts.verifyProtection, "verify-protection", "none", "protection level for -verify: none, partial or full")
+	fs.StringVar(&opts.verifyPolicies, "verify-policies", "none,hp,avp,nip", "comma-separated deflection policies for -verify")
+	fs.StringVar(&opts.verifyRoutes, "verify-routes", "", "comma-separated src:dst routes for -verify (default: every ordered edge pair)")
+	fs.Float64Var(&opts.verifyMin, "verify-min", -1, "fail (exit non-zero) if any route's single-failure survive fraction drops below this")
+	fs.IntVar(&opts.verifyPairs, "verify-pairs", 0, "additionally sample this many two-link failure pairs (seeded by -seed)")
+	fs.StringVar(&opts.verifyJSON, "verify-json", "", "write the -verify report as JSON to this path")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -96,6 +111,23 @@ func run(args []string) error {
 				fmt.Fprintln(os.Stderr, "karsim: heap profile:", err)
 			}
 		}()
+	}
+
+	if opts.verify != "" {
+		rep, err := runVerify(opts)
+		if err != nil {
+			return err
+		}
+		if err := writeMetrics(opts); err != nil {
+			return err
+		}
+		if opts.verifyMin >= 0 {
+			if min, worst := rep.MinSurviveFraction(); min < opts.verifyMin {
+				return fmt.Errorf("verify %s: route %s->%s policy=%s survives %.4f of single failures, below -verify-min %.4f",
+					rep.Topology, worst.Src, worst.Dst, worst.Policy, min, opts.verifyMin)
+			}
+		}
+		return nil
 	}
 
 	if opts.scenario != "" {

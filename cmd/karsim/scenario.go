@@ -31,6 +31,15 @@ func runScenario(opts options) (*scenario.Verdict, error) {
 	fmt.Println(")")
 	emit(opts, verdictTable(v))
 
+	if vr := v.Verify; vr != nil {
+		fmt.Printf("\nresilience sweep (protection=%s, %d routes x %d links, %d cases)\n",
+			vr.Report.Protection, vr.Report.Routes, vr.Report.Links, vr.Report.Cases)
+		emit(opts, scoreTable(vr.Report))
+		for _, viol := range vr.Violations {
+			fmt.Println("violation:", viol)
+		}
+	}
+
 	for _, r := range v.Runs {
 		if len(r.Phases) > 0 {
 			fmt.Printf("\n# run %d phases\n", r.Run)

@@ -1,0 +1,195 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/measure"
+	"repro/internal/resilience"
+	"repro/internal/scenario"
+	"repro/internal/telemetry"
+	"repro/internal/topology"
+)
+
+// runVerify drives the exhaustive failure-sweep resilience verifier:
+// enumerate every single-link failure (plus optional seeded two-link
+// samples) on the chosen topology and score every (route, policy)
+// against it. The caller turns a -verify-min violation into a
+// non-zero exit after telemetry is written.
+func runVerify(opts options) (*resilience.Report, error) {
+	g, err := buildVerifyTopology(opts.verify)
+	if err != nil {
+		return nil, err
+	}
+	routes, err := parseVerifyRoutes(g, opts.verifyRoutes)
+	if err != nil {
+		return nil, err
+	}
+	protection, err := verifyProtectionPairs(opts.verify, opts.verifyProtection)
+	if err != nil {
+		return nil, err
+	}
+	var policies []string
+	for _, p := range strings.Split(opts.verifyPolicies, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			policies = append(policies, p)
+		}
+	}
+
+	reg := telemetry.NewRegistry()
+	rep, err := resilience.Sweep(g, routes, resilience.Config{
+		Policies:        policies,
+		Protection:      protection,
+		ProtectionLabel: opts.verifyProtection,
+		Pairs:           opts.verifyPairs,
+		PairSeed:        opts.seed,
+		Workers:         opts.workers,
+		Registry:        reg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if opts.collector != nil {
+		opts.collector.Add("verify/"+rep.Topology, reg, nil)
+	}
+
+	fmt.Printf("verify %s (protection=%s, %d routes x %d links", rep.Topology, rep.Protection, rep.Routes, rep.Links)
+	if rep.PairsDrawn > 0 {
+		fmt.Printf(" + %d pair samples", rep.PairsDrawn)
+	}
+	fmt.Printf(", %d cases)\n", rep.Cases)
+	emit(opts, scoreTable(rep))
+	if len(rep.Impacts) > 0 {
+		fmt.Println()
+		emit(opts, impactTable(rep))
+	}
+
+	if opts.verifyJSON != "" {
+		f, err := os.Create(opts.verifyJSON)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return nil, err
+		}
+	}
+	return rep, nil
+}
+
+// buildVerifyTopology accepts the scenario topology names plus
+// "rand:<cores>:<extra>:<edges>:<seed>" for generated graphs.
+func buildVerifyTopology(name string) (*topology.Graph, error) {
+	if spec, ok := strings.CutPrefix(name, "rand:"); ok {
+		parts := strings.Split(spec, ":")
+		if len(parts) != 4 {
+			return nil, fmt.Errorf("verify: %q: want rand:<cores>:<extra-links>:<edges>:<seed>", name)
+		}
+		nums := make([]int64, 4)
+		for i, p := range parts {
+			v, err := strconv.ParseInt(p, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("verify: %q: %w", name, err)
+			}
+			nums[i] = v
+		}
+		return topology.Generate(topology.GenConfig{
+			Cores: int(nums[0]), ExtraLinks: int(nums[1]), Edges: int(nums[2]), Seed: nums[3],
+		})
+	}
+	return scenario.BuildTopology(name)
+}
+
+// verifyProtectionPairs resolves a protection level against the canned
+// per-topology sets; generated topologies only support "none".
+func verifyProtectionPairs(topo, level string) ([][2]string, error) {
+	if level == "" || level == "none" {
+		return nil, nil
+	}
+	if strings.HasPrefix(topo, "rand:") {
+		return nil, fmt.Errorf("verify: generated topologies have no canned %q protection set", level)
+	}
+	return scenario.ProtectionPairs(topo, level)
+}
+
+// parseVerifyRoutes parses "src:dst[,src:dst...]"; empty means every
+// ordered edge pair.
+func parseVerifyRoutes(g *topology.Graph, spec string) ([]resilience.RouteSpec, error) {
+	if spec == "" {
+		var routes []resilience.RouteSpec
+		for _, a := range g.EdgeNodes() {
+			for _, b := range g.EdgeNodes() {
+				if a != b {
+					routes = append(routes, resilience.RouteSpec{Src: a.Name(), Dst: b.Name()})
+				}
+			}
+		}
+		if len(routes) == 0 {
+			return nil, fmt.Errorf("verify: topology %s has fewer than two edge nodes", g.Name())
+		}
+		return routes, nil
+	}
+	var routes []resilience.RouteSpec
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		src, dst, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("verify: route %q: want src:dst", part)
+		}
+		routes = append(routes, resilience.RouteSpec{Src: src, Dst: dst})
+	}
+	if len(routes) == 0 {
+		return nil, fmt.Errorf("verify: -verify-routes %q names no routes", spec)
+	}
+	return routes, nil
+}
+
+func scoreTable(rep *resilience.Report) *measure.Table {
+	tbl := &measure.Table{
+		Title: "Resilience scores (single-link failures)",
+		Headers: []string{"route", "policy", "cases", "survived", "degraded",
+			"lost", "disc", "survive", "worst-p", "worst-fail", "stretch"},
+	}
+	for _, sc := range rep.Scores {
+		row := []string{
+			sc.Src + "->" + sc.Dst,
+			sc.Policy,
+			fmt.Sprintf("%d", sc.Singles),
+			fmt.Sprintf("%d", sc.Survived),
+			fmt.Sprintf("%d", sc.Degraded),
+			fmt.Sprintf("%d", sc.Lost),
+			fmt.Sprintf("%d", sc.Disconnected),
+			fmt.Sprintf("%.4f", sc.SurviveFraction),
+			fmt.Sprintf("%.4f", sc.WorstPDeliver),
+			sc.WorstPDeliverFailure,
+			fmt.Sprintf("%.3f", sc.WorstStretch),
+		}
+		if rep.PairsDrawn > 0 {
+			row = append(row, fmt.Sprintf("%d/%d", sc.PairSurvived, sc.PairCases))
+		}
+		tbl.AddRow(row...)
+	}
+	if rep.PairsDrawn > 0 {
+		tbl.Headers = append(tbl.Headers, "pairs")
+	}
+	return tbl
+}
+
+func impactTable(rep *resilience.Report) *measure.Table {
+	tbl := &measure.Table{
+		Title:   "Unprotected links by blast radius",
+		Headers: []string{"link", "affected-cases", "min-p-deliver"},
+	}
+	for _, im := range rep.Impacts {
+		tbl.AddRow(im.Link, fmt.Sprintf("%d", im.Affected), fmt.Sprintf("%.4f", im.MinPDeliver))
+	}
+	return tbl
+}

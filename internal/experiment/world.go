@@ -167,7 +167,12 @@ func (w *World) RefreshIngress(src, dst string) error {
 	return w.programIngress(src, dst, route)
 }
 
-// FailLinkBetween schedules a failure of the named link.
+// FailLinkBetween schedules a failure of the named link for
+// [from, from+duration) — permanently when duration is non-positive.
+// The window owns one refcounted down-hold (simnet.AcquireLinkDown /
+// ReleaseLinkDown), so direct world calls compose with scenario fault
+// injectors: a link both cut here and flapped by fault.Flap stays
+// down until the last overlapping cause releases it.
 func (w *World) FailLinkBetween(a, b string, from, duration time.Duration) error {
 	l, ok := w.Net.Topology().LinkBetween(a, b)
 	if !ok {

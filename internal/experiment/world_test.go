@@ -1,0 +1,96 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/topology"
+)
+
+// Regression for composing a direct World.FailLinkBetween window with
+// a scenario-style fault.Flap on the same link: both now stack
+// refcounted down-holds, so the link is down exactly on the union of
+// their schedules — the window's repair must not re-raise a link the
+// flap still holds, and vice versa.
+//
+// Flap (start 0, window 12ms, period 4ms, duty 0.5):
+// down [0,2) [4,6) [8,10); FailLinkBetween hold: [2,8).
+// Union: down [0,10), up from 10ms on.
+func TestFailLinkBetweenComposesWithFlap(t *testing.T) {
+	g, err := topology.Net15()
+	if err != nil {
+		t.Fatal(err)
+	}
+	policy, err := PolicyByName("nip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWorld(g, policy, 1)
+	l, ok := g.LinkBetween("SW7", "SW13")
+	if !ok {
+		t.Fatal("no SW7-SW13 link in net15")
+	}
+
+	if err := w.FailLinkBetween("SW7", "SW13", 2*time.Millisecond, 6*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	flap := &fault.Flap{A: "SW7", B: "SW13", Start: 0,
+		Window: 12 * time.Millisecond, Period: 4 * time.Millisecond, Duty: 0.5}
+	if err := fault.InstallAll(w.Net, []fault.Injector{flap}); err != nil {
+		t.Fatal(err)
+	}
+
+	probes := map[time.Duration]bool{} // instant -> link physically up
+	sched := w.Net.Scheduler()
+	for _, at := range []time.Duration{
+		1 * time.Millisecond,  // flap down, window not yet started
+		3 * time.Millisecond,  // flap up, window holds it down
+		5 * time.Millisecond,  // both down
+		7 * time.Millisecond,  // flap up, window still holds
+		9 * time.Millisecond,  // window over, flap holds [8,10)
+		11 * time.Millisecond, // both over
+	} {
+		at := at
+		sched.At(at, func() { probes[at] = w.Net.LinkUp(l) })
+	}
+	w.Run(time.Second)
+
+	for at, wantUp := range map[time.Duration]bool{
+		1 * time.Millisecond:  false,
+		3 * time.Millisecond:  false,
+		5 * time.Millisecond:  false,
+		7 * time.Millisecond:  false,
+		9 * time.Millisecond:  false,
+		11 * time.Millisecond: true,
+	} {
+		if probes[at] != wantUp {
+			t.Errorf("link up=%v at %v, want %v", probes[at], at, wantUp)
+		}
+	}
+	if !w.Net.LinkUp(l) {
+		t.Error("link still down after both failure causes ended")
+	}
+}
+
+// A permanent FailLinkBetween (duration <= 0) keeps the link down for
+// the rest of the run instead of blipping it for one instant.
+func TestFailLinkBetweenPermanent(t *testing.T) {
+	g, err := topology.Net15()
+	if err != nil {
+		t.Fatal(err)
+	}
+	policy, err := PolicyByName("none")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWorld(g, policy, 1)
+	l, _ := g.LinkBetween("SW7", "SW13")
+	if err := w.FailLinkBetween("SW7", "SW13", time.Millisecond, 0); err != nil {
+		t.Fatal(err)
+	}
+	w.Run(time.Second)
+	if w.Net.LinkUp(l) {
+		t.Error("link up after a permanent FailLinkBetween")
+	}
+}

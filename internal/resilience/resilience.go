@@ -1,0 +1,616 @@
+// Package resilience verifies KAR's core claim — that CRT-embedded
+// deflection paths survive failures — exhaustively instead of on
+// hand-picked examples: for an arbitrary topology and a
+// controller-installed route set it enumerates every single-link
+// failure (plus optional seeded samples of two-link failure pairs)
+// and computes, for each (route, policy, failure) case, the exact
+// delivery verdict — via the internal/analysis Markov-chain machinery
+// for the probabilistic policies and a deterministic walk for "none".
+// The sweep produces per-route resilience scores (fraction of
+// failures survived, worst-case delivery probability and stretch) and
+// a per-link blast-radius ranking of the failures that actually hurt.
+//
+// Cases fan out across a bounded worker pool with deterministic
+// sharding: jobs are enumerated in a fixed (route, policy, failure)
+// order, workers pull indices from an atomic counter, results land by
+// index, and all aggregation happens in a sequential merge pass — so
+// the report and every kar_verify_* counter are byte-identical at any
+// worker count (the same discipline as the controller's reroute
+// pool).
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/analysis"
+	"repro/internal/controller"
+	"repro/internal/core"
+	"repro/internal/packet"
+	"repro/internal/telemetry"
+	"repro/internal/topology"
+)
+
+// surviveEps separates "certain delivery" from "probably delivered":
+// a case survives only when PDeliver ≥ 1 - surviveEps.
+const surviveEps = 1e-9
+
+// Outcome classifies one (route, policy, failure) case.
+type Outcome string
+
+const (
+	// Survived: delivery is certain (PDeliver ≥ 1-ε).
+	Survived Outcome = "survived"
+	// Degraded: delivery is possible but not certain.
+	Degraded Outcome = "degraded"
+	// Lost: delivery probability is (numerically) zero.
+	Lost Outcome = "lost"
+	// Disconnected: the failure physically separates src from dst; no
+	// routing scheme could deliver, so the case is excluded from
+	// survive fractions and blast radii.
+	Disconnected Outcome = "disconnected"
+)
+
+// RouteSpec names one route to verify. An empty Path means shortest
+// path; otherwise Path pins the full node sequence (edge endpoints
+// included), like the paper's hand-picked evaluation routes.
+type RouteSpec struct {
+	Src  string   `json:"src"`
+	Dst  string   `json:"dst"`
+	Path []string `json:"path,omitempty"`
+}
+
+// Config tunes a sweep. Only Workers affects wall clock; every other
+// field changes which cases are enumerated, never their order.
+type Config struct {
+	// Policies to verify (default: none, hp, avp, nip).
+	Policies []string
+	// Protection is the driven-deflection (switch, neighbour) pair set
+	// installed on every route (hops landing on a route's own path are
+	// filtered per route, as the controller does on reroute).
+	Protection [][2]string
+	// ProtectionLabel names the protection set in the report ("none",
+	// "partial", "full", ...).
+	ProtectionLabel string
+	// Pairs samples this many distinct two-link failure pairs on top
+	// of the exhaustive single-failure sweep (0: singles only).
+	Pairs int
+	// PairSeed seeds the pair sampler; the same seed always selects
+	// the same pairs.
+	PairSeed int64
+	// Workers bounds the case-analysis pool (0: one per CPU).
+	Workers int
+	// Registry receives the kar_verify_* counters (nil: private).
+	Registry *telemetry.Registry
+}
+
+// RouteScore aggregates every case of one (route, policy).
+type RouteScore struct {
+	Src    string `json:"src"`
+	Dst    string `json:"dst"`
+	Policy string `json:"policy"`
+
+	// Single-failure census. Singles counts the connected cases;
+	// SurviveFraction = Survived/Singles (1 when no case applies).
+	Singles         int     `json:"single_failures"`
+	Survived        int     `json:"survived"`
+	Degraded        int     `json:"degraded"`
+	Lost            int     `json:"lost"`
+	Disconnected    int     `json:"disconnected"`
+	SurviveFraction float64 `json:"survive_fraction"`
+
+	// Worst connected single-failure case by delivery probability, and
+	// worst stretch among cases that can deliver.
+	WorstPDeliver        float64 `json:"worst_p_deliver"`
+	WorstPDeliverFailure string  `json:"worst_p_deliver_failure,omitempty"`
+	WorstStretch         float64 `json:"worst_stretch"`
+	WorstStretchFailure  string  `json:"worst_stretch_failure,omitempty"`
+
+	// Sampled two-link failure census (when Config.Pairs > 0).
+	PairCases    int `json:"pair_cases,omitempty"`
+	PairSurvived int `json:"pair_survived,omitempty"`
+}
+
+// LinkImpact is one link's blast radius: how many connected
+// (route, policy) single-failure cases its failure degrades or kills.
+type LinkImpact struct {
+	Link        string  `json:"link"`
+	Affected    int     `json:"affected"`
+	MinPDeliver float64 `json:"min_p_deliver"`
+}
+
+// Report is the sweep's structured outcome. Scores are ordered by
+// (src, dst) then by the configured policy order; Impacts by
+// descending blast radius (link name breaking ties) — deterministic
+// regardless of worker count.
+type Report struct {
+	Topology   string   `json:"topology"`
+	Protection string   `json:"protection"`
+	Policies   []string `json:"policies"`
+	Routes     int      `json:"routes"`
+	Links      int      `json:"links"`
+	PairsDrawn int      `json:"pairs_drawn,omitempty"`
+	Cases      int      `json:"cases"`
+
+	Scores  []RouteScore `json:"scores"`
+	Impacts []LinkImpact `json:"impacts,omitempty"`
+}
+
+// Score returns the score row for (src, dst, policy), if present.
+func (r *Report) Score(src, dst, policy string) (*RouteScore, bool) {
+	for i := range r.Scores {
+		s := &r.Scores[i]
+		if s.Src == src && s.Dst == dst && s.Policy == policy {
+			return s, true
+		}
+	}
+	return nil, false
+}
+
+// MinSurviveFraction returns the smallest single-failure survive
+// fraction across all scores, with the offending row.
+func (r *Report) MinSurviveFraction() (float64, *RouteScore) {
+	min, idx := 2.0, -1
+	for i := range r.Scores {
+		if r.Scores[i].SurviveFraction < min {
+			min, idx = r.Scores[i].SurviveFraction, i
+		}
+	}
+	if idx < 0 {
+		return 1, nil
+	}
+	return min, &r.Scores[idx]
+}
+
+// failure is one enumerated failure set.
+type failure struct {
+	links []*topology.Link
+	name  string
+	pair  bool
+}
+
+// caseResult is one case's computed verdict.
+type caseResult struct {
+	outcome  Outcome
+	pDeliver float64
+	stretch  float64
+	err      error
+}
+
+// Sweep runs the exhaustive failure sweep over g for the given routes.
+// It builds its own controller (routes installed in deterministic
+// order, every re-encode pair pre-warmed) so the parallel case
+// analyses only ever read shared state.
+func Sweep(g *topology.Graph, routes []RouteSpec, cfg Config) (*Report, error) {
+	if len(routes) == 0 {
+		return nil, errors.New("resilience: no routes to verify")
+	}
+	policies := cfg.Policies
+	if len(policies) == 0 {
+		policies = []string{"none", "hp", "avp", "nip"}
+	}
+	for _, p := range policies {
+		switch p {
+		case "none", "hp", "avp", "nip":
+		default:
+			return nil, fmt.Errorf("resilience: %q: %w", p, analysis.ErrPolicyUnsupported)
+		}
+	}
+
+	routes = append([]RouteSpec(nil), routes...)
+	sort.Slice(routes, func(i, j int) bool {
+		if routes[i].Src != routes[j].Src {
+			return routes[i].Src < routes[j].Src
+		}
+		return routes[i].Dst < routes[j].Dst
+	})
+	for i := 1; i < len(routes); i++ {
+		if routes[i].Src == routes[i-1].Src && routes[i].Dst == routes[i-1].Dst {
+			return nil, fmt.Errorf("resilience: duplicate route %s->%s", routes[i].Src, routes[i].Dst)
+		}
+	}
+
+	ctrl, ingress, err := buildController(g, routes, cfg.Protection)
+	if err != nil {
+		return nil, err
+	}
+
+	failures, pairsDrawn := enumerateFailures(g, cfg.Pairs, cfg.PairSeed)
+
+	// Flatten (route, policy, failure) into an indexed job list; the
+	// index is the only thing workers share.
+	type job struct{ r, p, f int }
+	jobs := make([]job, 0, len(routes)*len(policies)*len(failures))
+	for r := range routes {
+		for p := range policies {
+			for f := range failures {
+				jobs = append(jobs, job{r, p, f})
+			}
+		}
+	}
+	results := make([]caseResult, len(jobs))
+
+	compute := func(i int) {
+		j := jobs[i]
+		rt, pol, fl := routes[j.r], policies[j.p], failures[j.f]
+		failed := make(map[*topology.Link]bool, len(fl.links))
+		for _, l := range fl.links {
+			failed[l] = true
+		}
+		if !connected(g, rt.Src, rt.Dst, failed) {
+			results[i] = caseResult{outcome: Disconnected}
+			return
+		}
+		if failed[ingress[j.r]] {
+			// The ingress edge's programmed port feeds a dead link: the
+			// packet never reaches the first core, under any policy.
+			results[i] = caseResult{outcome: Lost}
+			return
+		}
+		var res analysis.Result
+		var caseErr error
+		if pol == "none" {
+			res, caseErr = walkNone(ctrl, rt.Src, rt.Dst, failed)
+		} else {
+			var a *analysis.Analyzer
+			a, caseErr = analysis.New(ctrl, pol, fl.links)
+			if caseErr == nil {
+				res, caseErr = a.Analyze(rt.Src, rt.Dst)
+			}
+		}
+		if caseErr != nil {
+			results[i] = caseResult{err: fmt.Errorf("resilience: %s->%s policy=%s failure=%s: %w",
+				rt.Src, rt.Dst, pol, fl.name, caseErr)}
+			return
+		}
+		cr := caseResult{pDeliver: res.PDeliver, stretch: res.Stretch()}
+		switch {
+		case res.PDeliver >= 1-surviveEps:
+			cr.outcome = Survived
+		case res.PDeliver <= surviveEps:
+			cr.outcome = Lost
+		default:
+			cr.outcome = Degraded
+		}
+		results[i] = cr
+	}
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers <= 1 {
+		for i := range jobs {
+			compute(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(jobs) {
+						return
+					}
+					compute(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	// Sequential merge: scores, impacts and telemetry in job order.
+	reg := cfg.Registry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	bindHelp(reg)
+	reg.Counter("kar_verify_sweeps_total").Inc()
+
+	scores := make([]RouteScore, len(routes)*len(policies))
+	for r := range routes {
+		for p := range policies {
+			scores[r*len(policies)+p] = RouteScore{
+				Src: routes[r].Src, Dst: routes[r].Dst, Policy: policies[p],
+				WorstPDeliver: 1,
+			}
+		}
+	}
+	impact := make(map[int]*LinkImpact) // failure index (singles) -> impact
+	var errs []error
+	for i, j := range jobs {
+		res := results[i]
+		if res.err != nil {
+			errs = append(errs, res.err)
+			continue
+		}
+		pol, fl := policies[j.p], failures[j.f]
+		sc := &scores[j.r*len(policies)+j.p]
+		reg.Counter("kar_verify_cases_total", "policy", pol).Inc()
+		switch res.outcome {
+		case Disconnected:
+			reg.Counter("kar_verify_disconnected_total", "policy", pol).Inc()
+			if !fl.pair {
+				sc.Disconnected++
+			}
+			continue
+		case Survived:
+			reg.Counter("kar_verify_survived_total", "policy", pol).Inc()
+		case Degraded:
+			reg.Counter("kar_verify_degraded_total", "policy", pol).Inc()
+		case Lost:
+			reg.Counter("kar_verify_lost_total", "policy", pol).Inc()
+		}
+		if fl.pair {
+			sc.PairCases++
+			if res.outcome == Survived {
+				sc.PairSurvived++
+			}
+			continue
+		}
+		sc.Singles++
+		switch res.outcome {
+		case Survived:
+			sc.Survived++
+		case Degraded:
+			sc.Degraded++
+		case Lost:
+			sc.Lost++
+		}
+		if res.pDeliver < sc.WorstPDeliver {
+			sc.WorstPDeliver = res.pDeliver
+			sc.WorstPDeliverFailure = fl.name
+		}
+		if res.pDeliver > surviveEps && res.stretch > sc.WorstStretch {
+			sc.WorstStretch = res.stretch
+			sc.WorstStretchFailure = fl.name
+		}
+		if res.outcome != Survived {
+			im := impact[j.f]
+			if im == nil {
+				im = &LinkImpact{Link: fl.name, MinPDeliver: 1}
+				impact[j.f] = im
+			}
+			im.Affected++
+			if res.pDeliver < im.MinPDeliver {
+				im.MinPDeliver = res.pDeliver
+			}
+		}
+	}
+	if len(errs) > 0 {
+		return nil, errors.Join(errs...)
+	}
+	for i := range scores {
+		sc := &scores[i]
+		if sc.Singles == 0 {
+			sc.SurviveFraction = 1
+		} else {
+			sc.SurviveFraction = float64(sc.Survived) / float64(sc.Singles)
+		}
+	}
+	impacts := make([]LinkImpact, 0, len(impact))
+	for _, im := range impact {
+		impacts = append(impacts, *im)
+	}
+	sort.Slice(impacts, func(i, j int) bool {
+		if impacts[i].Affected != impacts[j].Affected {
+			return impacts[i].Affected > impacts[j].Affected
+		}
+		return impacts[i].Link < impacts[j].Link
+	})
+
+	return &Report{
+		Topology:   g.Name(),
+		Protection: cfg.ProtectionLabel,
+		Policies:   policies,
+		Routes:     len(routes),
+		Links:      len(g.Links()),
+		PairsDrawn: pairsDrawn,
+		Cases:      len(jobs),
+		Scores:     scores,
+		Impacts:    impacts,
+	}, nil
+}
+
+func bindHelp(reg *telemetry.Registry) {
+	reg.Help("kar_verify_sweeps_total", "Resilience sweeps executed.")
+	reg.Help("kar_verify_cases_total", "Sweep cases analyzed, by policy.")
+	reg.Help("kar_verify_survived_total", "Cases with certain delivery, by policy.")
+	reg.Help("kar_verify_degraded_total", "Cases with uncertain delivery, by policy.")
+	reg.Help("kar_verify_lost_total", "Cases with zero delivery probability, by policy.")
+	reg.Help("kar_verify_disconnected_total", "Cases where the failure disconnects src from dst, by policy.")
+}
+
+// buildController installs every route (deterministic order, per-route
+// protection filtering) on a fresh non-reactive controller and
+// pre-warms the re-encode cache for every ordered edge pair, so the
+// concurrent case analyses only ever hit the controller's read-only
+// cache path. Returns the per-route ingress link alongside.
+func buildController(g *topology.Graph, routes []RouteSpec, protection [][2]string) (*controller.Controller, []*topology.Link, error) {
+	hops, err := core.HopsFromPairs(g, protection)
+	if err != nil {
+		return nil, nil, fmt.Errorf("resilience: protection: %w", err)
+	}
+	ctrl := controller.New(g)
+	ingress := make([]*topology.Link, len(routes))
+	for i, rt := range routes {
+		names := rt.Path
+		if len(names) == 0 {
+			path, err := topology.ShortestPath(g, rt.Src, rt.Dst, topology.HopWeight)
+			if err != nil {
+				return nil, nil, fmt.Errorf("resilience: route %s->%s: %w", rt.Src, rt.Dst, err)
+			}
+			names = make([]string, len(path.Nodes))
+			for k, n := range path.Nodes {
+				names[k] = n.Name()
+			}
+		}
+		onPath := make(map[string]bool, len(names))
+		for _, n := range names {
+			onPath[n] = true
+		}
+		filtered := make([]core.Hop, 0, len(hops))
+		for _, h := range hops {
+			if !onPath[h.Switch.Name()] {
+				filtered = append(filtered, h)
+			}
+		}
+		route, err := ctrl.InstallRouteOnPath(names, filtered)
+		if err != nil {
+			return nil, nil, fmt.Errorf("resilience: route %s->%s: %w", rt.Src, rt.Dst, err)
+		}
+		l, ok := g.LinkBetween(names[0], names[1])
+		if !ok {
+			return nil, nil, fmt.Errorf("resilience: route %s->%s: no ingress link %s-%s", rt.Src, rt.Dst, names[0], names[1])
+		}
+		ingress[i] = l
+		_ = route
+	}
+	// Pre-warm: re-encoding ignores failure sets (the controller is
+	// non-reactive), so warming under the empty set caches exactly what
+	// the analyses will look up. Unreachable pairs fail here and keep
+	// failing identically (without installing) during analysis.
+	edges := g.EdgeNodes()
+	for _, a := range edges {
+		for _, b := range edges {
+			if a != b {
+				_, _, _ = ctrl.ReencodeRoute(a.Name(), b.Name())
+			}
+		}
+	}
+	return ctrl, ingress, nil
+}
+
+// enumerateFailures lists every single-link failure in topology
+// insertion order, then draws up to pairs distinct unordered two-link
+// samples from a rand seeded with pairSeed.
+func enumerateFailures(g *topology.Graph, pairs int, pairSeed int64) ([]failure, int) {
+	links := g.Links()
+	out := make([]failure, 0, len(links)+pairs)
+	for _, l := range links {
+		out = append(out, failure{links: []*topology.Link{l}, name: l.Name()})
+	}
+	if pairs <= 0 || len(links) < 2 {
+		return out, 0
+	}
+	max := len(links) * (len(links) - 1) / 2
+	want := pairs
+	if want > max {
+		want = max
+	}
+	rng := rand.New(rand.NewSource(pairSeed))
+	seen := make(map[[2]int]bool, want)
+	drawn := 0
+	for drawn < want {
+		i, j := rng.Intn(len(links)), rng.Intn(len(links))
+		if i == j {
+			continue
+		}
+		if i > j {
+			i, j = j, i
+		}
+		if seen[[2]int{i, j}] {
+			continue
+		}
+		seen[[2]int{i, j}] = true
+		out = append(out, failure{
+			links: []*topology.Link{links[i], links[j]},
+			name:  links[i].Name() + "+" + links[j].Name(),
+			pair:  true,
+		})
+		drawn++
+	}
+	return out, drawn
+}
+
+// connected reports whether dst is reachable from src over non-failed
+// links.
+func connected(g *topology.Graph, src, dst string, failed map[*topology.Link]bool) bool {
+	s, ok := g.Node(src)
+	if !ok {
+		return false
+	}
+	d, ok := g.Node(dst)
+	if !ok {
+		return false
+	}
+	visited := map[*topology.Node]bool{s: true}
+	stack := []*topology.Node{s}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n == d {
+			return true
+		}
+		for i := 0; i < n.Degree(); i++ {
+			l, ok := n.PortLink(i)
+			if !ok || failed[l] {
+				continue
+			}
+			o := l.Other(n)
+			if !visited[o] {
+				visited[o] = true
+				stack = append(stack, o)
+			}
+		}
+	}
+	return false
+}
+
+// walkNone follows the installed route deterministically under the
+// "none" policy: forward by route-ID residue at every core, drop on a
+// dead or invalid port, re-encode at wrong edges, deliver at dst —
+// exactly the data plane's behaviour, TTL included. PDeliver is 0 or
+// 1 by construction.
+func walkNone(ctrl *controller.Controller, src, dst string, failed map[*topology.Link]bool) (analysis.Result, error) {
+	route, ok := ctrl.Route(src, dst)
+	if !ok {
+		return analysis.Result{}, fmt.Errorf("no installed route %s->%s", src, dst)
+	}
+	res := analysis.Result{BaselineHops: route.Path.Hops(), PDrop: 1}
+	id := route.ID
+	node := route.Path.Nodes[1]
+	hops := 1 // the ingress edge→first-node traversal
+	for ttl := packet.DefaultTTL; ttl > 0; ttl-- {
+		if node.Kind() == topology.KindEdge {
+			if node.Name() == dst {
+				res.PDeliver, res.PDrop = 1, 0
+				res.ExpectedHops = float64(hops)
+				return res, nil
+			}
+			// Misdelivery: the controller re-encodes from this edge
+			// (cache pre-warmed; a miss means the pair is unreachable).
+			nid, port, err := ctrl.ReencodeRoute(node.Name(), dst)
+			if err != nil {
+				return res, nil
+			}
+			l, ok := node.PortLink(port)
+			if !ok || failed[l] {
+				return res, nil
+			}
+			id = nid
+			node = l.Other(node)
+			hops++
+			continue
+		}
+		port := core.Forward(id, node.ID())
+		l, ok := node.PortLink(port)
+		if !ok || failed[l] {
+			return res, nil
+		}
+		node = l.Other(node)
+		hops++
+	}
+	return res, nil // TTL exhausted: a deterministic loop
+}

@@ -1,0 +1,265 @@
+package resilience
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/telemetry"
+	"repro/internal/topology"
+)
+
+// allPairRoutes lists every ordered edge pair of g as a RouteSpec —
+// the default route set the verifier CLI sweeps.
+func allPairRoutes(g *topology.Graph) []RouteSpec {
+	var routes []RouteSpec
+	for _, a := range g.EdgeNodes() {
+		for _, b := range g.EdgeNodes() {
+			if a != b {
+				routes = append(routes, RouteSpec{Src: a.Name(), Dst: b.Name()})
+			}
+		}
+	}
+	return routes
+}
+
+// The headline acceptance case: Net15 under full protection must
+// survive every connected single-link failure with certainty under
+// avp and nip, for every route the protection tree covers. KAR
+// protection is destination-rooted — Net15FullProtection funnels
+// deflections toward SW29, so the guarantee applies to SW29-bound
+// routes (dst AS2 or AS3); AS1-bound traffic would need a SW10-rooted
+// tree, and the sweep must expose exactly that gap.
+func TestNet15FullProtectionSurvivesAllSingles(t *testing.T) {
+	g, err := topology.Net15()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Sweep(g, allPairRoutes(g), Config{
+		Policies:        []string{"avp", "nip"},
+		Protection:      topology.Net15FullProtection,
+		ProtectionLabel: "full",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Routes != 6 {
+		t.Fatalf("routes = %d, want 6", rep.Routes)
+	}
+	for _, sc := range rep.Scores {
+		if sc.Singles == 0 {
+			t.Errorf("%s->%s policy=%s: no connected single-failure cases", sc.Src, sc.Dst, sc.Policy)
+		}
+		if sc.Dst != "AS1" {
+			if sc.SurviveFraction != 1 {
+				t.Errorf("%s->%s policy=%s: survive fraction %v (worst %v at %s), want 1",
+					sc.Src, sc.Dst, sc.Policy, sc.SurviveFraction, sc.WorstPDeliver, sc.WorstPDeliverFailure)
+			}
+		} else if sc.SurviveFraction == 1 {
+			t.Errorf("%s->%s policy=%s: survived everything, but no protection tree is rooted at SW10",
+				sc.Src, sc.Dst, sc.Policy)
+		}
+	}
+	// The blast radius must localize the gap to AS1-side corridor links.
+	if len(rep.Impacts) == 0 {
+		t.Fatal("no blast-radius entries for the unprotected AS1-bound direction")
+	}
+	for _, im := range rep.Impacts {
+		if im.Link == "SW27-SW29" || im.Link == "SW19-SW27" {
+			t.Errorf("protected corridor link %s in blast radius", im.Link)
+		}
+	}
+}
+
+// Unprotected deterministic forwarding must NOT survive everything —
+// this is the case the -verify-min gate exists for.
+func TestNet15UnprotectedNoneHasLosses(t *testing.T) {
+	g, err := topology.Net15()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Sweep(g, allPairRoutes(g), Config{
+		Policies:        []string{"none"},
+		ProtectionLabel: "none",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, worst := rep.MinSurviveFraction()
+	if min >= 1 {
+		t.Fatalf("unprotected none survives everything (min fraction %v)", min)
+	}
+	if worst == nil || worst.Lost == 0 {
+		t.Errorf("worst score %+v has no lost cases", worst)
+	}
+	if len(rep.Impacts) == 0 {
+		t.Error("no blast-radius entries despite losses")
+	}
+}
+
+// The report and the kar_verify_* counters must be byte-identical at
+// any worker count.
+func TestReportIdenticalAcrossWorkerCounts(t *testing.T) {
+	g, err := topology.Net15()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) ([]byte, []byte) {
+		reg := telemetry.NewRegistry()
+		rep, err := Sweep(g, allPairRoutes(g), Config{
+			Protection:      topology.Net15PartialProtection,
+			ProtectionLabel: "partial",
+			Pairs:           8,
+			PairSeed:        7,
+			Workers:         workers,
+			Registry:        reg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		js, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var prom bytes.Buffer
+		if err := reg.WritePrometheus(&prom); err != nil {
+			t.Fatal(err)
+		}
+		return js, prom.Bytes()
+	}
+	js1, prom1 := run(1)
+	js4, prom4 := run(4)
+	if !bytes.Equal(js1, js4) {
+		t.Errorf("JSON report differs between -workers 1 and 4:\n%s\n---\n%s", js1, js4)
+	}
+	if !bytes.Equal(prom1, prom4) {
+		t.Errorf("metrics differ between -workers 1 and 4:\n%s\n---\n%s", prom1, prom4)
+	}
+}
+
+// The deterministic walk for "none" must agree with the Markov chain
+// run under the same policy, for every route and single failure.
+func TestWalkNoneMatchesChain(t *testing.T) {
+	g, err := topology.Net15()
+	if err != nil {
+		t.Fatal(err)
+	}
+	routes := allPairRoutes(g)
+	ctrl, ingress, err := buildController(g, routes, topology.Net15PartialProtection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ri, rt := range routes {
+		for _, l := range g.Links() {
+			failed := map[*topology.Link]bool{l: true}
+			if !connected(g, rt.Src, rt.Dst, failed) || l == ingress[ri] {
+				continue
+			}
+			walk, err := walkNone(ctrl, rt.Src, rt.Dst, failed)
+			if err != nil {
+				t.Fatalf("%s->%s fail=%s: walk: %v", rt.Src, rt.Dst, l.Name(), err)
+			}
+			a, err := analysis.New(ctrl, "none", []*topology.Link{l})
+			if err != nil {
+				t.Fatal(err)
+			}
+			chain, err := a.Analyze(rt.Src, rt.Dst)
+			if err != nil {
+				t.Fatalf("%s->%s fail=%s: chain: %v", rt.Src, rt.Dst, l.Name(), err)
+			}
+			if walk.PDeliver != chain.PDeliver {
+				t.Errorf("%s->%s fail=%s: walk PDeliver=%v, chain=%v",
+					rt.Src, rt.Dst, l.Name(), walk.PDeliver, chain.PDeliver)
+			}
+			if walk.PDeliver == 1 && walk.ExpectedHops != chain.ExpectedHops {
+				t.Errorf("%s->%s fail=%s: walk hops=%v, chain=%v",
+					rt.Src, rt.Dst, l.Name(), walk.ExpectedHops, chain.ExpectedHops)
+			}
+		}
+	}
+}
+
+// Failures that physically disconnect src from dst are tallied as
+// disconnected and excluded from the survive fraction.
+func TestDisconnectedExcluded(t *testing.T) {
+	g, err := topology.Net15()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	rep, err := Sweep(g, []RouteSpec{{Src: "AS1", Dst: "AS2"}}, Config{
+		Policies: []string{"none"},
+		Registry: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := rep.Scores[0]
+	// Each AS is single-homed: its access link is a cut edge, and the
+	// peer's access link is too.
+	if sc.Disconnected < 2 {
+		t.Errorf("disconnected = %d, want >= 2 (both access links)", sc.Disconnected)
+	}
+	if sc.Singles+sc.Disconnected != rep.Links {
+		t.Errorf("singles(%d) + disconnected(%d) != links(%d)", sc.Singles, sc.Disconnected, rep.Links)
+	}
+	cases := reg.SumCounter("kar_verify_cases_total")
+	sum := reg.SumCounter("kar_verify_survived_total") +
+		reg.SumCounter("kar_verify_degraded_total") +
+		reg.SumCounter("kar_verify_lost_total") +
+		reg.SumCounter("kar_verify_disconnected_total")
+	if cases == 0 || cases != sum {
+		t.Errorf("counter census: cases=%d, outcome sum=%d", cases, sum)
+	}
+	if got := reg.CounterValue("kar_verify_sweeps_total"); got != 1 {
+		t.Errorf("kar_verify_sweeps_total = %d, want 1", got)
+	}
+}
+
+// Pair sampling is seeded, deduplicated and capped at C(n,2).
+func TestPairSamplingDeterministicAndCapped(t *testing.T) {
+	g, err := topology.Generate(topology.GenConfig{Cores: 5, ExtraLinks: 2, Edges: 3, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nLinks := len(g.Links())
+	maxPairs := nLinks * (nLinks - 1) / 2
+	run := func() *Report {
+		rep, err := Sweep(g, allPairRoutes(g), Config{
+			Policies: []string{"nip"},
+			Pairs:    maxPairs + 100, // ask for more than exist
+			PairSeed: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	r1, r2 := run(), run()
+	if r1.PairsDrawn != maxPairs {
+		t.Errorf("pairs drawn = %d, want capped at %d", r1.PairsDrawn, maxPairs)
+	}
+	j1, _ := json.Marshal(r1)
+	j2, _ := json.Marshal(r2)
+	if !bytes.Equal(j1, j2) {
+		t.Error("same PairSeed produced different reports")
+	}
+}
+
+// Duplicate routes and unknown policies are rejected up front.
+func TestSweepInputValidation(t *testing.T) {
+	g, err := topology.Net15()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Sweep(g, []RouteSpec{{Src: "AS1", Dst: "AS2"}, {Src: "AS1", Dst: "AS2"}}, Config{}); err == nil {
+		t.Error("duplicate route accepted")
+	}
+	if _, err := Sweep(g, []RouteSpec{{Src: "AS1", Dst: "AS2"}}, Config{Policies: []string{"bogus"}}); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	if _, err := Sweep(g, nil, Config{}); err == nil {
+		t.Error("empty route set accepted")
+	}
+}

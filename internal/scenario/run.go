@@ -9,6 +9,7 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/fault"
 	"repro/internal/packet"
+	"repro/internal/resilience"
 	"repro/internal/telemetry"
 	"repro/internal/topology"
 	"repro/internal/udpsim"
@@ -75,14 +76,24 @@ func (r *RunResult) LossFraction() float64 {
 	return 1 - float64(r.Delivered)/float64(r.Sent)
 }
 
+// VerifyResult is the outcome of the scenario's optional resilience
+// sweep: the full report plus any assertion violations.
+type VerifyResult struct {
+	Report     *resilience.Report `json:"report"`
+	Violations []string           `json:"violations,omitempty"`
+	Pass       bool               `json:"pass"`
+}
+
 // Verdict is the scenario's structured outcome: one entry per run plus
-// the conjunction of their expectation checks.
+// the conjunction of their expectation checks (and of the resilience
+// sweep, when the file declares one).
 type Verdict struct {
-	Scenario string      `json:"scenario"`
-	Topology string      `json:"topology"`
-	Policy   string      `json:"policy"`
-	Runs     []RunResult `json:"runs"`
-	Pass     bool        `json:"pass"`
+	Scenario string        `json:"scenario"`
+	Topology string        `json:"topology"`
+	Policy   string        `json:"policy"`
+	Runs     []RunResult   `json:"runs"`
+	Verify   *VerifyResult `json:"verify,omitempty"`
+	Pass     bool          `json:"pass"`
 }
 
 // Run executes every seeded repetition of the scenario and evaluates
@@ -141,7 +152,82 @@ func Run(spec *Spec, opts RunOptions) (*Verdict, error) {
 			v.Pass = false
 		}
 	}
+	if spec.Verify != nil {
+		vr, err := runVerifySweep(spec, opts)
+		if err != nil {
+			return nil, err
+		}
+		v.Verify = vr
+		if !vr.Pass {
+			v.Pass = false
+		}
+	}
 	return v, nil
+}
+
+// runVerifySweep executes the scenario's declared resilience sweep:
+// the flow routes (deduplicated, pinned paths respected) against every
+// single-link failure, under the scenario's protection set. Its
+// counters land in the collector under scenario/<name>/verify —
+// configuration-derived, so dumps stay byte-identical per seed.
+func runVerifySweep(spec *Spec, opts RunOptions) (*VerifyResult, error) {
+	g, err := BuildTopology(spec.Topology)
+	if err != nil {
+		return nil, err
+	}
+	protection, err := ProtectionPairs(spec.Topology, spec.Protection)
+	if err != nil {
+		return nil, err
+	}
+	label := spec.Protection
+	if label == "" {
+		label = "none"
+	}
+	policies := spec.Verify.Policies
+	if len(policies) == 0 {
+		policies = []string{spec.Policy}
+	}
+	seen := make(map[[2]string]bool, len(spec.Flows))
+	routes := make([]resilience.RouteSpec, 0, len(spec.Flows))
+	for _, f := range spec.Flows {
+		key := [2]string{f.Src, f.Dst}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		routes = append(routes, resilience.RouteSpec{Src: f.Src, Dst: f.Dst, Path: f.Path})
+	}
+
+	reg := telemetry.NewRegistry()
+	rep, err := resilience.Sweep(g, routes, resilience.Config{
+		Policies:        policies,
+		Protection:      protection,
+		ProtectionLabel: label,
+		Pairs:           spec.Verify.Pairs,
+		PairSeed:        spec.Seed,
+		Workers:         opts.Workers,
+		Registry:        reg,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: verify: %w", spec.Name, err)
+	}
+	opts.Metrics.Add("scenario/"+spec.Name+"/verify", reg, nil)
+
+	res := &VerifyResult{Report: rep}
+	for _, sc := range rep.Scores {
+		if spec.Verify.MinSurvival != nil && sc.SurviveFraction < *spec.Verify.MinSurvival {
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("verify: %s->%s policy=%s survives %.4f of single failures, below min_survival %.4f (worst: %s)",
+					sc.Src, sc.Dst, sc.Policy, sc.SurviveFraction, *spec.Verify.MinSurvival, sc.WorstPDeliverFailure))
+		}
+		if spec.Verify.MaxStretch != nil && sc.WorstStretch > *spec.Verify.MaxStretch {
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("verify: %s->%s policy=%s worst stretch %.3f exceeds max_stretch %.3f (at %s)",
+					sc.Src, sc.Dst, sc.Policy, sc.WorstStretch, *spec.Verify.MaxStretch, sc.WorstStretchFailure))
+		}
+	}
+	res.Pass = len(res.Violations) == 0
+	return res, nil
 }
 
 // RunFile loads path and runs it.

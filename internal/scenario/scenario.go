@@ -73,6 +73,27 @@ type Spec struct {
 	// accounting; Until values must be ascending.
 	Phases []Phase `json:"phases,omitempty"`
 	Expect Expect  `json:"expect"`
+	// Verify, when set, additionally runs the exhaustive failure-sweep
+	// resilience verifier (internal/resilience) over the scenario's
+	// flow routes and protection set, and folds its assertions into the
+	// verdict.
+	Verify *VerifySpec `json:"verify,omitempty"`
+}
+
+// VerifySpec is the scenario's static resilience check: before any
+// packet is simulated, every single-link failure (plus Pairs seeded
+// two-link samples) is swept against the flow routes, per policy.
+type VerifySpec struct {
+	// Policies to sweep (default: just the scenario's own policy).
+	Policies []string `json:"policies,omitempty"`
+	// Pairs samples this many two-link failure pairs (seeded by the
+	// scenario seed) on top of the exhaustive single-failure sweep.
+	Pairs int `json:"pairs,omitempty"`
+	// MinSurvival floors every route's single-failure survive fraction.
+	MinSurvival *float64 `json:"min_survival,omitempty"`
+	// MaxStretch caps every route's worst-case expected stretch among
+	// deliverable single-failure cases.
+	MaxStretch *float64 `json:"max_stretch,omitempty"`
 }
 
 // Detection models failure-detection and notification latency: the
@@ -211,6 +232,24 @@ func (s *Spec) Validate() error {
 	for i, inj := range s.Injections {
 		if _, err := inj.build(s.Seed, i); err != nil {
 			return err
+		}
+	}
+	if v := s.Verify; v != nil {
+		for _, p := range v.Policies {
+			switch p {
+			case "none", "hp", "avp", "nip":
+			default:
+				return fmt.Errorf("scenario %s: verify: unknown policy %q", s.Name, p)
+			}
+		}
+		if v.Pairs < 0 {
+			return fmt.Errorf("scenario %s: verify: pairs must be >= 0", s.Name)
+		}
+		if v.MinSurvival != nil && (*v.MinSurvival < 0 || *v.MinSurvival > 1) {
+			return fmt.Errorf("scenario %s: verify: min_survival must be in [0,1]", s.Name)
+		}
+		if v.MaxStretch != nil && *v.MaxStretch <= 0 {
+			return fmt.Errorf("scenario %s: verify: max_stretch must be positive", s.Name)
 		}
 	}
 	var prev Duration

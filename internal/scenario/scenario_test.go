@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -210,5 +211,78 @@ func TestReactiveDetectionScenario(t *testing.T) {
 	// nonzero but bounded.
 	if r1.Delivered == r1.Sent {
 		t.Error("no loss at all despite a 150ms cut with delayed detection")
+	}
+}
+
+// The verify block: a full-protection SW29-bound route must clear
+// min_survival 1.0, and an unprotected "none" sweep must fail it and
+// sink the verdict.
+func TestVerifyBlock(t *testing.T) {
+	pass := `{
+	  "name": "v",
+	  "topology": "net15",
+	  "policy": "nip",
+	  "protection": "full",
+	  "seed": 3,
+	  "duration": "100ms",
+	  "flows": [{"src": "AS1", "dst": "AS3", "interval": "2ms"}],
+	  "expect": {"min_delivered": 1},
+	  "verify": {"policies": ["avp", "nip"], "pairs": 4, "min_survival": 1.0}
+	}`
+	spec, err := Parse(strings.NewReader(pass))
+	if err != nil {
+		t.Fatal(err)
+	}
+	coll := telemetry.NewCollector()
+	v, err := Run(spec, RunOptions{Metrics: coll})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Verify == nil || !v.Verify.Pass || !v.Pass {
+		t.Fatalf("full-protection verify failed: %+v", v.Verify)
+	}
+	if v.Verify.Report.PairsDrawn != 4 {
+		t.Errorf("pairs drawn = %d, want 4", v.Verify.Report.PairsDrawn)
+	}
+	var buf bytes.Buffer
+	if err := coll.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "kar_verify_cases_total") {
+		t.Error("collector dump missing kar_verify_cases_total")
+	}
+
+	fail := strings.Replace(pass,
+		`"verify": {"policies": ["avp", "nip"], "pairs": 4, "min_survival": 1.0}`,
+		`"verify": {"policies": ["none"], "min_survival": 1.0}`, 1)
+	spec, err = Parse(strings.NewReader(fail))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err = Run(spec, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Verify == nil || v.Verify.Pass || v.Pass {
+		t.Fatal("unprotected none sweep passed min_survival 1.0")
+	}
+	if len(v.Verify.Violations) == 0 {
+		t.Error("failing verify recorded no violations")
+	}
+}
+
+// Bad verify blocks are rejected at parse time.
+func TestVerifyValidation(t *testing.T) {
+	base := `{"name":"x","topology":"net15","policy":"nip","duration":"1s","flows":[{"src":"AS1","dst":"AS3"}],"verify":%s}`
+	for what, vb := range map[string]string{
+		"unknown policy": `{"policies":["quantum"]}`,
+		"negative pairs": `{"pairs":-1}`,
+		"survival > 1":   `{"min_survival":1.5}`,
+		"zero stretch":   `{"max_stretch":0}`,
+	} {
+		js := fmt.Sprintf(base, vb)
+		if _, err := Parse(strings.NewReader(js)); err == nil {
+			t.Errorf("%s: accepted", what)
+		}
 	}
 }

@@ -239,6 +239,177 @@ func TestImpairmentGrayDrop(t *testing.T) {
 	}
 }
 
+// Regression for wire-width corruption: the impairment used to flip
+// any of 64 bits, so a 4-byte route ID could come out of a link 8
+// bytes long (or ≥ the route's modulus product) — a header no
+// physical corruption can produce, since the wire carries only
+// ByteLen bytes. The flip is now confined to the marshalled width.
+func TestCorruptConfinedToWireWidth(t *testing.T) {
+	n, a, _, sk := twoNodeNet(t)
+	aNode, _ := n.Topology().Node("A")
+	link, _ := aNode.PortLink(0)
+	n.SetImpairment(link, &Impairment{CorruptProb: 1.0, Rand: rand.New(rand.NewSource(42))})
+
+	// One-, two-, four- and eight-byte route IDs, many samples each.
+	ids := []uint64{0x5A, 0xBEEF, 0xDEADBEEF, 1 << 62}
+	const rounds = 32
+	for i := 0; i < rounds*len(ids); i++ {
+		i := i
+		n.Scheduler().At(time.Duration(i)*time.Millisecond, func() {
+			n.Send(a, 0, &packet.Packet{
+				Size: 100, TTL: 8, Seq: uint64(i),
+				RouteID: rns.RouteIDFromUint64(ids[i%len(ids)]),
+			})
+		})
+	}
+	n.Scheduler().RunUntil(time.Minute)
+
+	if len(sk.pkts) != rounds*len(ids) {
+		t.Fatalf("delivered %d packets, want %d", len(sk.pkts), rounds*len(ids))
+	}
+	for _, p := range sk.pkts {
+		orig := ids[p.Seq%uint64(len(ids))]
+		origLen := rns.RouteIDFromUint64(orig).ByteLen()
+		got, ok := p.RouteID.Uint64()
+		if !ok {
+			t.Fatalf("seq %d: corrupted ID no longer uint64-representable", p.Seq)
+		}
+		if diff := got ^ orig; diff == 0 || diff&(diff-1) != 0 {
+			t.Errorf("seq %d: %x differs from %x by %x, want one flipped bit", p.Seq, got, orig, diff)
+		}
+		if gotLen := p.RouteID.ByteLen(); gotLen > origLen {
+			t.Errorf("seq %d: corruption grew route ID from %d to %d bytes", p.Seq, origLen, gotLen)
+		}
+	}
+}
+
+// A zero-width route ID has no wire bit to flip: the corruption path
+// must gray-drop instead of panicking in Intn(0).
+func TestCorruptZeroWidthIDGrayDrops(t *testing.T) {
+	n, a, _, sk := twoNodeNet(t)
+	aNode, _ := n.Topology().Node("A")
+	link, _ := aNode.PortLink(0)
+	n.SetImpairment(link, &Impairment{CorruptProb: 1.0, Rand: rand.New(rand.NewSource(1))})
+
+	n.Send(a, 0, &packet.Packet{Size: 100, TTL: 8}) // zero RouteID
+	n.Scheduler().RunUntil(time.Second)
+
+	if len(sk.pkts) != 0 {
+		t.Fatalf("delivered %d packets, want 0 (zero-width ID gray-drops)", len(sk.pkts))
+	}
+	if got := n.metrics.CounterValue("kar_fault_gray_drops_total", "link", link.Name()); got != 1 {
+		t.Errorf("kar_fault_gray_drops_total = %d, want 1", got)
+	}
+}
+
+// Reentrancy contract: the detection hook runs as its own scheduler
+// event, after the transition that triggered it has fully completed,
+// so it may call back into the Network (LinkSeenUp, further
+// acquire/release) without recursing into the dispatch path. The hook
+// below bounces the link a few times from inside itself; each
+// notification must agree with the queryable detected state.
+func TestDetectionHookReentrantCallback(t *testing.T) {
+	n, _, _, _ := twoNodeNet(t)
+	aNode, _ := n.Topology().Node("A")
+	link, _ := aNode.PortLink(0)
+
+	cycles := 0
+	var states []bool
+	n.SetLinkDetectionHook(func(l *topology.Link, up bool) {
+		states = append(states, up)
+		if n.LinkSeenUp(l) != up {
+			t.Errorf("hook(up=%v) disagrees with LinkSeenUp=%v", up, n.LinkSeenUp(l))
+		}
+		if up {
+			if cycles < 3 {
+				cycles++
+				n.AcquireLinkDown(l)
+			}
+		} else {
+			n.ReleaseLinkDown(l)
+		}
+	})
+
+	n.Scheduler().At(time.Millisecond, func() { n.AcquireLinkDown(link) })
+	n.Scheduler().RunUntil(time.Second)
+
+	// Initial acquire plus 3 hook-driven bounces: 4 downs, 4 ups.
+	want := []bool{false, true, false, true, false, true, false, true}
+	if len(states) != len(want) {
+		t.Fatalf("hook fired %d times (%v), want %d", len(states), states, len(want))
+	}
+	for i, up := range want {
+		if states[i] != up {
+			t.Fatalf("hook sequence %v, want %v", states, want)
+		}
+	}
+	if !n.LinkUp(link) {
+		t.Error("link down after the last bounce released its hold")
+	}
+}
+
+// The hook must never observe a multi-link transition half-applied: a
+// batch of acquires in one virtual instant (a switch crash taking
+// every port down) completes before any notification runs.
+func TestDetectionHookSeesCompletedBatch(t *testing.T) {
+	g := topology.New("tri")
+	for _, name := range []string{"A", "B", "C"} {
+		if _, err := g.AddEdge(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := g.Connect("A", "B"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Connect("A", "C"); err != nil {
+		t.Fatal(err)
+	}
+	n := New(g)
+	ab, _ := g.LinkBetween("A", "B")
+	ac, _ := g.LinkBetween("A", "C")
+
+	hooks := 0
+	n.SetLinkDetectionHook(func(l *topology.Link, up bool) {
+		hooks++
+		if n.LinkUp(ab) || n.LinkUp(ac) {
+			t.Errorf("hook for %s ran mid-batch: ab up=%v ac up=%v",
+				l.Name(), n.LinkUp(ab), n.LinkUp(ac))
+		}
+	})
+	n.Scheduler().At(time.Millisecond, func() {
+		n.AcquireLinkDown(ab)
+		n.AcquireLinkDown(ac)
+	})
+	n.Scheduler().RunUntil(10 * time.Millisecond)
+	if hooks != 2 {
+		t.Errorf("hook fired %d times, want 2 (one per link)", hooks)
+	}
+}
+
+// A non-positive ScheduleFailure duration means "down for the rest of
+// the run" — it used to schedule an immediate release, reducing the
+// failure to a same-instant blip.
+func TestScheduleFailurePermanent(t *testing.T) {
+	n, a, _, sk := twoNodeNet(t)
+	aNode, _ := n.Topology().Node("A")
+	link, _ := aNode.PortLink(0)
+
+	n.ScheduleFailure(link, time.Millisecond, 0)
+	var at10 bool
+	n.Scheduler().At(10*time.Millisecond, func() {
+		at10 = n.LinkUp(link)
+		n.Send(a, 0, &packet.Packet{Size: 100, TTL: 8})
+	})
+	n.Scheduler().RunUntil(time.Second)
+
+	if at10 {
+		t.Error("link up 9ms after a permanent (duration<=0) failure")
+	}
+	if len(sk.pkts) != 0 {
+		t.Errorf("delivered %d packets over a permanently failed link", len(sk.pkts))
+	}
+}
+
 // Corruption impairment: the packet still arrives but with one route-ID
 // bit flipped, counted under kar_fault_corrupted_total.
 func TestImpairmentCorruptsRouteID(t *testing.T) {

@@ -400,7 +400,9 @@ func (l *Line) finishTransit(pkt *packet.Packet, dir int, txStart time.Duration)
 			l.net.Drop(pkt, DropGray, l.link.Name())
 			return
 		case r < imp.DropProb+imp.CorruptProb:
-			l.corrupt(pkt, imp.Rand)
+			if !l.corrupt(pkt, imp.Rand) {
+				return // gray-dropped (and released) inside corrupt
+			}
 		}
 	}
 	l.net.Deliver(pkt, ds.dst, ds.dstPort)
@@ -409,17 +411,23 @@ func (l *Line) finishTransit(pkt *packet.Packet, dir int, txStart time.Duration)
 // corrupt flips one random bit of the packet's route ID — the
 // receiving switch will compute a wrong (possibly invalid) output
 // port, which is exactly the failure mode KAR's deflection and edge
-// re-encoding must absorb. Wide (multi-word) route IDs fall back to a
-// gray drop: the flip would land in heap-shared big.Int words.
+// re-encoding must absorb. The flip is confined to the ID's wire width
+// (ByteLen bytes): a header on the wire has no bits above it, so
+// corruption must not grow the ID's marshalled size mid-flight or
+// conjure values past the route's modulus range. Wide (multi-word)
+// route IDs and zero-width IDs fall back to a gray drop: the flip
+// would land in heap-shared big.Int words, or there is no wire bit to
+// flip.
 func (l *Line) corrupt(pkt *packet.Packet, rng *rand.Rand) bool {
 	u, ok := pkt.RouteID.Uint64()
-	if !ok {
+	width := pkt.RouteID.ByteLen() * 8
+	if !ok || width == 0 {
 		l.cGrayDrops.Inc()
 		l.net.Drop(pkt, DropGray, l.link.Name())
 		return false
 	}
 	l.cCorrupted.Inc()
-	pkt.RouteID = rns.RouteIDFromUint64(u ^ (1 << uint(rng.Intn(64))))
+	pkt.RouteID = rns.RouteIDFromUint64(u ^ (1 << uint(rng.Intn(width))))
 	return true
 }
 
@@ -463,9 +471,25 @@ func transmissionTime(size int, rateMbps float64) time.Duration {
 // *detected* state changes (after any configured detection delay) —
 // the attachment point for delayed controller notifications. Pass nil
 // to disable.
+//
+// Reentrancy contract: the hook is dispatched as its own scheduler
+// event at the instant of detection, never from inside a link-state
+// transition. By the time it runs, the network has finished the
+// transition (and any batch it was part of, e.g. a switch crash
+// taking every port down at once), so the hook may freely call back
+// into the Network — LinkSeenUp, AcquireLinkDown/ReleaseLinkDown,
+// FailLink/RepairLink, or a controller reroute — without observing
+// half-applied state or recursing into the dispatch path. Hooks run
+// on the simulation goroutine in detection order; virtual timestamps
+// are unchanged by the deferral.
 func (n *Network) SetLinkDetectionHook(fn func(l *topology.Link, up bool)) {
 	n.linkStateHook = fn
 }
+
+// LinkSeenUp reports the adjacent switches' *detected* view of a link
+// — what PortUp consults — which lags the physical state under a
+// detection-latency model. Detection hooks may call it re-entrantly.
+func (n *Network) LinkSeenUp(l *topology.Link) bool { return n.lines[l].seenUp }
 
 // AcquireLinkDown takes one down-hold on a link. The link goes
 // physically down on the first hold and stays down until every hold is
@@ -545,7 +569,16 @@ func (n *Network) setDetected(line *Line, up bool) {
 		n.metrics.Counter("kar_fault_detections_total", "state", state).Inc()
 	}
 	if n.linkStateHook != nil {
-		n.linkStateHook(line.link, up)
+		// Deliver as a fresh scheduler event at the same virtual
+		// instant: the hook must never run mid-transition (see the
+		// SetLinkDetectionHook reentrancy contract), and acquireDown/
+		// releaseDown callers may still be inside a multi-link batch.
+		link := line.link
+		n.sched.At(n.sched.now, func() {
+			if n.linkStateHook != nil {
+				n.linkStateHook(link, up)
+			}
+		})
 	}
 }
 
@@ -577,10 +610,15 @@ func (n *Network) RepairLink(l *topology.Link) {
 
 // ScheduleFailure fails the link during [from, from+duration). Each
 // window owns its own down-hold: overlapping windows on the same link
-// keep it down until the last one ends.
+// keep it down until the last one ends. A non-positive duration means
+// the hold is never released — the link stays down for the rest of
+// the run (it used to schedule an immediate release, turning "fail
+// forever" into a same-instant blip).
 func (n *Network) ScheduleFailure(l *topology.Link, from, duration time.Duration) {
 	n.sched.At(from, func() { n.AcquireLinkDown(l) })
-	n.sched.At(from+duration, func() { n.ReleaseLinkDown(l) })
+	if duration > 0 {
+		n.sched.At(from+duration, func() { n.ReleaseLinkDown(l) })
+	}
 }
 
 // LineStats returns a link's counters, read back from the registry.

@@ -132,6 +132,39 @@ cmp -s "$tmp/s1.prom.json" "$tmp/s4.prom.json" || {
 }
 echo "scenario determinism OK"
 
+echo "==> resilience verifier (karsim -verify net15, -workers 1 vs 4)"
+# The exhaustive failure sweep must (a) prove 100% single-failure
+# delivery for avp/nip on the SW29-rooted full-protection routes
+# (-verify-min 1.0 exits non-zero otherwise), (b) produce
+# byte-identical tables and JSON reports at any worker count, and
+# (c) fail loudly when an unprotected route is gated.
+verify_args="-verify net15 -verify-protection full \
+    -verify-routes AS1:AS2,AS1:AS3,AS2:AS3,AS3:AS2 -verify-policies avp,nip"
+"$tmp/karsim" $verify_args -verify-min 1.0 -workers 1 -verify-json "$tmp/v1.json" > "$tmp/v1.out"
+"$tmp/karsim" $verify_args -verify-min 1.0 -workers 4 -verify-json "$tmp/v4.json" > "$tmp/v4.out"
+cmp -s "$tmp/v1.out" "$tmp/v4.out" || {
+    echo "FAIL: verify tables differ across worker counts" >&2
+    exit 1
+}
+cmp -s "$tmp/v1.json" "$tmp/v4.json" || {
+    echo "FAIL: verify JSON reports differ across worker counts" >&2
+    exit 1
+}
+grep -q '"survive_fraction": 1' "$tmp/v1.json" || {
+    echo "FAIL: verify report carries no perfect survive fraction" >&2
+    exit 1
+}
+if "$tmp/karsim" -verify net15 -verify-policies none -verify-min 0.99 > /dev/null 2>&1; then
+    echo "FAIL: unprotected 'none' sweep passed -verify-min 0.99" >&2
+    exit 1
+fi
+"$tmp/karsim" $verify_args -verify-min 1.0 -metrics "$tmp/v.prom" > /dev/null
+grep -q '^kar_verify_cases_total{' "$tmp/v.prom" || {
+    echo "FAIL: verify metrics dump is missing kar_verify_cases_total" >&2
+    exit 1
+}
+echo "resilience verifier OK"
+
 echo "==> scenario smoke (examples/scenarios)"
 sh scripts/scenarios.sh "$tmp/karsim"
 
