@@ -20,6 +20,7 @@ import (
 	"repro/internal/rns"
 	"repro/internal/simnet"
 	"repro/internal/topology"
+	"repro/internal/trace"
 	"repro/internal/udpsim"
 )
 
@@ -386,6 +387,44 @@ func BenchmarkSwitchPipeline(b *testing.B) {
 		w.Net.Scheduler().RunUntil(time.Duration(i+1) * time.Millisecond)
 	}
 	// Drain the tail (the last packets are still in flight).
+	w.Net.Scheduler().RunUntil(time.Duration(b.N+100) * time.Millisecond)
+	if delivered != b.N {
+		b.Fatalf("delivered %d of %d", delivered, b.N)
+	}
+}
+
+// BenchmarkSwitchPipelineTraced is BenchmarkSwitchPipeline with a
+// flight recorder attached at sampling rate 0: the observability
+// overhead Fig. 5-scale runs pay for unsampled traffic. It must report
+// 0 allocs/op and throughput indistinguishable from the untraced
+// pipeline (the recorder costs one bool test per hook).
+func BenchmarkSwitchPipelineTraced(b *testing.B) {
+	g, err := topology.Fig1()
+	if err != nil {
+		b.Fatal(err)
+	}
+	policy, _ := PolicyByName("nip")
+	w := experiment.NewWorld(g, policy, 1)
+	trace.NewRecorder(w.Net, trace.Config{Rate: 0})
+	if _, err := w.InstallRoute("S", "D", nil); err != nil {
+		b.Fatal(err)
+	}
+	flow := packet.FlowID{Src: "S", Dst: "D"}
+	delivered := 0
+	w.Edges["D"].Attach(flow, edgeCounter{&delivered})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := packet.Get()
+		p.Flow = flow
+		p.Kind = packet.KindData
+		p.Seq = uint64(i)
+		p.Size = 1500
+		if err := w.Edges["S"].Inject(p); err != nil {
+			b.Fatal(err)
+		}
+		w.Net.Scheduler().RunUntil(time.Duration(i+1) * time.Millisecond)
+	}
 	w.Net.Scheduler().RunUntil(time.Duration(b.N+100) * time.Millisecond)
 	if delivered != b.N {
 		b.Fatalf("delivered %d of %d", delivered, b.N)

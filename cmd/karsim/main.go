@@ -22,14 +22,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
-	"runtime/pprof"
 	"strings"
 	"time"
 
 	"repro/internal/experiment"
 	"repro/internal/measure"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -50,6 +49,10 @@ type options struct {
 	metrics  string
 	pprof    string
 
+	traceExport string
+	traceSample float64
+	traceMax    int
+
 	verify           string
 	verifyProtection string
 	verifyPolicies   string
@@ -61,6 +64,9 @@ type options struct {
 	// collector gathers per-run telemetry when -metrics is set; nil
 	// otherwise (telemetry.Collector methods are nil-safe on Add).
 	collector *telemetry.Collector
+	// tracer gathers per-run flight-recorder traces when -trace-export
+	// is set; nil otherwise (trace.Collector methods are nil-safe).
+	tracer *trace.Collector
 }
 
 func run(args []string) error {
@@ -74,7 +80,10 @@ func run(args []string) error {
 	fs.IntVar(&opts.workers, "workers", 0, "parallel simulation workers (0 = one per CPU)")
 	fs.BoolVar(&opts.csv, "csv", false, "emit CSV instead of aligned tables")
 	fs.StringVar(&opts.metrics, "metrics", "", "write a Prometheus-text metrics dump to this path (plus <path>.json with events) and print a MetricsReport")
-	fs.StringVar(&opts.pprof, "pprof", "", "write runtime profiles to <prefix>.cpu.pprof and <prefix>.heap.pprof")
+	fs.StringVar(&opts.pprof, "pprof", "", "write runtime profiles to <prefix>.{cpu,heap,mutex,block}.pprof")
+	fs.StringVar(&opts.traceExport, "trace-export", "", "write flight-recorder traces to <prefix>.jsonl (structured) and <prefix>.trace.json (Perfetto/chrome://tracing)")
+	fs.Float64Var(&opts.traceSample, "trace-sample", 1, "per-flow sampling probability for -trace-export (deterministic flow hash, not an RNG)")
+	fs.IntVar(&opts.traceMax, "trace-max", 0, "retained flight-recorder records per run (0 = default 65536)")
 	fs.StringVar(&opts.verify, "verify", "", "run the exhaustive failure-sweep resilience verifier on this topology (net15, rnp28, rnp28-fig8, fig1, or rand:<cores>:<extra-links>:<edges>:<seed>) instead of -exp")
 	fs.StringVar(&opts.verifyProtection, "verify-protection", "none", "protection level for -verify: none, partial or full")
 	fs.StringVar(&opts.verifyPolicies, "verify-policies", "none,hp,avp,nip", "comma-separated deflection policies for -verify")
@@ -88,37 +97,25 @@ func run(args []string) error {
 	if opts.metrics != "" {
 		opts.collector = telemetry.NewCollector()
 	}
-
-	if opts.pprof != "" {
-		cpu, err := os.Create(opts.pprof + ".cpu.pprof")
-		if err != nil {
-			return err
-		}
-		defer cpu.Close()
-		if err := pprof.StartCPUProfile(cpu); err != nil {
-			return err
-		}
-		defer pprof.StopCPUProfile()
-		defer func() {
-			heap, err := os.Create(opts.pprof + ".heap.pprof")
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "karsim: heap profile:", err)
-				return
-			}
-			defer heap.Close()
-			runtime.GC()
-			if err := pprof.WriteHeapProfile(heap); err != nil {
-				fmt.Fprintln(os.Stderr, "karsim: heap profile:", err)
-			}
-		}()
+	if opts.traceExport != "" {
+		opts.tracer = trace.NewCollector(trace.Config{Rate: opts.traceSample, Max: opts.traceMax})
 	}
+
+	prof, err := startProfiles(opts.pprof)
+	if err != nil {
+		return err
+	}
+	// One deferred Stop covers every exit path — early errors included —
+	// so the CPU profile is always finalised and the heap/mutex/block
+	// profiles always written.
+	defer prof.Stop()
 
 	if opts.verify != "" {
 		rep, err := runVerify(opts)
 		if err != nil {
 			return err
 		}
-		if err := writeMetrics(opts); err != nil {
+		if err := writeOutputs(opts); err != nil {
 			return err
 		}
 		if opts.verifyMin >= 0 {
@@ -135,7 +132,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		if err := writeMetrics(opts); err != nil {
+		if err := writeOutputs(opts); err != nil {
 			return err
 		}
 		if !v.Pass {
@@ -165,7 +162,7 @@ func run(args []string) error {
 			}
 			fmt.Println()
 		}
-		return writeMetrics(opts)
+		return writeOutputs(opts)
 	}
 	fn, ok := experiments[opts.exp]
 	if !ok {
@@ -174,7 +171,42 @@ func run(args []string) error {
 	if err := fn(opts); err != nil {
 		return err
 	}
-	return writeMetrics(opts)
+	return writeOutputs(opts)
+}
+
+// writeOutputs flushes every requested end-of-run artefact: the
+// -metrics dump and the -trace-export files.
+func writeOutputs(opts options) error {
+	if err := writeMetrics(opts); err != nil {
+		return err
+	}
+	return writeTrace(opts)
+}
+
+// writeTrace writes the collected flight-recorder traces as
+// <prefix>.jsonl (structured, kartrace's input) and <prefix>.trace.json
+// (Chrome trace-event JSON, loadable in Perfetto) when -trace-export
+// was given. Run labels, record order and field order are all
+// deterministic, so same-seed exports are byte-identical at any
+// -workers setting.
+func writeTrace(opts options) error {
+	if opts.tracer == nil {
+		return nil
+	}
+	jl, err := os.Create(opts.traceExport + ".jsonl")
+	if err != nil {
+		return err
+	}
+	defer jl.Close()
+	if err := opts.tracer.WriteJSONL(jl); err != nil {
+		return err
+	}
+	pf, err := os.Create(opts.traceExport + ".trace.json")
+	if err != nil {
+		return err
+	}
+	defer pf.Close()
+	return opts.tracer.WritePerfetto(pf)
 }
 
 // writeMetrics renders the MetricsReport table and writes the
@@ -226,6 +258,7 @@ func runFig4(opts options) error {
 		Seed:    opts.seed,
 		Workers: opts.workers,
 		Metrics: opts.collector,
+		Trace:   opts.tracer,
 	})
 	if err != nil {
 		return err
@@ -248,6 +281,7 @@ func runFig5(opts options) error {
 		Seed:        opts.seed,
 		Workers:     opts.workers,
 		Metrics:     opts.collector,
+		Trace:       opts.tracer,
 	})
 	if err != nil {
 		return err
@@ -263,6 +297,7 @@ func runFig7(opts options) error {
 		Seed:        opts.seed,
 		Workers:     opts.workers,
 		Metrics:     opts.collector,
+		Trace:       opts.tracer,
 	})
 	if err != nil {
 		return err
@@ -278,6 +313,7 @@ func runFig8(opts options) error {
 		Seed:        opts.seed,
 		Workers:     opts.workers,
 		Metrics:     opts.collector,
+		Trace:       opts.tracer,
 	})
 	if err != nil {
 		return err
@@ -323,6 +359,7 @@ func runReaction(opts options) error {
 		Seed:         opts.seed,
 		Workers:      opts.workers,
 		Metrics:      opts.collector,
+		Trace:        opts.tracer,
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// profiler owns the -pprof lifecycle: CPU sampling plus end-of-run
+// heap, mutex and block profiles, all written under one path prefix.
+// Mutex and block profiling carry a global runtime cost, so their
+// collection rates are raised only while a profiler is live and reset
+// on Stop. Stop is idempotent and must run on every exit path —
+// including early errors — or the CPU profile is truncated and the
+// other profiles never written; run() guarantees that with a single
+// deferred Stop registered before any fallible work.
+type profiler struct {
+	prefix  string
+	cpu     *os.File
+	stopped bool
+}
+
+// startProfiles begins CPU sampling and raises the mutex/block
+// collection rates. An empty prefix yields an inert profiler whose
+// Stop is a no-op.
+func startProfiles(prefix string) (*profiler, error) {
+	if prefix == "" {
+		return &profiler{stopped: true}, nil
+	}
+	cpu, err := os.Create(prefix + ".cpu.pprof")
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(cpu); err != nil {
+		cpu.Close()
+		return nil, err
+	}
+	runtime.SetMutexProfileFraction(1)
+	runtime.SetBlockProfileRate(1)
+	return &profiler{prefix: prefix, cpu: cpu}, nil
+}
+
+// Stop ends CPU sampling, restores the mutex/block rates, and writes
+// the heap, mutex and block profiles. Errors are reported to stderr
+// rather than returned: profile loss should never mask the run's own
+// outcome.
+func (p *profiler) Stop() {
+	if p == nil || p.stopped {
+		return
+	}
+	p.stopped = true
+	pprof.StopCPUProfile()
+	p.cpu.Close()
+	runtime.SetMutexProfileFraction(0)
+	runtime.SetBlockProfileRate(0)
+
+	runtime.GC() // fold transient garbage out of the heap profile
+	p.write("heap", func(f *os.File) error { return pprof.WriteHeapProfile(f) })
+	p.write("mutex", func(f *os.File) error { return pprof.Lookup("mutex").WriteTo(f, 0) })
+	p.write("block", func(f *os.File) error { return pprof.Lookup("block").WriteTo(f, 0) })
+}
+
+func (p *profiler) write(kind string, fn func(*os.File) error) {
+	f, err := os.Create(p.prefix + "." + kind + ".pprof")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "karsim: %s profile: %v\n", kind, err)
+		return
+	}
+	defer f.Close()
+	if err := fn(f); err != nil {
+		fmt.Fprintf(os.Stderr, "karsim: %s profile: %v\n", kind, err)
+	}
+}

@@ -19,6 +19,7 @@ func runScenario(opts options) (*scenario.Verdict, error) {
 	v, err := scenario.Run(spec, scenario.RunOptions{
 		Workers: opts.workers,
 		Metrics: opts.collector,
+		Trace:   opts.tracer,
 	})
 	if err != nil {
 		return nil, err

@@ -481,12 +481,20 @@ func (c *Controller) reroute(affected []pair) error {
 		res := results[i]
 		if res.err != nil {
 			c.cRerouteFailures.Inc()
+			outcome := "encode-failed"
+			if res.unreachable {
+				outcome = "unreachable"
+			}
+			c.events.Record(telemetry.EventReroute, k.src,
+				fmt.Sprintf("%s->%s %s", k.src, k.dst, outcome))
 			if !res.unreachable {
 				errs = append(errs, fmt.Errorf("controller: reroute %s->%s: %w", k.src, k.dst, res.err))
 			}
 			continue // keep the old route
 		}
 		c.install(k, res.route, c.entries[k].protection)
+		c.events.Record(telemetry.EventReroute, k.src,
+			fmt.Sprintf("%s->%s ok bits=%d", k.src, k.dst, res.route.BitLength()))
 	}
 	return errors.Join(errs...)
 }

@@ -35,18 +35,22 @@ type ReceiverFunc func(pkt *packet.Packet)
 // Deliver implements Receiver.
 func (f ReceiverFunc) Deliver(pkt *packet.Packet) { f(pkt) }
 
-// routeEntry is an installed ingress route.
+// routeEntry is an installed ingress route. baseline is the hop count
+// of the encoded (failure-free) path, letting the flight recorder and
+// stretch reports compare actual journeys against it; 0 means unknown.
 type routeEntry struct {
-	id      rns.RouteID
-	outPort int
+	id       rns.RouteID
+	outPort  int
+	baseline int
 }
 
 // endpoint is one attached local flow: its transport receiver and its
-// path-stretch histogram, kept together so the per-delivery hot path
-// does a single map lookup.
+// path-stretch and latency histograms, kept together so the
+// per-delivery hot path does a single map lookup.
 type endpoint struct {
 	r       Receiver
 	stretch *telemetry.Histogram
+	latency *telemetry.Histogram
 }
 
 // Edge is one KAR edge node.
@@ -124,16 +128,30 @@ func (e *Edge) Node() *topology.Node { return e.node }
 // InstallRoute programs the ingress mapping: packets for dstEdge get
 // route ID id and leave through outPort.
 func (e *Edge) InstallRoute(dstEdge string, id rns.RouteID, outPort int) {
-	e.routes[dstEdge] = routeEntry{id: id, outPort: outPort}
+	e.InstallRouteWithBaseline(dstEdge, id, outPort, 0)
+}
+
+// InstallRouteWithBaseline is InstallRoute plus the encoded path's hop
+// count, recorded so journeys can report stretch against it. The
+// install lands in the control-plane event log: it is the last
+// reaction-chain milestone before post-repair traffic flows.
+func (e *Edge) InstallRouteWithBaseline(dstEdge string, id rns.RouteID, outPort int, baselineHops int) {
+	e.routes[dstEdge] = routeEntry{id: id, outPort: outPort, baseline: baselineHops}
+	e.net.Events().Record(telemetry.EventIngressInstall, e.node.Name(),
+		fmt.Sprintf("dst=%s port=%d", dstEdge, outPort))
 }
 
 // Attach registers the local receiver for a flow (the transport
 // endpoint terminating at this edge) and its stretch histogram.
 func (e *Edge) Attach(flow packet.FlowID, r Receiver) {
+	reg := e.net.Metrics()
+	reg.Help("kar_flow_latency_us", "Per-flow one-way delivery latency of decapsulated packets (µs).")
 	e.local[flow] = endpoint{
 		r: r,
-		stretch: e.net.Metrics().Histogram(
+		stretch: reg.Histogram(
 			"kar_flow_stretch_hops", telemetry.HopBuckets, "flow", flow.String()),
+		latency: reg.Histogram(
+			"kar_flow_latency_us", telemetry.LatencyBucketsUs, "flow", flow.String()),
 	}
 }
 
@@ -149,6 +167,12 @@ func (e *Edge) Inject(pkt *packet.Packet) error {
 	pkt.RouteID = entry.id
 	pkt.TTL = packet.DefaultTTL
 	pkt.Deflected = false
+	if t := e.net.Trace(); t != nil {
+		pkt.Sampled = t.SampleFlow(pkt.Flow)
+		if pkt.Sampled {
+			t.PacketInject(pkt, e.node.Name(), entry.outPort, entry.baseline)
+		}
+	}
 	e.cEncapped.Inc()
 	e.net.Send(e.node, entry.outPort, pkt)
 	return nil
@@ -170,6 +194,16 @@ func (e *Edge) HandlePacket(pkt *packet.Packet, inPort int) {
 		e.cDelivered.Inc()
 		if ep.stretch != nil {
 			ep.stretch.Observe(float64(pkt.Hops))
+		}
+		if ep.latency != nil && pkt.SentAt > 0 {
+			// Whole microseconds: integral sums keep metric exports
+			// byte-identical across worker counts.
+			ep.latency.Observe(float64((e.net.Scheduler().Now() - pkt.SentAt) / time.Microsecond))
+		}
+		if pkt.Sampled {
+			if t := e.net.Trace(); t != nil {
+				t.PacketDecap(pkt, e.node.Name())
+			}
 		}
 		ep.r.Deliver(pkt)
 		return
@@ -194,6 +228,11 @@ func (e *Edge) HandlePacket(pkt *packet.Packet, inPort int) {
 		if !e.loggedReencode[pkt.Flow] {
 			e.loggedReencode[pkt.Flow] = true
 			e.net.Events().Record(telemetry.EventReencode, e.node.Name(), pkt.Flow.String())
+		}
+		if pkt.Sampled {
+			if t := e.net.Trace(); t != nil {
+				t.PacketReencode(pkt, e.node.Name(), outPort)
+			}
 		}
 		e.net.Send(e.node, outPort, pkt)
 	})

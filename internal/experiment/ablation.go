@@ -9,6 +9,7 @@ import (
 	"repro/internal/tcpsim"
 	"repro/internal/telemetry"
 	"repro/internal/topology"
+	"repro/internal/trace"
 	"repro/internal/udpsim"
 )
 
@@ -116,6 +117,9 @@ type ReactionConfig struct {
 	// Metrics, when non-nil, collects each strategy world's registry
 	// and event log under a deterministic run label.
 	Metrics *telemetry.Collector
+	// Trace, when non-nil, collects each strategy world's
+	// flight-recorder trace under the same label.
+	Trace *trace.Collector
 }
 
 // ReactionComparison contrasts KAR's data-plane reaction with the
@@ -163,6 +167,7 @@ func Reaction(cfg ReactionConfig) ([]ReactionRow, error) {
 			opts = append(opts, WithFailureReaction(), WithControlWorkers(cfg.Workers))
 		}
 		w := NewWorld(g, mustPolicy(s.policy), cfg.Seed, opts...)
+		recorder := cfg.Trace.Attach(w.Net)
 		var protection [][2]string
 		if s.policy == "nip" {
 			protection = topology.Net15FullProtection
@@ -224,9 +229,9 @@ func Reaction(cfg ReactionConfig) ([]ReactionRow, error) {
 		})
 		// Run labels derive from configuration only, keeping the
 		// collector dump byte-identical per seed at any worker count.
-		cfg.Metrics.Add(
-			fmt.Sprintf("reaction/%s/seed=%d", s.slug, cfg.Seed),
-			w.Net.Metrics(), w.Net.Events())
+		label := fmt.Sprintf("reaction/%s/seed=%d", s.slug, cfg.Seed)
+		cfg.Metrics.Add(label, w.Net.Metrics(), w.Net.Events())
+		cfg.Trace.Commit(label, recorder)
 	}
 	return rows, nil
 }

@@ -13,6 +13,7 @@ import (
 	"repro/internal/tcpsim"
 	"repro/internal/telemetry"
 	"repro/internal/topology"
+	"repro/internal/trace"
 )
 
 // Receive-window caps matched to each topology's bandwidth-delay
@@ -104,6 +105,8 @@ type Fig4Config struct {
 	Workers     int
 	// Metrics optionally collects every run's telemetry.
 	Metrics *telemetry.Collector
+	// Trace optionally collects every run's flight-recorder trace.
+	Trace *trace.Collector
 }
 
 func (c Fig4Config) defaults() Fig4Config {
@@ -160,6 +163,7 @@ func Fig4(cfg Fig4Config) ([]Fig4Series, error) {
 				Graph:            topology.Net15,
 				Policy:           policy,
 				Metrics:          cfg.Metrics,
+				Trace:            cfg.Trace,
 				Seed:             cfg.Seed + int64(i),
 				Src:              "AS1",
 				Dst:              "AS3",
@@ -228,6 +232,8 @@ type Fig5Config struct {
 	Failures    [][2]string
 	// Metrics optionally collects every run's telemetry.
 	Metrics *telemetry.Collector
+	// Trace optionally collects every run's flight-recorder trace.
+	Trace *trace.Collector
 }
 
 func (c Fig5Config) defaults() Fig5Config {
@@ -283,6 +289,7 @@ func Fig5(cfg Fig5Config) ([]Fig5Row, error) {
 					Graph:            topology.Net15,
 					Policy:           policy,
 					Metrics:          cfg.Metrics,
+					Trace:            cfg.Trace,
 					Src:              "AS1",
 					Dst:              "AS3",
 					Protection:       pairs,
@@ -340,6 +347,8 @@ type Fig7Config struct {
 	Workers     int
 	// Metrics optionally collects every run's telemetry.
 	Metrics *telemetry.Collector
+	// Trace optionally collects every run's flight-recorder trace.
+	Trace *trace.Collector
 }
 
 func (c Fig7Config) defaults() Fig7Config {
@@ -389,6 +398,7 @@ func Fig7(cfg Fig7Config) ([]Fig7Row, error) {
 			Graph:            topology.RNP28,
 			Policy:           "nip",
 			Metrics:          cfg.Metrics,
+			Trace:            cfg.Trace,
 			Src:              "EDGE-N",
 			Dst:              "EDGE-SP",
 			Protection:       topology.RNP28PartialProtection,
@@ -448,6 +458,8 @@ type Fig8Config struct {
 	Workers     int
 	// Metrics optionally collects every run's telemetry.
 	Metrics *telemetry.Collector
+	// Trace optionally collects every run's flight-recorder trace.
+	Trace *trace.Collector
 }
 
 func (c Fig8Config) defaults() Fig8Config {
@@ -489,6 +501,7 @@ func Fig8(cfg Fig8Config) (*Fig8Result, error) {
 		Graph:            topology.RNP28Fig8,
 		Policy:           "nip",
 		Metrics:          cfg.Metrics,
+		Trace:            cfg.Trace,
 		Src:              "EDGE-N",
 		Dst:              "EDGE-SUL",
 		Path:             topology.RNP28Fig8Route,

@@ -12,6 +12,7 @@ import (
 	"repro/internal/tcpsim"
 	"repro/internal/telemetry"
 	"repro/internal/topology"
+	"repro/internal/trace"
 )
 
 // FailureSpec schedules one link failure.
@@ -59,6 +60,10 @@ type TCPRunConfig struct {
 	// event log under a deterministic run label (policy/flow/seed) —
 	// the karsim -metrics collection point.
 	Metrics *telemetry.Collector
+	// Trace, when set, attaches a flight recorder to the world and
+	// commits its records under the same run label as Metrics — the
+	// karsim -trace-export collection point.
+	Trace *trace.Collector
 }
 
 // TCPRunResult carries one run's measurements.
@@ -103,6 +108,9 @@ func RunTCP(cfg TCPRunConfig) (*TCPRunResult, error) {
 		return nil, err
 	}
 	w := NewWorld(g, policy, cfg.Seed)
+	// Attach the flight recorder before any route install, so the
+	// initial ingress programming lands on the control-plane timeline.
+	recorder := cfg.Trace.Attach(w.Net)
 
 	// Forward route.
 	var route *core.Route
@@ -160,9 +168,9 @@ func RunTCP(cfg TCPRunConfig) (*TCPRunResult, error) {
 	// Run labels are derived from the configuration only, so the
 	// collector's dump is deterministic per seed regardless of worker
 	// completion order.
-	cfg.Metrics.Add(
-		fmt.Sprintf("%s/%s->%s/seed=%d", cfg.Policy, cfg.Src, cfg.Dst, cfg.Seed),
-		w.Net.Metrics(), w.Net.Events())
+	label := fmt.Sprintf("%s/%s->%s/seed=%d", cfg.Policy, cfg.Src, cfg.Dst, cfg.Seed)
+	cfg.Metrics.Add(label, w.Net.Metrics(), w.Net.Events())
+	cfg.Trace.Commit(label, recorder)
 	return res, nil
 }
 

@@ -152,7 +152,7 @@ func (w *World) programIngress(src, dst string, route *core.Route) error {
 	if err != nil {
 		return err
 	}
-	e.InstallRoute(dst, route.ID, port)
+	e.InstallRouteWithBaseline(dst, route.ID, port, len(route.Path.Nodes)-1)
 	return nil
 }
 

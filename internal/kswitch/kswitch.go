@@ -156,11 +156,21 @@ func (s *Switch) HandlePacket(pkt *packet.Packet, inPort int) {
 	}
 	if d.Deflected {
 		pkt.Deflected = true
-		cause := s.deflectCause(pkt, inPort)
+		cause, encoded := s.deflectCause(pkt, inPort)
 		s.cDeflections[cause].Inc()
 		if !s.loggedDeflect[cause] {
 			s.loggedDeflect[cause] = true
 			s.net.Events().Record(telemetry.EventDeflect, s.node.Name(), causeNames[cause])
+		}
+		if pkt.Sampled {
+			if t := s.net.Trace(); t != nil {
+				t.PacketHop(pkt, s.node.Name(), inPort, encoded, d.Port, causeNames[cause])
+			}
+		}
+	} else if pkt.Sampled {
+		// On-path forward: the port used IS the modulo-encoded port.
+		if t := s.net.Trace(); t != nil {
+			t.PacketHop(pkt, s.node.Name(), inPort, d.Port, d.Port, "")
 		}
 	}
 	s.cForwarded.Inc()
@@ -170,8 +180,10 @@ func (s *Switch) HandlePacket(pkt *packet.Packet, inPort int) {
 // deflectCause classifies why the encoded modulo port was not used:
 // it does not exist, its link is down, it is the (NIP-excluded) input
 // port, or the policy random-walked past a perfectly usable port (HP
-// after the first deflection). Returns a dense causeIdx* value.
-func (s *Switch) deflectCause(pkt *packet.Packet, inPort int) int {
+// after the first deflection). Returns a dense causeIdx* value plus
+// the encoded port itself (the flight recorder records the residue the
+// deflection overrode).
+func (s *Switch) deflectCause(pkt *packet.Packet, inPort int) (int, int) {
 	var port int
 	if u, ok := pkt.RouteID.Uint64(); ok {
 		port = int(s.red.Mod64(u))
@@ -180,13 +192,13 @@ func (s *Switch) deflectCause(pkt *packet.Packet, inPort int) int {
 	}
 	switch {
 	case port < 0 || port >= s.node.PortSpan():
-		return causeIdxInvalidPort
+		return causeIdxInvalidPort, port
 	case !s.net.PortUp(s.node, port):
-		return causeIdxPortDown
+		return causeIdxPortDown, port
 	case port == inPort:
-		return causeIdxInputPort
+		return causeIdxInputPort, port
 	default:
-		return causeIdxRandomWalk
+		return causeIdxRandomWalk, port
 	}
 }
 

@@ -79,6 +79,10 @@ type Packet struct {
 	// Simulation bookkeeping (not on the wire).
 	Hops      int  // links traversed so far
 	Deflected bool // has left its encoded path at least once
+	// Sampled marks packets whose journey the flight recorder follows;
+	// stamped once at ingress (per-flow sampling) so every hot-path
+	// trace hook reduces to one bool test on unsampled packets.
+	Sampled bool
 
 	// pooled marks packets obtained from Get; Release recycles only
 	// these, so hand-built &Packet{} values stay inert and safe to

@@ -12,6 +12,7 @@ import (
 	"repro/internal/resilience"
 	"repro/internal/telemetry"
 	"repro/internal/topology"
+	"repro/internal/trace"
 	"repro/internal/udpsim"
 )
 
@@ -28,6 +29,9 @@ type RunOptions struct {
 	// Metrics, when set, receives every run's registry and event log
 	// under the deterministic label scenario/<name>/run=<i>/seed=<s>.
 	Metrics *telemetry.Collector
+	// Trace, when set, attaches a flight recorder to every run's world
+	// and collects the records under the same label.
+	Trace *trace.Collector
 }
 
 // FlowResult is one flow's end-of-run traffic accounting.
@@ -126,7 +130,7 @@ func Run(spec *Spec, opts RunOptions) (*Verdict, error) {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				res, err := runOne(spec, i, opts.Metrics)
+				res, err := runOne(spec, i, opts.Metrics, opts.Trace)
 				if err != nil {
 					errs[i] = err
 					continue
@@ -239,7 +243,7 @@ func RunFile(path string, opts RunOptions) (*Verdict, error) {
 	return Run(spec, opts)
 }
 
-func runOne(spec *Spec, idx int, coll *telemetry.Collector) (*RunResult, error) {
+func runOne(spec *Spec, idx int, coll *telemetry.Collector, traces *trace.Collector) (*RunResult, error) {
 	seed := spec.Seed + int64(idx)*1_000_003
 	g, err := BuildTopology(spec.Topology)
 	if err != nil {
@@ -267,6 +271,9 @@ func runOne(spec *Spec, idx int, coll *telemetry.Collector) (*RunResult, error) 
 		}
 	}
 	w := experiment.NewWorld(g, policy, seed, worldOpts...)
+	// Attach before route installs so the initial ingress programming
+	// lands on the recorded control-plane timeline.
+	recorder := traces.Attach(w.Net)
 	sched := w.Net.Scheduler()
 
 	for i, f := range spec.Flows {
@@ -371,7 +378,9 @@ func runOne(spec *Spec, idx int, coll *telemetry.Collector) (*RunResult, error) 
 	res.Deflections = reg.SumCounter("kar_switch_deflections_total")
 	spec.Expect.evaluate(res)
 
-	coll.Add(fmt.Sprintf("scenario/%s/run=%d/seed=%d", spec.Name, idx, seed), w.Net.Metrics(), w.Net.Events())
+	label := fmt.Sprintf("scenario/%s/run=%d/seed=%d", spec.Name, idx, seed)
+	coll.Add(label, w.Net.Metrics(), w.Net.Events())
+	traces.Commit(label, recorder)
 	return res, nil
 }
 

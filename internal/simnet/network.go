@@ -73,6 +73,37 @@ type Drop struct {
 	At     time.Duration
 }
 
+// TraceSink is the causal flight recorder's attachment surface. The
+// network itself calls only the transport-level methods (PacketTx,
+// PacketDrop, PacketCorrupt); switches and edges call the rest through
+// Trace(). Every per-packet method is invoked only for packets with
+// Sampled set, so an attached sink costs unsampled traffic one bool
+// test per hook. Implementations must copy, never retain, packets.
+type TraceSink interface {
+	// SampleFlow decides once per injected packet whether its flow is
+	// followed; the decision must be a pure function of the flow.
+	SampleFlow(flow packet.FlowID) bool
+	// PacketInject records ingress encapsulation: the edge, the chosen
+	// output port, and the installed route's baseline hop count.
+	PacketInject(pkt *packet.Packet, edge string, outPort, baselineHops int)
+	// PacketHop records one switch forwarding decision: the modulo-
+	// encoded port and the port actually used; cause is empty for an
+	// on-path forward, else the deflection cause label.
+	PacketHop(pkt *packet.Packet, sw string, inPort, encodedPort, outPort int, cause string)
+	// PacketTx records a successful link enqueue: how long the packet
+	// waits behind the serializer and its transmission time.
+	PacketTx(pkt *packet.Packet, link string, queueWait, txTime time.Duration)
+	// PacketDecap records egress decapsulation to a local receiver.
+	PacketDecap(pkt *packet.Packet, edge string)
+	// PacketReencode records a misdelivered packet re-entering the core
+	// with a fresh route ID.
+	PacketReencode(pkt *packet.Packet, edge string, outPort int)
+	// PacketDrop records a loss (any reason, any layer).
+	PacketDrop(d Drop)
+	// PacketCorrupt records a gray-failure route-ID bit flip in transit.
+	PacketCorrupt(pkt *packet.Packet, link string)
+}
+
 // dirState models one direction of a link: a FIFO transmission queue
 // feeding a fixed-rate serializer. Counters live in the network's
 // telemetry registry (labelled link/dir); the handles are cached here
@@ -154,6 +185,7 @@ type Network struct {
 	handlers    map[*topology.Node]Handler
 	dropHook    func(Drop)
 	deliverHook func(pkt *packet.Packet, at *topology.Node, inPort int)
+	trace       TraceSink
 
 	// Detection-latency model: how long after an actual link-state
 	// transition the adjacent switches' local view (PortUp) follows.
@@ -293,6 +325,14 @@ func (n *Network) SetDeliverHook(fn func(pkt *packet.Packet, at *topology.Node, 
 	n.deliverHook = fn
 }
 
+// SetTraceSink attaches (or, with nil, detaches) the causal flight
+// recorder. Exactly one sink can be attached per world.
+func (n *Network) SetTraceSink(s TraceSink) { n.trace = s }
+
+// Trace returns the attached flight-recorder sink (nil when none).
+// Switches and edges consult it on their own hot paths.
+func (n *Network) Trace() TraceSink { return n.trace }
+
 // Drop records a packet loss originating at a node (TTL expiry,
 // no-viable-port). Links report their own drops internally. Drop is a
 // lifecycle sink: pool-owned packets are recycled here, after the drop
@@ -301,6 +341,9 @@ func (n *Network) Drop(pkt *packet.Packet, reason DropReason, where string) {
 	n.countDrop(reason)
 	if n.dropHook != nil {
 		n.dropHook(Drop{Packet: pkt, Reason: reason, Where: where, At: n.sched.now})
+	}
+	if pkt.Sampled && n.trace != nil {
+		n.trace.PacketDrop(Drop{Packet: pkt, Reason: reason, Where: where, At: n.sched.now})
 	}
 	pkt.Release()
 }
@@ -374,6 +417,9 @@ func (n *Network) Send(node *topology.Node, i int, pkt *packet.Packet) {
 	ds.queued++
 	ds.sentPackets.Inc()
 	ds.sentBytes.Add(int64(pkt.Size))
+	if pkt.Sampled && n.trace != nil {
+		n.trace.PacketTx(pkt, l.Name(), start-now, txTime)
+	}
 
 	n.sched.post(done, event{kind: evtDequeue, ds: ds})
 	n.sched.post(done+l.Delay(), event{
@@ -428,6 +474,9 @@ func (l *Line) corrupt(pkt *packet.Packet, rng *rand.Rand) bool {
 	}
 	l.cCorrupted.Inc()
 	pkt.RouteID = rns.RouteIDFromUint64(u ^ (1 << uint(rng.Intn(width))))
+	if pkt.Sampled && l.net.trace != nil {
+		l.net.trace.PacketCorrupt(pkt, l.link.Name())
+	}
 	return true
 }
 

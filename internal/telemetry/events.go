@@ -42,6 +42,12 @@ const (
 	EventLinkDetectDown = "link_detect_down"
 	EventLinkDetectUp   = "link_detect_up"
 	EventFaultInject    = "fault_inject"
+	// Reaction-plane kinds: one incremental reroute recompute landing
+	// in the table (per affected pair), and an ingress edge's route
+	// mapping being (re)programmed — the last control-plane milestone
+	// before post-repair traffic flows.
+	EventReroute        = "reroute"
+	EventIngressInstall = "ingress_install"
 )
 
 // DefaultEventCapacity bounds an event log's retention when the caller
@@ -61,6 +67,7 @@ type EventLog struct {
 	total    int64
 	evicted  int64
 	cEvicted *Counter
+	tap      func(Event)
 }
 
 // NewEventLog builds a log retaining at most capacity events
@@ -81,25 +88,39 @@ func (l *EventLog) SetEvictedCounter(c *Counter) {
 	l.cEvicted = c
 }
 
+// SetTap registers a callback observing every recorded event, fired
+// after the ring update and outside the log's lock — the flight
+// recorder's control-plane attachment point. Unlike the bounded ring,
+// a tap sees events the ring later evicts. Pass nil to disable.
+func (l *EventLog) SetTap(fn func(Event)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.tap = fn
+}
+
 // Record appends an event stamped at the current virtual time.
 func (l *EventLog) Record(kind, where, detail string) {
 	var at time.Duration
 	if l.now != nil {
 		at = l.now()
 	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.total++
 	e := Event{At: at, Kind: kind, Where: where, Detail: detail}
+	l.mu.Lock()
+	l.total++
 	if len(l.ring) < l.capacity {
 		l.ring = append(l.ring, e)
-		return
+	} else {
+		l.ring[l.start] = e
+		l.start = (l.start + 1) % l.capacity
+		l.evicted++
+		if l.cEvicted != nil {
+			l.cEvicted.Inc()
+		}
 	}
-	l.ring[l.start] = e
-	l.start = (l.start + 1) % l.capacity
-	l.evicted++
-	if l.cEvicted != nil {
-		l.cEvicted.Inc()
+	tap := l.tap
+	l.mu.Unlock()
+	if tap != nil {
+		tap(e)
 	}
 }
 

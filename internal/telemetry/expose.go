@@ -16,7 +16,7 @@ import (
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	for _, f := range r.snapshotFamilies() {
 		if f.help != "" {
-			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
 				return err
 			}
 		}
@@ -94,11 +94,19 @@ func promLabels(ls []Label, leKey string, le float64) string {
 	return b.String()
 }
 
-func escapeLabel(v string) string {
-	v = strings.ReplaceAll(v, `\`, `\\`)
-	v = strings.ReplaceAll(v, `"`, `\"`)
-	return strings.ReplaceAll(v, "\n", `\n`)
-}
+// The exposition format (version 0.0.4) escapes label values as
+// backslash, double quote and line feed, and HELP text as backslash
+// and line feed only (quotes are legal there). Single-pass replacers:
+// the sequential ReplaceAll chain this replaces walked the string three
+// times, and HELP text was not escaped at all — a help string (or
+// label) containing a newline produced an unparseable dump.
+var (
+	labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	helpEscaper  = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+)
+
+func escapeLabel(v string) string { return labelEscaper.Replace(v) }
+func escapeHelp(v string) string  { return helpEscaper.Replace(v) }
 
 // formatFloat renders floats the shortest round-trippable way; the
 // registry's integral observations render as plain integers.

@@ -1,0 +1,58 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPrometheusHostileLabelEscaping: label values carrying
+// backslashes, quotes and newlines must round-trip through the
+// exposition format's escape rules (\\, \", \n) — a raw newline in a
+// label value splits the series line and corrupts the whole dump.
+func TestPrometheusHostileLabelEscaping(t *testing.T) {
+	reg := NewRegistry()
+	hostile := "a\\b\"c\nd"
+	reg.Counter("kar_test_total", "path", hostile).Add(3)
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	want := `kar_test_total{path="a\\b\"c\nd"} 3`
+	if !strings.Contains(out, want) {
+		t.Errorf("dump missing escaped series %q:\n%s", want, out)
+	}
+	// Every line must still be a comment or a single sample: a raw
+	// (unescaped) newline inside the label value would break this.
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !strings.HasPrefix(line, "kar_test_total{") || !strings.HasSuffix(line, " 3") {
+			t.Errorf("malformed exposition line %q", line)
+		}
+	}
+}
+
+// TestPrometheusHelpEscaping: HELP text escapes backslash and line
+// feed (but not quotes, which are legal in help) per the exposition
+// format.
+func TestPrometheusHelpEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.Help("kar_test_total", "line one\nline \\two \"quoted\"")
+	reg.Counter("kar_test_total").Inc()
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	want := `# HELP kar_test_total line one\nline \\two "quoted"`
+	if !strings.Contains(out, want) {
+		t.Errorf("dump missing escaped HELP %q:\n%s", want, out)
+	}
+	if strings.Contains(out, "line one\nline") {
+		t.Errorf("HELP newline leaked unescaped:\n%s", out)
+	}
+}

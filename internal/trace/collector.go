@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/simnet"
+)
+
+// Collector accumulates flight-recorder traces across many simulated
+// worlds, mirroring telemetry.Collector: the parallel `-workers`
+// harness attaches a recorder to each world it builds and commits the
+// finished recording under the run's config-derived label. Exports
+// sort runs, so output is independent of worker completion order. A
+// nil *Collector is inert: Attach returns nil and Commit is a no-op,
+// letting call sites wire tracing unconditionally.
+type Collector struct {
+	cfg  Config
+	mu   sync.Mutex
+	runs map[string][]Record
+}
+
+// NewCollector builds an empty collector; every recorder it attaches
+// shares cfg.
+func NewCollector(cfg Config) *Collector {
+	return &Collector{cfg: cfg, runs: make(map[string][]Record)}
+}
+
+// Attach builds a flight recorder on net (nil when the collector is
+// nil, which every subsequent hook tolerates by never firing).
+func (c *Collector) Attach(net *simnet.Network) *Recorder {
+	if c == nil {
+		return nil
+	}
+	return NewRecorder(net, c.cfg)
+}
+
+// Commit stores a finished run's records under its label. Nil-safe on
+// both sides so harness code can call it unconditionally.
+func (c *Collector) Commit(run string, rec *Recorder) {
+	if c == nil || rec == nil {
+		return
+	}
+	records := rec.Records()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.runs[run] = records
+}
+
+// Runs returns the committed traces in sorted run-label order.
+func (c *Collector) Runs() []RunTrace {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	labels := make([]string, 0, len(c.runs))
+	for r := range c.runs {
+		labels = append(labels, r)
+	}
+	sort.Strings(labels)
+	out := make([]RunTrace, len(labels))
+	for i, l := range labels {
+		out[i] = RunTrace{Run: l, Records: c.runs[l]}
+	}
+	return out
+}
+
+// WriteJSONL streams every committed run as line-delimited JSON.
+func (c *Collector) WriteJSONL(w io.Writer) error {
+	return WriteJSONL(w, c.Runs())
+}
+
+// WritePerfetto renders every committed run as one Chrome trace-event
+// document (one process per run).
+func (c *Collector) WritePerfetto(w io.Writer) error {
+	return WritePerfetto(w, c.Runs())
+}

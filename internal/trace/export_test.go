@@ -1,0 +1,261 @@
+package trace_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/scenario"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+)
+
+func sampleRuns() []trace.RunTrace {
+	flow := packet.FlowID{Src: "S", Dst: "D", ID: 3}
+	return []trace.RunTrace{
+		{Run: "fig5/nip->full/seed=1", Records: []trace.Record{
+			{At: ms(1), Kind: trace.RecInject, Flow: flow, PktKind: packet.KindData, Seq: 0,
+				Where: "S", InPort: -1, Encoded: 2, OutPort: 2, TTL: 64, Baseline: 3},
+			{At: ms(2), Kind: trace.RecHop, Flow: flow, PktKind: packet.KindData, Seq: 0,
+				Where: "SW4", InPort: 1, Encoded: 5, OutPort: 1, Cause: "port-down", Hops: 1},
+			{At: ms(2), Kind: trace.RecTx, Flow: flow, PktKind: packet.KindData, Seq: 0,
+				Where: "SW4-SW7", QueueWait: ms(1), TxTime: 12 * time.Microsecond, Hops: 1},
+			{At: ms(3), Kind: trace.RecDecap, Flow: flow, PktKind: packet.KindData, Seq: 0,
+				Where: "D", Hops: 3},
+			{At: ms(3), Kind: trace.RecInject, Flow: flow.Reverse(), PktKind: packet.KindAck, Seq: 0,
+				Where: "D", InPort: -1, Encoded: 1, OutPort: 1, TTL: 64},
+			{At: ms(4), Kind: trace.RecDrop, Flow: flow.Reverse(), PktKind: packet.KindAck, Seq: 0,
+				Where: "SW7", Cause: "queue", TTL: 60, Hops: 2},
+			ctrl(ms(5), telemetry.EventLinkFail, "SW4-SW7", ""),
+			ctrl(ms(6), telemetry.EventNotify, "SW4-SW7", ""),
+		}},
+		{Run: "fig5/nip->none/seed=1", Records: []trace.Record{
+			ctrl(ms(1), telemetry.EventLinkFail, "SW1-SW2", "injected"),
+		}},
+	}
+}
+
+// TestJSONLRoundTrip writes runs to JSONL, reads them back, and
+// requires the records, run grouping and run order to survive exactly;
+// re-exporting the re-read runs must be byte-identical.
+func TestJSONLRoundTrip(t *testing.T) {
+	runs := sampleRuns()
+	var buf bytes.Buffer
+	if err := trace.WriteJSONL(&buf, runs); err != nil {
+		t.Fatal(err)
+	}
+	first := buf.String()
+
+	got, err := trace.ReadJSONL(strings.NewReader(first))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, runs) {
+		t.Fatalf("round trip diverged:\ngot  %+v\nwant %+v", got, runs)
+	}
+
+	var again bytes.Buffer
+	if err := trace.WriteJSONL(&again, got); err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != first {
+		t.Error("re-export of re-read runs is not byte-identical")
+	}
+}
+
+// TestJSONLReadRejectsGarbage asserts a malformed line fails with its
+// line number rather than silently truncating the trace.
+func TestJSONLReadRejectsGarbage(t *testing.T) {
+	in := `{"run":"r","at_ns":1,"kind":"decap"}` + "\n" + `{"run":` + "\n"
+	_, err := trace.ReadJSONL(strings.NewReader(in))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("err = %v, want a line-2 parse error", err)
+	}
+}
+
+// TestPerfettoExport validates the Chrome trace-event document: the
+// run becomes a named process, the control plane and each flow a named
+// thread, journeys/hops/reactions complete spans, and control events
+// instants. Two exports of the same runs must be byte-identical.
+func TestPerfettoExport(t *testing.T) {
+	runs := sampleRuns()
+	var buf bytes.Buffer
+	if err := trace.WritePerfetto(&buf, runs); err != nil {
+		t.Fatal(err)
+	}
+	var again bytes.Buffer
+	if err := trace.WritePerfetto(&again, runs); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Error("Perfetto export is not deterministic")
+	}
+
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Cat  string         `json:"cat"`
+			Dur  float64        `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", doc.DisplayTimeUnit)
+	}
+
+	byCat := make(map[string]int)
+	threads := make(map[string]bool)
+	processes := make(map[int]string)
+	for _, e := range doc.TraceEvents {
+		byCat[e.Cat]++
+		if e.Ph == "M" {
+			name, _ := e.Args["name"].(string)
+			switch e.Name {
+			case "process_name":
+				processes[e.Pid] = name
+			case "thread_name":
+				threads[name] = true
+			}
+		}
+		if e.Ph == "X" && e.Dur < 0 {
+			t.Errorf("span %q has negative duration %v", e.Name, e.Dur)
+		}
+	}
+	// Runs are processes in sorted-label order.
+	if processes[1] != "fig5/nip->full/seed=1" || processes[2] != "fig5/nip->none/seed=1" {
+		t.Errorf("process names = %v, want the two run labels in sorted order", processes)
+	}
+	if !threads["control-plane"] {
+		t.Error("no control-plane thread metadata")
+	}
+	if !threads["flow S->D/3"] {
+		t.Error("no thread metadata for flow S->D/3")
+	}
+	if !threads["flow D->S/3"] {
+		t.Error("no thread metadata for the reverse (ACK) flow")
+	}
+	for _, cat := range []string{"journey", "hop", "ctrl", "drop"} {
+		if byCat[cat] == 0 {
+			t.Errorf("no %q events in export", cat)
+		}
+	}
+	// The deflected hop carries its cause and encoded residue.
+	found := false
+	for _, e := range doc.TraceEvents {
+		if e.Cat == "hop" && e.Args["cause"] == "port-down" {
+			found = true
+			if e.Args["encoded_port"] != float64(5) {
+				t.Errorf("deflected hop args = %v, want encoded_port 5", e.Args)
+			}
+		}
+	}
+	if !found {
+		t.Error("deflected hop span missing its cause annotation")
+	}
+}
+
+// workerSpec is a short flap-under-reactive-control scenario: enough
+// to exercise detection, notify, reroute and install records plus
+// deflected journeys, quick enough for a unit test.
+const workerSpec = `{
+  "name": "trace-det",
+  "topology": "net15",
+  "policy": "nip",
+  "protection": "partial",
+  "seed": 11,
+  "runs": 3,
+  "duration": "400ms",
+  "drain": "100ms",
+  "detection": {"down_delay": "10ms", "up_delay": "5ms", "notify_delay": "5ms", "react": true},
+  "flows": [{"src": "AS1", "dst": "AS3", "path": ["AS1","SW10","SW7","SW13","SW29","AS3"], "interval": "2ms"}],
+  "injections": [{"kind": "flap", "link": ["SW7","SW13"], "start": "100ms", "window": "200ms", "period": "100ms", "duty": 0.5}],
+  "expect": {"min_delivered": 1}
+}`
+
+// exportScenario runs workerSpec with the given worker count and a
+// small recorder ring (so eviction accounting is exercised too) and
+// returns both export byte streams.
+func exportScenario(t *testing.T, workers int) (jsonl, perfetto []byte) {
+	t.Helper()
+	spec, err := scenario.Parse(strings.NewReader(workerSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	coll := trace.NewCollector(trace.Config{Rate: 1, Max: 4096})
+	verdict, err := scenario.Run(spec, scenario.RunOptions{Workers: workers, Trace: coll})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !verdict.Pass {
+		t.Fatalf("scenario failed with %d workers: %+v", workers, verdict)
+	}
+	var jb, pb bytes.Buffer
+	if err := coll.WriteJSONL(&jb); err != nil {
+		t.Fatal(err)
+	}
+	if err := coll.WritePerfetto(&pb); err != nil {
+		t.Fatal(err)
+	}
+	return jb.Bytes(), pb.Bytes()
+}
+
+// TestExportsDeterministicAcrossWorkers runs the same seeded scenario
+// with 1 and 4 workers and requires byte-identical JSONL and Perfetto
+// exports — parallelism must never change what the flight recorder
+// saw, including ring-overflow accounting.
+func TestExportsDeterministicAcrossWorkers(t *testing.T) {
+	j1, p1 := exportScenario(t, 1)
+	j4, p4 := exportScenario(t, 4)
+	if !bytes.Equal(j1, j4) {
+		t.Error("JSONL export differs between 1 and 4 workers")
+	}
+	if !bytes.Equal(p1, p4) {
+		t.Error("Perfetto export differs between 1 and 4 workers")
+	}
+	if len(j1) == 0 {
+		t.Fatal("scenario produced an empty trace")
+	}
+	// The trace must contain both planes: hop records and the
+	// control-plane reaction cascade.
+	runs, err := trace.ReadJSONL(bytes.NewReader(j1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 3 {
+		t.Fatalf("trace holds %d runs, want 3", len(runs))
+	}
+	for _, rt := range runs {
+		kinds := countKinds(rt.Records)
+		if kinds[trace.RecHop] == 0 || kinds[trace.RecInject] == 0 {
+			t.Errorf("run %s: no data-plane records", rt.Run)
+		}
+		events := make(map[string]int)
+		for _, r := range rt.Records {
+			if r.Kind == trace.RecCtrl {
+				events[r.Event]++
+			}
+		}
+		for _, want := range []string{
+			telemetry.EventLinkFail, telemetry.EventLinkDetectDown,
+			telemetry.EventNotify, telemetry.EventReroute, telemetry.EventIngressInstall,
+		} {
+			if events[want] == 0 {
+				t.Errorf("run %s: no %s control record", rt.Run, want)
+			}
+		}
+		if len(trace.Reactions(rt.Records)) == 0 {
+			t.Errorf("run %s: no reaction chains reconstructed", rt.Run)
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package trace_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+)
+
+func ms(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+// TestJourneysReconstruction feeds a synthetic record stream through
+// the reconstruction: a delivered packet with a deflection and a
+// queue wait, a dropped packet, and one still in flight.
+func TestJourneysReconstruction(t *testing.T) {
+	flow := packet.FlowID{Src: "S", Dst: "D", ID: 1}
+	recs := []trace.Record{
+		// seq 0: delivered with one deflection.
+		{At: ms(1), Kind: trace.RecInject, Flow: flow, PktKind: packet.KindData, Seq: 0,
+			Where: "S", InPort: 0, Encoded: 2, OutPort: 2, TTL: 64, Baseline: 3},
+		{At: ms(2), Kind: trace.RecHop, Flow: flow, PktKind: packet.KindData, Seq: 0,
+			Where: "SW4", InPort: 1, Encoded: 3, OutPort: 3, Hops: 1},
+		{At: ms(2), Kind: trace.RecTx, Flow: flow, PktKind: packet.KindData, Seq: 0,
+			Where: "SW4-SW7", QueueWait: ms(1), TxTime: 12 * time.Microsecond, Hops: 1},
+		{At: ms(4), Kind: trace.RecHop, Flow: flow, PktKind: packet.KindData, Seq: 0,
+			Where: "SW7", InPort: 2, Encoded: 5, OutPort: 1, Cause: "port-down", Hops: 2},
+		{At: ms(6), Kind: trace.RecDecap, Flow: flow, PktKind: packet.KindData, Seq: 0,
+			Where: "D", Hops: 4},
+		// seq 1: dropped mid-path.
+		{At: ms(3), Kind: trace.RecInject, Flow: flow, PktKind: packet.KindData, Seq: 1,
+			Where: "S", Encoded: 2, OutPort: 2, Baseline: 3},
+		{At: ms(5), Kind: trace.RecDrop, Flow: flow, PktKind: packet.KindData, Seq: 1,
+			Where: "SW4", Cause: "queue", Hops: 1},
+		// seq 2: never finishes.
+		{At: ms(7), Kind: trace.RecInject, Flow: flow, PktKind: packet.KindData, Seq: 2,
+			Where: "S", Encoded: 2, OutPort: 2, Baseline: 3},
+	}
+
+	js := trace.Journeys(recs)
+	if len(js) != 3 {
+		t.Fatalf("reconstructed %d journeys, want 3", len(js))
+	}
+
+	// Completed journeys come first, in completion order.
+	del := js[0]
+	if del.Seq != 0 || del.Outcome != "delivered" || del.Where != "D" {
+		t.Fatalf("journey 0 = seq %d %s at %s, want seq 0 delivered at D", del.Seq, del.Outcome, del.Where)
+	}
+	if del.Start != ms(1) || del.End != ms(6) {
+		t.Errorf("journey 0 window = [%v, %v], want [1ms, 6ms]", del.Start, del.End)
+	}
+	if del.HopCount != 4 || del.Baseline != 3 {
+		t.Errorf("journey 0 hops/baseline = %d/%d, want 4/3", del.HopCount, del.Baseline)
+	}
+	if want := 4.0 / 3.0; del.Stretch() != want {
+		t.Errorf("journey 0 stretch = %v, want %v", del.Stretch(), want)
+	}
+	if del.Deflections() != 1 {
+		t.Errorf("journey 0 deflections = %d, want 1", del.Deflections())
+	}
+	if len(del.Hops) != 3 {
+		t.Fatalf("journey 0 has %d hop entries, want 3 (inject + 2 switches)", len(del.Hops))
+	}
+	// The tx record annotates the hop that sent it.
+	if h := del.Hops[1]; h.QueueWait != ms(1) || h.TxTime != 12*time.Microsecond {
+		t.Errorf("hop 1 queue/tx = %v/%v, want 1ms/12µs", h.QueueWait, h.TxTime)
+	}
+	if h := del.Hops[2]; h.Cause != "port-down" || h.OutPort == h.Encoded {
+		t.Errorf("hop 2 = %+v, want deflected off encoded port", h)
+	}
+
+	drop := js[1]
+	if drop.Seq != 1 || drop.Outcome != "dropped(queue)" || drop.Where != "SW4" {
+		t.Errorf("journey 1 = seq %d %s at %s, want seq 1 dropped(queue) at SW4", drop.Seq, drop.Outcome, drop.Where)
+	}
+	if drop.Stretch() != 0 {
+		t.Errorf("dropped journey stretch = %v, want 0 (did not finish)", drop.Stretch())
+	}
+
+	open := js[2]
+	if open.Seq != 2 || open.Outcome != "in-flight" {
+		t.Errorf("journey 2 = seq %d %s, want seq 2 in-flight", open.Seq, open.Outcome)
+	}
+}
+
+// TestJourneysRetransmissionSupersedes asserts a re-injected (flow,
+// kind, seq) triple starts a fresh journey rather than extending the
+// lost instance's.
+func TestJourneysRetransmissionSupersedes(t *testing.T) {
+	flow := packet.FlowID{Src: "S", Dst: "D"}
+	recs := []trace.Record{
+		{At: ms(1), Kind: trace.RecInject, Flow: flow, PktKind: packet.KindData, Seq: 7, Where: "S"},
+		{At: ms(2), Kind: trace.RecHop, Flow: flow, PktKind: packet.KindData, Seq: 7, Where: "SW4", Hops: 1},
+		// The first instance is silently lost; the transport resends.
+		{At: ms(9), Kind: trace.RecInject, Flow: flow, PktKind: packet.KindData, Seq: 7, Where: "S"},
+		{At: ms(11), Kind: trace.RecDecap, Flow: flow, PktKind: packet.KindData, Seq: 7, Where: "D", Hops: 4},
+	}
+	js := trace.Journeys(recs)
+	if len(js) != 1 {
+		t.Fatalf("reconstructed %d journeys, want 1 (retransmission supersedes)", len(js))
+	}
+	j := js[0]
+	if j.Start != ms(9) || j.Outcome != "delivered" {
+		t.Errorf("journey = start %v outcome %s, want the retransmitted instance (9ms, delivered)", j.Start, j.Outcome)
+	}
+	if len(j.Hops) != 1 {
+		t.Errorf("journey carries %d hops, want 1 — the lost instance's hops must not leak in", len(j.Hops))
+	}
+}
+
+// ctrl builds a control-plane record.
+func ctrl(at time.Duration, event, where, detail string) trace.Record {
+	return trace.Record{At: at, Kind: trace.RecCtrl, Event: event, Where: where, Detail: detail}
+}
+
+// TestReactionsChain reconstructs one failure reaction end to end:
+// physical flip -> detection -> notify -> reroutes (one failed) ->
+// installs -> first post-install delivery.
+func TestReactionsChain(t *testing.T) {
+	flow := packet.FlowID{Src: "AS1", Dst: "AS3"}
+	recs := []trace.Record{
+		// Setup-time installs precede any failure: attributed to no chain.
+		ctrl(0, telemetry.EventIngressInstall, "AS1", "dst=AS3 port=1"),
+		ctrl(ms(100), telemetry.EventLinkFail, "SW7-SW13", ""),
+		ctrl(ms(130), telemetry.EventLinkDetectDown, "SW7-SW13", ""),
+		ctrl(ms(140), telemetry.EventNotify, "SW7-SW13", ""),
+		ctrl(ms(141), telemetry.EventReroute, "ctrl", "AS1->AS3 ok bits=12"),
+		ctrl(ms(142), telemetry.EventReroute, "ctrl", "AS2->AS3 unreachable"),
+		ctrl(ms(143), telemetry.EventIngressInstall, "AS1", "dst=AS3 port=2"),
+		ctrl(ms(144), telemetry.EventIngressInstall, "AS2", "dst=AS3 port=1"),
+		// Sampled decaps: one before the install (must not count), one after.
+		{At: ms(120), Kind: trace.RecDecap, Flow: flow, PktKind: packet.KindData, Seq: 1, Where: "AS3"},
+		{At: ms(150), Kind: trace.RecDecap, Flow: flow, PktKind: packet.KindData, Seq: 2, Where: "AS3"},
+	}
+
+	rs := trace.Reactions(recs)
+	if len(rs) != 1 {
+		t.Fatalf("reconstructed %d chains, want 1", len(rs))
+	}
+	r := rs[0]
+	if r.Link != "SW7-SW13" || r.Kind != "fail" || r.At != ms(100) {
+		t.Fatalf("chain = %s/%s at %v, want fail SW7-SW13 at 100ms", r.Kind, r.Link, r.At)
+	}
+	checks := []struct {
+		name string
+		got  time.Duration
+		want time.Duration
+	}{
+		{"detection", r.DetectionLatency(), ms(30)},
+		{"notify", r.NotifyLatency(), ms(40)},
+		{"reroute", r.RerouteLatency(), ms(41)},
+		{"install", r.InstallLatency(), ms(44)},
+		{"recovery", r.RecoveryLatency(), ms(50)},
+	}
+	for _, c := range checks {
+		if c.got != c.want {
+			t.Errorf("%s latency = %v, want %v", c.name, c.got, c.want)
+		}
+	}
+	if r.Reroutes != 2 || r.Failures != 1 {
+		t.Errorf("reroutes/failures = %d/%d, want 2/1", r.Reroutes, r.Failures)
+	}
+	if r.Installs != 2 {
+		t.Errorf("installs = %d, want 2 — the setup-time install must not attach", r.Installs)
+	}
+}
+
+// TestReactionsUnreactedChain asserts a transition nobody reacts to
+// (detection disabled) leaves every milestone Unset.
+func TestReactionsUnreactedChain(t *testing.T) {
+	recs := []trace.Record{
+		ctrl(ms(10), telemetry.EventLinkRepair, "SW1-SW2", ""),
+	}
+	rs := trace.Reactions(recs)
+	if len(rs) != 1 {
+		t.Fatalf("reconstructed %d chains, want 1", len(rs))
+	}
+	r := rs[0]
+	if r.Kind != "repair" {
+		t.Errorf("chain kind = %s, want repair", r.Kind)
+	}
+	for name, d := range map[string]time.Duration{
+		"detection": r.DetectionLatency(),
+		"notify":    r.NotifyLatency(),
+		"reroute":   r.RerouteLatency(),
+		"install":   r.InstallLatency(),
+		"recovery":  r.RecoveryLatency(),
+	} {
+		if d != trace.Unset {
+			t.Errorf("%s latency = %v, want Unset", name, d)
+		}
+	}
+}

@@ -20,6 +20,11 @@ fi
 echo "==> go build ./..."
 go build ./...
 
+echo "==> go test -race ./internal/trace/... ./internal/telemetry/..."
+# Fast-fail the observability packages first: the flight recorder and
+# telemetry registry are the pieces every other gate below depends on.
+go test -race ./internal/trace/... ./internal/telemetry/...
+
 echo "==> go test -race ./..."
 # The experiment package replays whole figure sweeps; under the race
 # detector (~10x slowdown) that outgrows go test's default 10-minute
@@ -131,6 +136,56 @@ cmp -s "$tmp/s1.prom.json" "$tmp/s4.prom.json" || {
     exit 1
 }
 echo "scenario determinism OK"
+
+echo "==> trace determinism (flap-react-net15, -trace-export, -workers 1 vs 4)"
+# The flight recorder's contract: the same file and seed produce
+# byte-identical JSONL and Perfetto exports, across repeat runs and
+# worker counts, carrying both planes (hop records and control-plane
+# reaction events), and kartrace can reconstruct the reaction table.
+go build -o "$tmp/kartrace" ./cmd/kartrace
+"$tmp/karsim" -scenario examples/scenarios/flap-react-net15.json -workers 1 -trace-export "$tmp/t1" > /dev/null
+"$tmp/karsim" -scenario examples/scenarios/flap-react-net15.json -workers 1 -trace-export "$tmp/t2" > /dev/null
+"$tmp/karsim" -scenario examples/scenarios/flap-react-net15.json -workers 4 -trace-export "$tmp/t4" > /dev/null
+for kind in '"kind":"inject"' '"kind":"hop"' '"kind":"decap"' '"kind":"ctrl"'; do
+    grep -q "$kind" "$tmp/t1.jsonl" || {
+        echo "FAIL: trace export is missing $kind records" >&2
+        exit 1
+    }
+done
+for event in '"event":"link_fail"' '"event":"reroute"' '"event":"ingress_install"'; do
+    grep -q "$event" "$tmp/t1.jsonl" || {
+        echo "FAIL: trace export is missing $event control records" >&2
+        exit 1
+    }
+done
+grep -q '"traceEvents"' "$tmp/t1.trace.json" || {
+    echo "FAIL: Perfetto export is missing the traceEvents envelope" >&2
+    exit 1
+}
+grep -q '"name":"reaction:fail SW7-SW13"' "$tmp/t1.trace.json" || {
+    echo "FAIL: Perfetto export carries no reaction span for the flapped link" >&2
+    exit 1
+}
+cmp -s "$tmp/t1.jsonl" "$tmp/t2.jsonl" || {
+    echo "FAIL: same-seed trace exports differ" >&2
+    exit 1
+}
+cmp -s "$tmp/t1.jsonl" "$tmp/t4.jsonl" || {
+    echo "FAIL: trace exports differ across worker counts" >&2
+    exit 1
+}
+cmp -s "$tmp/t1.trace.json" "$tmp/t4.trace.json" || {
+    echo "FAIL: Perfetto exports differ across worker counts" >&2
+    exit 1
+}
+"$tmp/kartrace" -in "$tmp/t1.jsonl" > "$tmp/t1.report"
+for want in 'reaction chains' 'detection' 'first delivery' 'Journeys by flow'; do
+    grep -q "$want" "$tmp/t1.report" || {
+        echo "FAIL: kartrace report is missing '$want'" >&2
+        exit 1
+    }
+done
+echo "trace determinism OK ($(wc -l < "$tmp/t1.jsonl") records, byte-identical across repeats and worker counts)"
 
 echo "==> resilience verifier (karsim -verify net15, -workers 1 vs 4)"
 # The exhaustive failure sweep must (a) prove 100% single-failure
