@@ -10,6 +10,7 @@
 package kar
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -676,3 +677,94 @@ func BenchmarkWorldConstruction(b *testing.B) {
 		}
 	}
 }
+
+// ---------------------------------------------------------------------------
+// Batched data plane.
+
+// BenchmarkReduceBatch measures the word-parallel route-ID reduction
+// that prices a whole packet train in one call: the unrolled small-ID
+// lane and the wide-ID (math/big residue) lane at the train lengths
+// the coalesced data plane actually produces. The ns/pkt metric is the
+// per-member cost — compare it against BenchmarkForwardModulo's per-
+// packet scalar reduction.
+func BenchmarkReduceBatch(b *testing.B) {
+	lanes := []struct {
+		name string
+		wide bool
+	}{{"small", false}, {"wide", true}}
+	for _, lane := range lanes {
+		for _, n := range []int{4, 16, 64} {
+			lane, n := lane, n
+			b.Run(fmt.Sprintf("%s/n%d", lane.name, n), func(b *testing.B) {
+				red := rns.NewReducer(benchSwitchID)
+				var src [8]rns.RouteID
+				if lane.wide {
+					src = wideForwardIDs(b)
+				} else {
+					src = forwardIDs()
+				}
+				ids := make([]rns.RouteID, n)
+				for i := range ids {
+					ids[i] = src[i&7]
+				}
+				out := make([]uint16, n)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					red.ReduceBatch(ids, out)
+				}
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(int64(b.N)*int64(n)), "ns/pkt")
+			})
+		}
+	}
+}
+
+// fig5PPS is the committed Fig. 5 packets-per-second harness: a
+// saturating small-packet CBR burst on the Fig. 5 measurement path
+// (AS1→AS3 over Net15, nip policy, full protection), one virtual
+// second per iteration. Every link runs at its queue-backed line rate,
+// so the wall-clock cost is the data plane itself — per-hop forwarding
+// plus the scheduler — and the pkts/s metric is total hop deliveries
+// over wall time. The batch/scalar ratio of this metric is the
+// headline speedup scripts/bench.sh records.
+func fig5PPS(b *testing.B, scalar bool) {
+	policy, ok := PolicyByName("nip")
+	if !ok {
+		b.Fatal("nip policy missing")
+	}
+	var hops int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		g, err := topology.Net15()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var opts []experiment.WorldOption
+		if scalar {
+			opts = append(opts, experiment.WithScalarDataPlane())
+		}
+		w := experiment.NewWorld(g, policy, 1, opts...)
+		if _, err := w.InstallRoute("AS1", "AS3", topology.Net15FullProtection); err != nil {
+			b.Fatal(err)
+		}
+		flow := packet.FlowID{Src: "AS1", Dst: "AS3"}
+		send, _ := udpsim.NewFlow(w.Net, w.Edges["AS1"], w.Edges["AS3"], flow, udpsim.Config{
+			Interval: time.Millisecond, Size: 250, Burst: 100,
+		})
+		b.StartTimer()
+		send.Start()
+		w.Run(time.Second)
+		hops += w.Net.Delivered()
+	}
+	b.ReportMetric(float64(hops)/b.Elapsed().Seconds(), "pkts/s")
+}
+
+// BenchmarkFig5PacketsPerSec is the batched data plane (the default
+// everywhere); its pkts/s must be ≥5× the scalar variant below.
+func BenchmarkFig5PacketsPerSec(b *testing.B) { fig5PPS(b, false) }
+
+// BenchmarkFig5PacketsPerSecScalar is the event-per-packet baseline
+// (karsim -batch=false), kept unoptimized on purpose: the ratio
+// measures exactly what train coalescing and ReduceBatch buy.
+func BenchmarkFig5PacketsPerSecScalar(b *testing.B) { fig5PPS(b, true) }

@@ -45,6 +45,7 @@ type options struct {
 	duration time.Duration
 	seed     int64
 	workers  int
+	batch    bool
 	csv      bool
 	metrics  string
 	pprof    string
@@ -78,6 +79,7 @@ func run(args []string) error {
 	fs.DurationVar(&opts.duration, "duration", 6*time.Second, "virtual duration per fig5/fig7/fig8 run (paper: 5s + ramp)")
 	fs.Int64Var(&opts.seed, "seed", 1, "base random seed")
 	fs.IntVar(&opts.workers, "workers", 0, "parallel simulation workers (0 = one per CPU)")
+	fs.BoolVar(&opts.batch, "batch", true, "batched data plane (packet trains + word-parallel reduction); -batch=false runs the scalar event-per-packet path, results are byte-identical")
 	fs.BoolVar(&opts.csv, "csv", false, "emit CSV instead of aligned tables")
 	fs.StringVar(&opts.metrics, "metrics", "", "write a Prometheus-text metrics dump to this path (plus <path>.json with events) and print a MetricsReport")
 	fs.StringVar(&opts.pprof, "pprof", "", "write runtime profiles to <prefix>.{cpu,heap,mutex,block}.pprof")
@@ -259,6 +261,7 @@ func runFig4(opts options) error {
 		Workers: opts.workers,
 		Metrics: opts.collector,
 		Trace:   opts.tracer,
+		Scalar:  !opts.batch,
 	})
 	if err != nil {
 		return err
@@ -282,6 +285,7 @@ func runFig5(opts options) error {
 		Workers:     opts.workers,
 		Metrics:     opts.collector,
 		Trace:       opts.tracer,
+		Scalar:      !opts.batch,
 	})
 	if err != nil {
 		return err
@@ -298,6 +302,7 @@ func runFig7(opts options) error {
 		Workers:     opts.workers,
 		Metrics:     opts.collector,
 		Trace:       opts.tracer,
+		Scalar:      !opts.batch,
 	})
 	if err != nil {
 		return err
@@ -314,6 +319,7 @@ func runFig8(opts options) error {
 		Workers:     opts.workers,
 		Metrics:     opts.collector,
 		Trace:       opts.tracer,
+		Scalar:      !opts.batch,
 	})
 	if err != nil {
 		return err
@@ -360,6 +366,7 @@ func runReaction(opts options) error {
 		Workers:      opts.workers,
 		Metrics:      opts.collector,
 		Trace:        opts.tracer,
+		Scalar:       !opts.batch,
 	})
 	if err != nil {
 		return err

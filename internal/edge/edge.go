@@ -45,12 +45,13 @@ type routeEntry struct {
 }
 
 // endpoint is one attached local flow: its transport receiver and its
-// path-stretch and latency histograms, kept together so the
+// path-stretch and latency histograms (batch-deferred: terminal
+// samples arrive in long runs of one value), kept together so the
 // per-delivery hot path does a single map lookup.
 type endpoint struct {
 	r       Receiver
-	stretch *telemetry.Histogram
-	latency *telemetry.Histogram
+	stretch *simnet.DeferredHistogram
+	latency *simnet.DeferredHistogram
 }
 
 // Edge is one KAR edge node.
@@ -66,9 +67,21 @@ type Edge struct {
 	routes map[string]routeEntry      // destination edge → route
 	local  map[packet.FlowID]endpoint // attached transport endpoints + stretch histograms
 
-	// Registry-backed counters (labelled edge=<node>).
-	cEncapped     *telemetry.Counter
-	cDelivered    *telemetry.Counter
+	// Single-entry lookup caches: steady traffic hits one destination
+	// (Inject) and one flow (HandlePacket) per edge, so the per-packet
+	// map hash is paid once per route/flow change instead of per
+	// packet. Invalidated on InstallRoute/Attach.
+	lastDst   string
+	lastRoute routeEntry
+	lastFlow  packet.FlowID
+	lastEp    endpoint
+	hasLastEp bool
+
+	// Registry-backed counters (labelled edge=<node>). The two
+	// per-packet ones — encap on inject, decap on delivery — are
+	// batch-deferred; the exception-path counters stay atomic.
+	cEncapped     *simnet.DeferredCounter
+	cDelivered    *simnet.DeferredCounter
 	cMisdelivered *telemetry.Counter
 	cReencoded    *telemetry.Counter
 	cUnclaimed    *telemetry.Counter
@@ -107,8 +120,8 @@ func New(net *simnet.Network, node *topology.Node, ctrl Reencoder, opts ...Optio
 		reencodeDelay:  DefaultReencodeDelay,
 		routes:         make(map[string]routeEntry),
 		local:          make(map[packet.FlowID]endpoint),
-		cEncapped:      reg.Counter("kar_edge_encap_total", "edge", name),
-		cDelivered:     reg.Counter("kar_edge_decap_total", "edge", name),
+		cEncapped:      net.DeferCounter(reg.Counter("kar_edge_encap_total", "edge", name)),
+		cDelivered:     net.DeferCounter(reg.Counter("kar_edge_decap_total", "edge", name)),
 		cMisdelivered:  reg.Counter("kar_edge_misdelivered_total", "edge", name),
 		cReencoded:     reg.Counter("kar_edge_reencode_total", "edge", name),
 		cUnclaimed:     reg.Counter("kar_edge_unclaimed_total", "edge", name),
@@ -137,6 +150,7 @@ func (e *Edge) InstallRoute(dstEdge string, id rns.RouteID, outPort int) {
 // reaction-chain milestone before post-repair traffic flows.
 func (e *Edge) InstallRouteWithBaseline(dstEdge string, id rns.RouteID, outPort int, baselineHops int) {
 	e.routes[dstEdge] = routeEntry{id: id, outPort: outPort, baseline: baselineHops}
+	e.lastDst = "" // invalidate the Inject lookup cache
 	e.net.Events().Record(telemetry.EventIngressInstall, e.node.Name(),
 		fmt.Sprintf("dst=%s port=%d", dstEdge, outPort))
 }
@@ -144,14 +158,15 @@ func (e *Edge) InstallRouteWithBaseline(dstEdge string, id rns.RouteID, outPort 
 // Attach registers the local receiver for a flow (the transport
 // endpoint terminating at this edge) and its stretch histogram.
 func (e *Edge) Attach(flow packet.FlowID, r Receiver) {
+	e.hasLastEp = false // invalidate the delivery lookup cache
 	reg := e.net.Metrics()
 	reg.Help("kar_flow_latency_us", "Per-flow one-way delivery latency of decapsulated packets (µs).")
 	e.local[flow] = endpoint{
 		r: r,
-		stretch: reg.Histogram(
-			"kar_flow_stretch_hops", telemetry.HopBuckets, "flow", flow.String()),
-		latency: reg.Histogram(
-			"kar_flow_latency_us", telemetry.LatencyBucketsUs, "flow", flow.String()),
+		stretch: e.net.DeferHistogram(reg.Histogram(
+			"kar_flow_stretch_hops", telemetry.HopBuckets, "flow", flow.String())),
+		latency: e.net.DeferHistogram(reg.Histogram(
+			"kar_flow_latency_us", telemetry.LatencyBucketsUs, "flow", flow.String())),
 	}
 }
 
@@ -159,10 +174,15 @@ func (e *Edge) Attach(flow packet.FlowID, r Receiver) {
 // ID and TTL — and sends it into the core. It returns an error when
 // no route is installed for the packet's destination edge.
 func (e *Edge) Inject(pkt *packet.Packet) error {
-	entry, ok := e.routes[pkt.Flow.Dst]
-	if !ok {
-		e.cNoRoute.Inc()
-		return fmt.Errorf("edge %s: no route installed for %s", e.node.Name(), pkt.Flow.Dst)
+	entry := e.lastRoute
+	if e.lastDst != pkt.Flow.Dst {
+		var ok bool
+		entry, ok = e.routes[pkt.Flow.Dst]
+		if !ok {
+			e.cNoRoute.Inc()
+			return fmt.Errorf("edge %s: no route installed for %s", e.node.Name(), pkt.Flow.Dst)
+		}
+		e.lastDst, e.lastRoute = pkt.Flow.Dst, entry
 	}
 	pkt.RouteID = entry.id
 	pkt.TTL = packet.DefaultTTL
@@ -185,11 +205,16 @@ func (e *Edge) Inject(pkt *packet.Packet) error {
 func (e *Edge) HandlePacket(pkt *packet.Packet, inPort int) {
 	if pkt.Flow.Dst == e.node.Name() {
 		pkt.RouteID = rns.RouteID{} // decap
-		ep, ok := e.local[pkt.Flow]
-		if !ok {
-			e.cUnclaimed.Inc()
-			e.net.Drop(pkt, simnet.DropNoPort, e.node.Name())
-			return
+		ep := e.lastEp
+		if !e.hasLastEp || e.lastFlow != pkt.Flow {
+			var ok bool
+			ep, ok = e.local[pkt.Flow]
+			if !ok {
+				e.cUnclaimed.Inc()
+				e.net.Drop(pkt, simnet.DropNoPort, e.node.Name())
+				return
+			}
+			e.lastFlow, e.lastEp, e.hasLastEp = pkt.Flow, ep, true
 		}
 		e.cDelivered.Inc()
 		if ep.stretch != nil {

@@ -45,6 +45,9 @@ func NewWorld(g *topology.Graph, policy deflect.Policy, seed int64, opts ...Worl
 	if cfg.detectDown > 0 || cfg.detectUp > 0 {
 		netOpts = append(netOpts, simnet.WithDetectionDelay(cfg.detectDown, cfg.detectUp))
 	}
+	if cfg.scalarDataPlane {
+		netOpts = append(netOpts, simnet.WithScalarDataPlane())
+	}
 	w := &World{Net: simnet.New(g, netOpts...)}
 	// Controller telemetry shares the world's registry and event log:
 	// route installs and re-encodes interleave with link failures on
@@ -72,6 +75,7 @@ type worldConfig struct {
 	detectDown      time.Duration
 	detectUp        time.Duration
 	metricLabels    []string
+	scalarDataPlane bool
 }
 
 // WorldOption tunes world assembly.
@@ -101,6 +105,13 @@ func WithControlWorkers(n int) WorldOption {
 // multi-run dumps stay separable per run.
 func WithWorldMetricLabels(kv ...string) WorldOption {
 	return func(c *worldConfig) { c.metricLabels = append(c.metricLabels, kv...) }
+}
+
+// WithScalarDataPlane builds the world's network without packet-train
+// batching (see simnet.WithScalarDataPlane). Results are identical in
+// both modes — this exists for the byte-identity gate and benchmarks.
+func WithScalarDataPlane() WorldOption {
+	return func(c *worldConfig) { c.scalarDataPlane = true }
 }
 
 // WithDetectionDelays threads a failure-detection latency model into

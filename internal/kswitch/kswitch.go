@@ -6,6 +6,7 @@
 package kswitch
 
 import (
+	"math"
 	"math/rand"
 
 	"repro/internal/core"
@@ -73,17 +74,46 @@ type Switch struct {
 	cPolicyDrops *telemetry.Counter
 	cDeflections [causeCount]*telemetry.Counter
 
+	// Deferred views of the two per-hop counters, used only on the
+	// batched fast path; the scalar path and every slow-path arm keep
+	// the atomic cells (they are rare enough not to matter, and the
+	// controller's workers may read them concurrently mid-step).
+	dReceived  *simnet.DeferredCounter
+	dForwarded *simnet.DeferredCounter
+
 	// Event-log dedup: deflections and policy drops are per-packet
 	// (millions per run), so the control-plane log records only the
 	// first occurrence per cause / per flow; counters keep the volume.
 	loggedDeflect [causeCount]bool
 	loggedDrop    map[string]bool
+
+	// Batched fast path (see HandleBatchPacket): the on-path predicate
+	// of the four built-in policies over per-port cached lines, so an
+	// on-path forward under batch delivery touches no map, no interface
+	// call and no RNG. fastKind is fastOff for unknown policies.
+	fastKind  uint8
+	portLines []*simnet.Line
+	portDirs  []uint8
 }
+
+// Fast-path kinds: which extra condition, beyond "the encoded port's
+// link is up", the policy requires for an on-path forward. These
+// mirror the leading non-random branch of each Decide — the branch
+// that consumes no RNG — so taking the fast path exactly when the
+// predicate holds leaves the switch's RNG stream identical to a
+// scalar run.
+const (
+	fastOff = iota // unknown policy: always run Decide
+	fastAny        // none, avp: encoded port up
+	fastHP         // hp: encoded port up and never deflected
+	fastNIP        // nip: encoded port up and not the input port
+)
 
 // Compile-time interface compliance.
 var (
-	_ simnet.Handler     = (*Switch)(nil)
-	_ deflect.SwitchView = view{}
+	_ simnet.Handler      = (*Switch)(nil)
+	_ simnet.BatchHandler = (*Switch)(nil)
+	_ deflect.SwitchView  = view{}
 )
 
 // New builds a switch for node using the given deflection policy and
@@ -107,6 +137,21 @@ func New(net *simnet.Network, node *topology.Node, policy deflect.Policy, seed i
 	for idx, cause := range causeNames {
 		s.cDeflections[idx] = reg.Counter("kar_switch_deflections_total",
 			"switch", node.Name(), "cause", cause)
+	}
+	s.dReceived = net.DeferCounter(s.cReceived)
+	s.dForwarded = net.DeferCounter(s.cForwarded)
+	switch policy.(type) {
+	case deflect.None, deflect.AnyValidPort:
+		s.fastKind = fastAny
+	case deflect.HotPotato:
+		s.fastKind = fastHP
+	case deflect.NotInputPort:
+		s.fastKind = fastNIP
+	}
+	s.portLines = make([]*simnet.Line, node.PortSpan())
+	s.portDirs = make([]uint8, node.PortSpan())
+	for i := range s.portLines {
+		s.portLines[i], s.portDirs[i] = net.LineAt(node, i)
 	}
 	net.Bind(node, s)
 	return s
@@ -144,6 +189,66 @@ func (s *Switch) HandlePacket(pkt *packet.Packet, inPort int) {
 		s.net.Drop(pkt, simnet.DropTTL, s.node.Name())
 		return
 	}
+	s.decide(pkt, inPort)
+}
+
+// BatchReducer implements simnet.BatchHandler: trains bound for this
+// switch precompute members' residues with the switch's own reduction
+// constants. Port residues ride as uint16, so batching is declined for
+// the (unrealistic) switch IDs that exceed it.
+func (s *Switch) BatchReducer() (rns.Reducer, bool) {
+	return s.red, s.red.Modulus() <= math.MaxUint16
+}
+
+// HandleBatchPacket implements simnet.BatchHandler: HandlePacket with
+// the modulo already reduced train-side. Packets the batch machinery
+// cannot prove equivalent peel out: sampled packets re-enter the full
+// scalar pipeline (flight-recorder hooks; the on-path Decide consumes
+// no RNG, so the peel costs nothing in determinism), and any packet
+// failing the policy's on-path predicate falls through to the scalar
+// decision path — deflection-cause counters, event-log dedup and
+// policy RNG draws happen exactly as they would have.
+func (s *Switch) HandleBatchPacket(pkt *packet.Packet, inPort int, residue uint16) {
+	if pkt.Sampled {
+		s.HandlePacket(pkt, inPort)
+		return
+	}
+	s.dReceived.Inc()
+	pkt.TTL--
+	if pkt.TTL <= 0 {
+		s.cTTLDrops.Inc()
+		s.net.Drop(pkt, simnet.DropTTL, s.node.Name())
+		return
+	}
+	if s.fastKind != fastOff {
+		port := int(residue)
+		if port < len(s.portLines) {
+			if l := s.portLines[port]; l != nil && l.SeenUp() {
+				ok := true
+				switch s.fastKind {
+				case fastHP:
+					ok = !pkt.Deflected
+				case fastNIP:
+					ok = port != inPort
+				}
+				if ok {
+					// On-path forward: the scalar path's Decide would
+					// have returned {Port: port} without touching the
+					// RNG; counters match its non-deflected arm.
+					s.dForwarded.Inc()
+					s.net.SendOnLine(l, s.portDirs[port], pkt)
+					return
+				}
+			}
+		}
+	}
+	s.decide(pkt, inPort)
+}
+
+// decide is the policy pipeline shared by the scalar path and the
+// batched slow path: run Decide, account drops and deflections,
+// forward.
+func (s *Switch) decide(pkt *packet.Packet, inPort int) {
 	d := s.policy.Decide(view{s}, pkt.RouteID, inPort, pkt.Deflected, s.rng)
 	if d.Drop {
 		s.cPolicyDrops.Inc()

@@ -1,0 +1,108 @@
+package rns
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// batchModuli covers the realistic switch-ID range: tiny primes, the
+// paper's evaluation basis sizes, powers of two ± 1, and the uint16
+// ceiling ReduceBatch's output width imposes.
+var batchModuli = []uint64{2, 3, 5, 7, 11, 29, 67, 127, 251, 1021, 4099, 32749, 65521, 65535}
+
+// randomWideID builds a RouteID of the given bit length (> 64 for a
+// genuinely multi-word value).
+func randomWideID(rng *rand.Rand, bits int) RouteID {
+	v := new(big.Int)
+	for v.BitLen() < bits {
+		v.Lsh(v, 32)
+		v.Or(v, big.NewInt(int64(rng.Uint32())))
+	}
+	v.SetBit(v, bits-1, 1)
+	return RouteIDFromBig(v)
+}
+
+// TestReduceBatchMatchesMod checks ReduceBatch ≡ per-packet Mod across
+// pure-small, pure-wide and interleaved batches of awkward lengths
+// (tail shorter than the unroll, chunks broken by a wide member).
+func TestReduceBatchMatchesMod(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, m := range batchModuli {
+		rd := NewReducer(m)
+		for _, n := range []int{0, 1, 2, 3, 4, 5, 7, 8, 16, 33, 64, 129} {
+			ids := make([]RouteID, n)
+			for i := range ids {
+				switch rng.Intn(4) {
+				case 0:
+					ids[i] = randomWideID(rng, 65+rng.Intn(128))
+				default:
+					ids[i] = RouteIDFromUint64(rng.Uint64())
+				}
+			}
+			out := make([]uint16, n)
+			rd.ReduceBatch(ids, out)
+			for i := range ids {
+				if want := rd.Mod(ids[i]); uint64(out[i]) != want {
+					t.Fatalf("m=%d n=%d i=%d: ReduceBatch=%d want Mod=%d (wide=%v)",
+						m, n, i, out[i], want, ids[i].wide != nil)
+				}
+			}
+		}
+	}
+}
+
+// TestReduceBatchAllocs pins both lanes at zero allocations per call:
+// the batch path may never touch the heap, whatever the mix.
+func TestReduceBatchAllocs(t *testing.T) {
+	rd := NewReducer(29)
+	rng := rand.New(rand.NewSource(11))
+	small := make([]RouteID, 64)
+	mixed := make([]RouteID, 64)
+	for i := range small {
+		small[i] = RouteIDFromUint64(rng.Uint64())
+		if i%5 == 0 {
+			mixed[i] = randomWideID(rng, 80)
+		} else {
+			mixed[i] = RouteIDFromUint64(rng.Uint64())
+		}
+	}
+	out := make([]uint16, 64)
+	for name, ids := range map[string][]RouteID{"small": small, "mixed": mixed} {
+		ids := ids
+		if n := testing.AllocsPerRun(100, func() { rd.ReduceBatch(ids, out) }); n != 0 {
+			t.Errorf("ReduceBatch %s lane: %v allocs/op, want 0", name, n)
+		}
+	}
+}
+
+// FuzzReduceBatch asserts ReduceBatch ≡ Mod for arbitrary moduli and
+// IDs, including wide IDs synthesized from the raw fuzz words.
+func FuzzReduceBatch(f *testing.F) {
+	f.Add(uint64(29), uint64(12345), uint64(67890), uint64(0), uint64(1))
+	f.Add(uint64(2), uint64(0), uint64(1), uint64(2), uint64(3))
+	f.Add(uint64(65535), ^uint64(0), uint64(1)<<63, uint64(7), ^uint64(0)-1)
+	f.Add(uint64(65521), uint64(999), ^uint64(0), uint64(1), uint64(0))
+	f.Fuzz(func(t *testing.T, m, a, b, c, d uint64) {
+		m = m%65535 + 1 // ReduceBatch contract: m fits uint16, m ≥ 1
+		rd := NewReducer(m)
+		wide := new(big.Int).SetUint64(a)
+		wide.Lsh(wide, 64)
+		wide.Or(wide, new(big.Int).SetUint64(b))
+		wide.Lsh(wide, 64)
+		wide.Or(wide, new(big.Int).SetUint64(c))
+		ids := []RouteID{
+			RouteIDFromUint64(a), RouteIDFromUint64(b),
+			RouteIDFromUint64(c), RouteIDFromUint64(d),
+			RouteIDFromBig(wide),
+			RouteIDFromUint64(a ^ d),
+		}
+		out := make([]uint16, len(ids))
+		rd.ReduceBatch(ids, out)
+		for i := range ids {
+			if want := rd.Mod(ids[i]); uint64(out[i]) != want {
+				t.Fatalf("m=%d i=%d: ReduceBatch=%d want %d", m, i, out[i], want)
+			}
+		}
+	})
+}

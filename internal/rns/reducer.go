@@ -82,6 +82,51 @@ func (rd Reducer) Mod64(v uint64) uint64 {
 	return fastmod(v, rd.m, rd.cHi, rd.cLo)
 }
 
+// ReduceBatch reduces ids[i] mod m into out[i] for every i, reusing
+// the one precomputed magic constant across the whole batch — the
+// word-parallel form of Mod for the batched data plane, where a packet
+// train arriving at a switch resolves all its output ports in one
+// call. out must be at least as long as ids.
+//
+// The small-ID lane is unrolled four wide: the compiler keeps (m, cHi,
+// cLo) in registers across the chunk and the four independent fastmod
+// chains overlap their 128-bit multiplies. Chunks containing a wide
+// (multi-word) route ID fall through to the Horner lane (Mod) element
+// by element; small stragglers after the last full chunk take the same
+// tail loop.
+//
+// Residues are truncated to uint16: callers must ensure m ≤ 65535
+// (every realistic switch port span — the simulated switch checks its
+// modulus once at construction and disables batching otherwise).
+func (rd Reducer) ReduceBatch(ids []RouteID, out []uint16) {
+	m, cHi, cLo := rd.m, rd.cHi, rd.cLo
+	_ = out[:len(ids)] // one bounds check up front
+	i := 0
+	for ; i+4 <= len(ids); i += 4 {
+		a, b, c, d := &ids[i], &ids[i+1], &ids[i+2], &ids[i+3]
+		if a.wide == nil && b.wide == nil && c.wide == nil && d.wide == nil {
+			out[i] = uint16(fastmod(a.small, m, cHi, cLo))
+			out[i+1] = uint16(fastmod(b.small, m, cHi, cLo))
+			out[i+2] = uint16(fastmod(c.small, m, cHi, cLo))
+			out[i+3] = uint16(fastmod(d.small, m, cHi, cLo))
+			continue
+		}
+		// Wide-ID lane: reduce the chunk element-wise; Mod folds
+		// multi-word values division-free for narrow moduli.
+		out[i] = uint16(rd.Mod(*a))
+		out[i+1] = uint16(rd.Mod(*b))
+		out[i+2] = uint16(rd.Mod(*c))
+		out[i+3] = uint16(rd.Mod(*d))
+	}
+	for ; i < len(ids); i++ {
+		if ids[i].wide == nil {
+			out[i] = uint16(fastmod(ids[i].small, m, cHi, cLo))
+		} else {
+			out[i] = uint16(rd.Mod(ids[i]))
+		}
+	}
+}
+
 // Mod returns r mod m. Small route IDs take one fastmod; wide route
 // IDs fold word by word (most significant first), division-free when
 // m < 2³². Mod is one flat function so either path costs exactly one

@@ -32,6 +32,8 @@ type RunOptions struct {
 	// Trace, when set, attaches a flight recorder to every run's world
 	// and collects the records under the same label.
 	Trace *trace.Collector
+	// Scalar disables the batched data plane (results are identical).
+	Scalar bool
 }
 
 // FlowResult is one flow's end-of-run traffic accounting.
@@ -130,7 +132,7 @@ func Run(spec *Spec, opts RunOptions) (*Verdict, error) {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				res, err := runOne(spec, i, opts.Metrics, opts.Trace)
+				res, err := runOne(spec, i, opts.Metrics, opts.Trace, opts.Scalar)
 				if err != nil {
 					errs[i] = err
 					continue
@@ -243,7 +245,7 @@ func RunFile(path string, opts RunOptions) (*Verdict, error) {
 	return Run(spec, opts)
 }
 
-func runOne(spec *Spec, idx int, coll *telemetry.Collector, traces *trace.Collector) (*RunResult, error) {
+func runOne(spec *Spec, idx int, coll *telemetry.Collector, traces *trace.Collector, scalar bool) (*RunResult, error) {
 	seed := spec.Seed + int64(idx)*1_000_003
 	g, err := BuildTopology(spec.Topology)
 	if err != nil {
@@ -269,6 +271,9 @@ func runOne(spec *Spec, idx int, coll *telemetry.Collector, traces *trace.Collec
 		if det.React {
 			worldOpts = append(worldOpts, experiment.WithFailureReaction())
 		}
+	}
+	if scalar {
+		worldOpts = append(worldOpts, experiment.WithScalarDataPlane())
 	}
 	w := experiment.NewWorld(g, policy, seed, worldOpts...)
 	// Attach before route installs so the initial ingress programming

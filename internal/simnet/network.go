@@ -119,10 +119,14 @@ type dirState struct {
 	dstPort int
 
 	// Registry-backed counters.
-	sentPackets   *telemetry.Counter
-	sentBytes     *telemetry.Counter
+	sentPackets   *DeferredCounter
+	sentBytes     *DeferredCounter
 	queueDrops    *telemetry.Counter
 	inFlightDrops *telemetry.Counter
+
+	// train is this direction's batched transmission state (batch mode
+	// only; see train.go).
+	train train
 }
 
 // Impairment is a gray-failure model attached to a line: every packet
@@ -156,6 +160,11 @@ type Line struct {
 	everDown   bool
 	dirs       [2]dirState // 0: A→B, 1: B→A
 	gaugeUp    *telemetry.Gauge
+
+	// Link attributes cached off the topology (hot-path reads).
+	delay    time.Duration
+	rate     float64
+	queueCap int
 
 	// Gray-failure impairment (nil = healthy line) and its counters.
 	imp        *Impairment
@@ -202,10 +211,21 @@ type Network struct {
 	metrics *telemetry.Registry
 	events  *telemetry.EventLog
 
-	// Cached hot-path counter handles.
+	// Cached hot-path counter handles. dDelivered/dSends are the
+	// batch-deferred views of cDelivered/cSends (see defercount.go);
+	// dirty lists deferred counters with unflushed increments.
 	cDelivered *telemetry.Counter
 	cSends     *telemetry.Counter
+	dDelivered *DeferredCounter
+	dSends     *DeferredCounter
+	dirty      []*DeferredCounter
+	dirtyH     []*DeferredHistogram
 	cDrops     [dropReasonCount + 1]*telemetry.Counter
+
+	// batch selects the packet-train data plane (default on; see
+	// train.go). Scalar mode keeps the original two-events-per-packet
+	// path so check.sh can byte-compare the two.
+	batch bool
 }
 
 // Option configures a Network.
@@ -216,6 +236,7 @@ type netConfig struct {
 	eventCap   int
 	detectDown time.Duration
 	detectUp   time.Duration
+	scalar     bool
 }
 
 // WithMetricLabels attaches constant key/value labels to every metric
@@ -245,6 +266,16 @@ func WithDetectionDelay(down, up time.Duration) Option {
 	}
 }
 
+// WithScalarDataPlane disables packet-train batching: every packet
+// costs its own queue-release and delivery events, as before the
+// batched data plane existed. Batched and scalar runs on the same seed
+// produce byte-identical metric dumps and trace exports (check.sh
+// gates on it); scalar mode exists as that oracle and as the perf
+// baseline.
+func WithScalarDataPlane() Option {
+	return func(c *netConfig) { c.scalar = true }
+}
+
 // New builds a Network over a validated topology. Every topology link
 // starts up.
 func New(topo *topology.Graph, opts ...Option) *Network {
@@ -260,6 +291,15 @@ func New(topo *topology.Graph, opts ...Option) *Network {
 		metrics:    telemetry.NewRegistry(telemetry.WithBaseLabels(cfg.baseLabels...)),
 		detectDown: cfg.detectDown,
 		detectUp:   cfg.detectUp,
+		batch:      !cfg.scalar,
+	}
+	// Pre-size the event heap and train lane from the topology: enough
+	// for a few events per link plus control-plane headroom, so world
+	// start-up never re-grows them (visible as startup allocs in the
+	// Fig5 benchmarks).
+	n.sched.Reserve(4*len(topo.Links()) + 64)
+	if n.batch {
+		n.sched.trains = make([]*train, 0, 2*len(topo.Links()))
 	}
 	n.events = telemetry.NewEventLog(cfg.eventCap, n.sched.Now)
 	n.events.SetEvictedCounter(n.metrics.Counter("kar_events_evicted_total"))
@@ -270,11 +310,20 @@ func New(topo *topology.Graph, opts ...Option) *Network {
 	n.metrics.Help("kar_net_sends_total", "Packets submitted to links.")
 	n.cDelivered = n.metrics.Counter("kar_net_delivered_total")
 	n.cSends = n.metrics.Counter("kar_net_sends_total")
+	n.dDelivered = n.DeferCounter(n.cDelivered)
+	n.dSends = n.DeferCounter(n.cSends)
+	if n.batch {
+		n.sched.flush = n.flushCounters
+	}
 	for r := DropReason(1); r < dropReasonCount; r++ {
 		n.cDrops[r] = n.metrics.Counter("kar_net_drops_total", "reason", r.String())
 	}
 	for _, l := range topo.Links() {
-		line := &Line{net: n, link: l, seenUp: true, gaugeUp: n.metrics.Gauge("kar_link_up", "link", l.Name())}
+		line := &Line{
+			net: n, link: l, seenUp: true,
+			delay: l.Delay(), rate: l.RateMbps(), queueCap: l.QueuePackets(),
+			gaugeUp: n.metrics.Gauge("kar_link_up", "link", l.Name()),
+		}
 		line.gaugeUp.Set(1)
 		for d, dir := range [2]string{"fwd", "rev"} {
 			dst := l.B()
@@ -284,16 +333,24 @@ func New(topo *topology.Graph, opts ...Option) *Network {
 			line.dirs[d] = dirState{
 				dst:           dst,
 				dstPort:       l.PortOf(dst),
-				sentPackets:   n.metrics.Counter("kar_link_sent_packets_total", "link", l.Name(), "dir", dir),
-				sentBytes:     n.metrics.Counter("kar_link_sent_bytes_total", "link", l.Name(), "dir", dir),
+				sentPackets:   n.DeferCounter(n.metrics.Counter("kar_link_sent_packets_total", "link", l.Name(), "dir", dir)),
+				sentBytes:     n.DeferCounter(n.metrics.Counter("kar_link_sent_bytes_total", "link", l.Name(), "dir", dir)),
 				queueDrops:    n.metrics.Counter("kar_link_queue_drops_total", "link", l.Name(), "dir", dir),
 				inFlightDrops: n.metrics.Counter("kar_link_inflight_drops_total", "link", l.Name(), "dir", dir),
+			}
+			if n.batch {
+				tr := &line.dirs[d].train
+				tr.line, tr.dir, tr.hpos = line, uint8(d), -1
+				tr.members = make([]trainMember, 0, 16)
 			}
 		}
 		n.lines[l] = line
 	}
 	return n
 }
+
+// Batching reports whether the packet-train data plane is active.
+func (n *Network) Batching() bool { return n.batch }
 
 // Scheduler returns the network's virtual clock and event queue.
 func (n *Network) Scheduler() *Scheduler { return n.sched }
@@ -338,6 +395,11 @@ func (n *Network) Trace() TraceSink { return n.trace }
 // lifecycle sink: pool-owned packets are recycled here, after the drop
 // hook has observed them (hooks must copy, never retain).
 func (n *Network) Drop(pkt *packet.Packet, reason DropReason, where string) {
+	// Drop hooks may read metrics; surface any deferred increments
+	// first so both data planes observe identical values.
+	if len(n.dirty) > 0 || len(n.dirtyH) > 0 {
+		n.flushCounters()
+	}
 	n.countDrop(reason)
 	if n.dropHook != nil {
 		n.dropHook(Drop{Packet: pkt, Reason: reason, Where: where, At: n.sched.now})
@@ -399,30 +461,84 @@ func (n *Network) Send(node *topology.Node, i int, pkt *packet.Packet) {
 	if l.B() == node {
 		dir = 1
 	}
+	n.enqueue(line, dir, pkt)
+}
+
+// LineAt resolves a node's port to its live line and sending
+// direction; nil when no link is attached. Switches cache the result
+// per port so their batched fast path never re-walks the topology.
+func (n *Network) LineAt(node *topology.Node, i int) (*Line, uint8) {
+	l, ok := node.PortLink(i)
+	if !ok {
+		return nil, 0
+	}
+	line := n.lines[l]
+	var dir uint8
+	if l.B() == node {
+		dir = 1
+	}
+	return line, dir
+}
+
+// SeenUp reports the adjacent switches' detected view of the line —
+// the value PortUp resolves to after its two map lookups.
+func (l *Line) SeenUp() bool { return l.seenUp }
+
+// SendOnLine is Send with the port already resolved to its (line,
+// direction) — the batched switch pipeline's exit path. It performs
+// exactly Send's checks and bookkeeping minus the topology lookups.
+func (n *Network) SendOnLine(line *Line, dir uint8, pkt *packet.Packet) {
+	n.dSends.Inc()
+	if line.downRefs > 0 && !line.seenUp {
+		n.Drop(pkt, DropLinkDown, line.link.Name())
+		return
+	}
+	n.enqueue(line, int(dir), pkt)
+}
+
+// enqueue queues pkt on one link direction: tail-drop check, FIFO
+// serialization, then either the scalar pair of scheduler events or a
+// train member append (batch mode). The two arms bump identical
+// counters in identical order and allocate identical sequence numbers,
+// which is what keeps batched and scalar runs byte-identical.
+func (n *Network) enqueue(line *Line, dir int, pkt *packet.Packet) {
 	ds := &line.dirs[dir]
-	if ds.queued >= l.QueuePackets() {
+	if n.batch {
+		tr := &ds.train
+		line.drainDeq(tr)
+		tr.compact()
+		if tr.pendingQueue() >= line.queueCap {
+			ds.queueDrops.Inc()
+			n.Drop(pkt, DropQueueFull, line.link.Name())
+			return
+		}
+	} else if ds.queued >= line.queueCap {
 		ds.queueDrops.Inc()
-		n.Drop(pkt, DropQueueFull, l.Name())
+		n.Drop(pkt, DropQueueFull, line.link.Name())
 		return
 	}
 
 	now := n.sched.now
-	txTime := transmissionTime(pkt.Size, l.RateMbps())
+	txTime := transmissionTime(pkt.Size, line.rate)
 	start := ds.busyUntil
 	if start < now {
 		start = now
 	}
 	done := start + txTime
 	ds.busyUntil = done
-	ds.queued++
 	ds.sentPackets.Inc()
 	ds.sentBytes.Add(int64(pkt.Size))
 	if pkt.Sampled && n.trace != nil {
-		n.trace.PacketTx(pkt, l.Name(), start-now, txTime)
+		n.trace.PacketTx(pkt, line.link.Name(), start-now, txTime)
 	}
 
+	if n.batch {
+		n.enqueueBatch(line, dir, pkt, done, start)
+		return
+	}
+	ds.queued++
 	n.sched.post(done, event{kind: evtDequeue, ds: ds})
-	n.sched.post(done+l.Delay(), event{
+	n.sched.post(done+line.delay, event{
 		kind: evtDeliver, dir: uint8(dir), line: line, pkt: pkt, txStart: start,
 	})
 }
@@ -684,7 +800,7 @@ func (n *Network) LineStats(l *topology.Link) LineStats {
 }
 
 // Delivered returns the total packets handed to handlers.
-func (n *Network) Delivered() int64 { return n.cDelivered.Value() }
+func (n *Network) Delivered() int64 { return n.dDelivered.Value() }
 
 // Dropped returns the total packets lost anywhere: the sum of the
 // per-reason drop counters (there is no separate total to fall out of

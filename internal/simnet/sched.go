@@ -63,13 +63,64 @@ type Scheduler struct {
 	events []event
 	seq    uint64
 
+	// curSeq is the sequence number of the item currently (or most
+	// recently) dispatched. The batched data plane's lazy dequeue ring
+	// compares against it to decide whether an implicit queue-release
+	// with an equal timestamp would already have run in scalar mode
+	// (events at equal times run in seq order). After RunUntil drains
+	// everything ≤ t it is set to idleSeq: every release stamped so far
+	// has matured.
+	curSeq uint64
+
+	// trains is the second priority lane of the batched data plane: a
+	// small 4-ary heap of active packet trains, each keyed by its next
+	// undelivered member's (at, seq). The main loop always dispatches
+	// the global (at, seq) minimum across both lanes, so batched runs
+	// replay the scalar event order exactly — but advancing a train is
+	// one shallow sift in a heap of O(active links) instead of a
+	// push/pop pair in the main event heap. trainMembers counts
+	// undelivered members across all trains (Pending accounting).
+	trains       []*train
+	trainMembers int
+
 	// cPast counts events scheduled for an already-elapsed virtual
 	// time (clamped to "now"); nil until a Network attaches one.
 	cPast *telemetry.Counter
+
+	// flush surfaces the batch data plane's deferred counters at
+	// observation boundaries: before any evtFunc callback runs and
+	// whenever Step/RunUntil returns control to the caller. Nil in
+	// scalar mode.
+	flush func()
 }
+
+// idleSeq marks "no dispatch in progress": all sequence numbers
+// allocated so far compare below it.
+const idleSeq = ^uint64(0)
 
 // Now returns the current virtual time.
 func (s *Scheduler) Now() time.Duration { return s.now }
+
+// Reserve pre-sizes the event heap (topology-derived: worlds size it
+// from their link count so steady-state traffic never re-grows the
+// backing array mid-run).
+func (s *Scheduler) Reserve(n int) {
+	if cap(s.events) >= n {
+		return
+	}
+	q := make([]event, len(s.events), n)
+	copy(q, s.events)
+	s.events = q
+}
+
+// allocSeq stamps one FIFO sequence number. The batched data plane
+// allocates them at exactly the points the scalar plane posts events
+// (one per implicit queue release, one per train member), so tie-break
+// order against control-plane events is identical in both modes.
+func (s *Scheduler) allocSeq() uint64 {
+	s.seq++
+	return s.seq
+}
 
 // SetPastEventCounter attaches the counter bumped whenever an event is
 // scheduled in the virtual past. Nil (the default) disables counting.
@@ -149,6 +200,9 @@ func (s *Scheduler) pop() event {
 func (s *Scheduler) dispatch(e *event) {
 	switch e.kind {
 	case evtFunc:
+		if s.flush != nil {
+			s.flush()
+		}
 		e.fn()
 	case evtDequeue:
 		e.ds.queued--
@@ -157,31 +211,77 @@ func (s *Scheduler) dispatch(e *event) {
 	}
 }
 
-// Step runs the earliest pending event; it reports false when none
-// remain.
+// trainFirst reports whether the earliest pending item is a train
+// member rather than a heap event (false when no trains are active).
+func (s *Scheduler) trainFirst() bool {
+	if len(s.trains) == 0 {
+		return false
+	}
+	if len(s.events) == 0 {
+		return true
+	}
+	tr := s.trains[0]
+	e := &s.events[0]
+	if tr.keyAt != e.at {
+		return tr.keyAt < e.at
+	}
+	return tr.keySeq < e.seq
+}
+
+// Step runs the earliest pending item — heap event or train member —
+// and reports false when none remain.
 func (s *Scheduler) Step() bool {
+	if s.trainFirst() {
+		s.stepTrain()
+		if s.flush != nil {
+			s.flush()
+		}
+		return true
+	}
 	if len(s.events) == 0 {
 		return false
 	}
 	e := s.pop()
 	s.now = e.at
+	s.curSeq = e.seq
 	s.dispatch(&e)
+	if s.flush != nil {
+		s.flush()
+	}
 	return true
 }
 
-// RunUntil processes every event scheduled at or before t, then
-// advances the clock to t.
+// RunUntil processes every event and train member scheduled at or
+// before t — always the global (at, seq) minimum first, so batched and
+// scalar runs replay the same order — then advances the clock to t.
 func (s *Scheduler) RunUntil(t time.Duration) {
-	for len(s.events) > 0 && s.events[0].at <= t {
+	for {
+		if s.trainFirst() {
+			if s.trains[0].keyAt > t {
+				break
+			}
+			s.stepTrain()
+			continue
+		}
+		if len(s.events) == 0 || s.events[0].at > t {
+			break
+		}
 		e := s.pop()
 		s.now = e.at
+		s.curSeq = e.seq
 		s.dispatch(&e)
 	}
 	if s.now < t {
 		s.now = t
 	}
+	// Everything stamped ≤ t has run; implicit queue releases at
+	// exactly t must all read as matured from here on.
+	s.curSeq = idleSeq
+	if s.flush != nil {
+		s.flush()
+	}
 }
 
-// Pending returns the number of scheduled events (for tests and
-// leak-detection assertions).
-func (s *Scheduler) Pending() int { return len(s.events) }
+// Pending returns the number of scheduled items — heap events plus
+// undelivered train members (for tests and leak-detection assertions).
+func (s *Scheduler) Pending() int { return len(s.events) + s.trainMembers }

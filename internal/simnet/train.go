@@ -1,0 +1,364 @@
+package simnet
+
+import (
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/rns"
+)
+
+// This file is the batched data plane: packet trains. In scalar mode
+// every packet on a link costs two heap events (queue-slot release and
+// delivery). In batch mode (the default) each link direction instead
+// keeps one train — an ordered slice of undelivered members — and the
+// scheduler holds a second, much smaller priority lane of active
+// trains keyed by their next member's (at, seq). The main loop always
+// dispatches the global (at, seq) minimum across both lanes, so a
+// batched run replays the scalar event order exactly; what changes is
+// the cost: advancing a train is one shallow sift among O(active
+// links) trains instead of a push/pop pair in a heap of O(in-flight
+// packets) events, queue releases become a lazily drained ring with no
+// events at all, and a switch-bound train resolves its members' output
+// ports with one amortized rns.ReduceBatch instead of a per-packet
+// policy call.
+//
+// Exactness is by construction, not by luck:
+//
+//   - Sequence parity: enqueueBatch allocates one seq for the implicit
+//     queue release and one for the member at exactly the points the
+//     scalar path posts its evtDequeue/evtDeliver, so every other
+//     event's tie-break key is identical in both modes.
+//   - Queue occupancy: the only reader of a direction's queue depth is
+//     the tail-drop check in enqueue. The ring drains entries whose
+//     (release time, seq) precedes the scheduler's current (now,
+//     curSeq) — precisely the releases scalar mode would already have
+//     popped.
+//   - Fault semantics: link failures, repairs, detections and gray
+//     windows are scheduler events; because the loop interleaves lanes
+//     in global order, they split trains for free. Each member re-runs
+//     the scalar in-flight kill check at its own delivery instant, and
+//     members delivered while an impairment is installed peel onto the
+//     scalar transit path so RNG draws happen in the scalar order.
+//   - Peel-outs: sampled packets take the full scalar switch pipeline
+//     (flight-recorder hooks), corrupted packets invalidate only their
+//     own precomputed residue, and non-batch handlers (edges) receive
+//     plain HandlePacket calls.
+
+// BatchHandler is a Handler that can accept batched deliveries with a
+// precomputed port residue. The simulated switch implements it; edges
+// do not (their trains skip residue precomputation entirely).
+type BatchHandler interface {
+	Handler
+	// BatchReducer exposes the handler's modulus reduction for train-
+	// side residue precomputation; ok is false when the handler cannot
+	// accept precomputed residues (modulus wider than uint16).
+	BatchReducer() (rns.Reducer, bool)
+	// HandleBatchPacket is HandlePacket with the route-ID reduction
+	// already done: residue == RouteID mod the handler's modulus.
+	HandleBatchPacket(pkt *packet.Packet, inPort int, residue uint16)
+}
+
+// trainMember is one queued transmission: the packet, its delivery key
+// (at, seq), the seq of its implicit queue release (deqSeq; its time
+// is at minus the link delay), the serialization start for the
+// in-flight kill check, and the precomputed port residue.
+type trainMember struct {
+	at      time.Duration
+	seq     uint64
+	deqSeq  uint64
+	txStart time.Duration
+	pkt     *packet.Packet
+	res     uint16
+	resOK   bool
+}
+
+// train is one link direction's pending transmissions. members[head:]
+// are undelivered; members[deqHead:] still hold their queue slot;
+// members[:resLen] have residues. The scheduler's train lane holds a
+// pointer while hpos ≥ 0.
+type train struct {
+	line *Line
+	dir  uint8
+	hpos int32 // index in Scheduler.trains; -1 when inactive
+
+	// keyAt/keySeq mirror members[head]'s (at, seq) while the train is
+	// active, so heap comparisons touch only the train struct instead
+	// of chasing the members slice.
+	keyAt  time.Duration
+	keySeq uint64
+
+	head    int // next member to deliver
+	deqHead int // next queue slot to release (lazy, ≤ delivery order)
+	resLen  int // members with computed residues
+	members []trainMember
+
+	// Cached receiving endpoint (resolved on first use; handlers are
+	// bound before traffic starts).
+	h        Handler
+	bh       BatchHandler
+	red      rns.Reducer
+	resValid bool
+
+	// Scratch for gather → ReduceBatch → scatter.
+	ids []rns.RouteID
+	out []uint16
+}
+
+// pendingQueue returns the occupied queue slots (after a drain).
+func (tr *train) pendingQueue() int { return len(tr.members) - tr.deqHead }
+
+// reset empties a train whose members are all delivered; endpoint
+// caches survive (the topology is static).
+func (tr *train) reset() {
+	tr.members = tr.members[:0]
+	tr.head, tr.deqHead, tr.resLen = 0, 0, 0
+}
+
+// resolveEndpoint caches the receiving handler and, when it accepts
+// batched deliveries, its reducer. A nil handler is not latched:
+// delivery falls back to Network.Deliver's fresh lookup (and its
+// no-port drop), matching scalar mode for late-bound handlers.
+func (tr *train) resolveEndpoint() {
+	ds := &tr.line.dirs[tr.dir]
+	h, ok := tr.line.net.handlers[ds.dst]
+	if !ok {
+		return
+	}
+	tr.h = h
+	if bh, ok := h.(BatchHandler); ok {
+		if red, rok := bh.BatchReducer(); rok {
+			tr.bh, tr.red, tr.resValid = bh, red, true
+		}
+	}
+}
+
+// extendResidues computes residues for every member past resLen with
+// one ReduceBatch call — the word-parallel amortization: it runs once
+// per train-load, not once per packet, regardless of how deliveries
+// interleave with other links' traffic.
+func (tr *train) extendResidues() {
+	if tr.h == nil {
+		tr.resolveEndpoint()
+	}
+	n := len(tr.members)
+	if !tr.resValid {
+		tr.resLen = n
+		return
+	}
+	need := n - tr.resLen
+	if cap(tr.ids) < need {
+		tr.ids = make([]rns.RouteID, need, need*2)
+		tr.out = make([]uint16, need, need*2)
+	}
+	ids, out := tr.ids[:need], tr.out[:need]
+	for i := 0; i < need; i++ {
+		ids[i] = tr.members[tr.resLen+i].pkt.RouteID
+	}
+	tr.red.ReduceBatch(ids, out)
+	for i := 0; i < need; i++ {
+		tr.members[tr.resLen+i].res = out[i]
+		tr.members[tr.resLen+i].resOK = true
+	}
+	tr.resLen = n
+}
+
+// --- Scheduler train lane -------------------------------------------------
+
+// trainBefore is the lane's heap order: the trains' next members'
+// (at, seq), via the cached copies.
+func trainBefore(a, b *train) bool {
+	if a.keyAt != b.keyAt {
+		return a.keyAt < b.keyAt
+	}
+	return a.keySeq < b.keySeq
+}
+
+// trainPush activates a train (first member just appended).
+func (s *Scheduler) trainPush(tr *train) {
+	m := &tr.members[tr.head]
+	tr.keyAt, tr.keySeq = m.at, m.seq
+	s.trains = append(s.trains, tr)
+	i := len(s.trains) - 1
+	tr.hpos = int32(i)
+	for i > 0 {
+		p := (i - 1) / 4
+		if !trainBefore(s.trains[i], s.trains[p]) {
+			break
+		}
+		s.trains[i], s.trains[p] = s.trains[p], s.trains[i]
+		s.trains[i].hpos, s.trains[p].hpos = int32(i), int32(p)
+		i = p
+	}
+}
+
+// trainSiftDown restores heap order after the root's key increased
+// (its head member advanced).
+func (s *Scheduler) trainSiftDown() {
+	q := s.trains
+	i := 0
+	for {
+		min := i
+		c := 4*i + 1
+		end := c + 4
+		if end > len(q) {
+			end = len(q)
+		}
+		for ; c < end; c++ {
+			if trainBefore(q[c], q[min]) {
+				min = c
+			}
+		}
+		if min == i {
+			break
+		}
+		q[i], q[min] = q[min], q[i]
+		q[i].hpos, q[min].hpos = int32(i), int32(min)
+		i = min
+	}
+}
+
+// trainPopTop deactivates the root train (no members left).
+func (s *Scheduler) trainPopTop() {
+	q := s.trains
+	top := q[0]
+	last := len(q) - 1
+	q[0] = q[last]
+	q[0].hpos = 0
+	q[last] = nil
+	s.trains = q[:last]
+	top.hpos = -1
+	if last > 0 {
+		s.trainSiftDown()
+	}
+}
+
+// stepTrain delivers the root train's next member: advance the clock
+// and curSeq to the member's key, fix the lane, then hand the packet
+// to the line — mirroring pop-then-dispatch so handlers may freely
+// enqueue more traffic (including onto this train).
+func (s *Scheduler) stepTrain() {
+	tr := s.trains[0]
+	if tr.resLen <= tr.head {
+		tr.extendResidues()
+	}
+	m := tr.members[tr.head]
+	tr.members[tr.head].pkt = nil // no stale pin until reset/compact
+	tr.head++
+	s.trainMembers--
+	if tr.head == len(tr.members) {
+		s.trainPopTop()
+		tr.reset()
+	} else {
+		next := &tr.members[tr.head]
+		tr.keyAt, tr.keySeq = next.at, next.seq
+		s.trainSiftDown()
+	}
+	s.now = m.at
+	s.curSeq = m.seq
+	tr.line.deliverMember(tr, &m)
+}
+
+// --- Line-side train operations -------------------------------------------
+
+// drainDeq releases queue slots whose implicit dequeue — (release
+// time, seq) — precedes the scheduler's current dispatch position,
+// exactly the evtDequeue events scalar mode would already have popped.
+func (l *Line) drainDeq(tr *train) {
+	now, cur := l.net.sched.now, l.net.sched.curSeq
+	for tr.deqHead < len(tr.members) {
+		m := &tr.members[tr.deqHead]
+		done := m.at - l.delay
+		if done < now || (done == now && m.deqSeq < cur) {
+			tr.deqHead++
+			continue
+		}
+		break
+	}
+}
+
+// compact reclaims the delivered prefix once it dominates the slice,
+// so a continuously busy train does not grow without bound. Member
+// order is preserved and head re-bases to 0, so the train's heap key
+// (members[head]) is unchanged.
+func (tr *train) compact() {
+	if tr.head < 256 || tr.head*2 < len(tr.members) {
+		return
+	}
+	n := copy(tr.members, tr.members[tr.head:])
+	tr.members = tr.members[:n]
+	tr.deqHead -= tr.head
+	tr.resLen -= tr.head
+	if tr.deqHead < 0 {
+		tr.deqHead = 0
+	}
+	if tr.resLen < 0 {
+		tr.resLen = 0
+	}
+	tr.head = 0
+}
+
+// enqueueBatch is the batch-mode tail of Send/enqueue: stamp the
+// member's keys at the exact points scalar mode posts its two events,
+// append, and activate the train if idle. An active train's heap key
+// is its head member, which an append never changes.
+func (n *Network) enqueueBatch(line *Line, dir int, pkt *packet.Packet, done, txStart time.Duration) {
+	ds := &line.dirs[dir]
+	tr := &ds.train
+	deqSeq := n.sched.allocSeq()
+	seq := n.sched.allocSeq()
+	tr.members = append(tr.members, trainMember{
+		at: done + line.delay, seq: seq, deqSeq: deqSeq, txStart: txStart, pkt: pkt,
+	})
+	n.sched.trainMembers++
+	if tr.hpos < 0 {
+		n.sched.trainPush(tr)
+	}
+}
+
+// deliverMember completes one member's transit: the scalar in-flight
+// kill check at the member's own delivery instant, the gray-impairment
+// peel-out (scalar RNG draw order), then delivery to the cached
+// endpoint — the batched fast lane when the handler takes residues,
+// the plain handler call otherwise.
+func (l *Line) deliverMember(tr *train, m *trainMember) {
+	ds := &l.dirs[tr.dir]
+	pkt := m.pkt
+	if l.downRefs > 0 || (l.everDown && l.lastDownAt >= m.txStart) {
+		ds.inFlightDrops.Inc()
+		l.net.Drop(pkt, DropInFlight, l.link.Name())
+		return
+	}
+	resOK := m.resOK
+	if imp := l.imp; imp != nil {
+		r := imp.Rand.Float64()
+		switch {
+		case r < imp.DropProb:
+			l.cGrayDrops.Inc()
+			l.net.Drop(pkt, DropGray, l.link.Name())
+			return
+		case r < imp.DropProb+imp.CorruptProb:
+			if !l.corrupt(pkt, imp.Rand) {
+				return // gray-dropped (and released) inside corrupt
+			}
+			resOK = false // route ID changed under the residue
+		}
+	}
+	if tr.h == nil {
+		tr.resolveEndpoint()
+		if tr.h == nil {
+			l.net.Deliver(pkt, ds.dst, ds.dstPort) // unbound: scalar no-port drop
+			return
+		}
+	}
+	n := l.net
+	pkt.Hops++
+	n.dDelivered.Inc()
+	if n.deliverHook != nil {
+		n.deliverHook(pkt, ds.dst, ds.dstPort)
+	}
+	if tr.bh != nil && resOK {
+		tr.bh.HandleBatchPacket(pkt, ds.dstPort, m.res)
+		return
+	}
+	tr.h.HandlePacket(pkt, ds.dstPort)
+}

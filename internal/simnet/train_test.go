@@ -1,0 +1,324 @@
+package simnet
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/rns"
+	"repro/internal/topology"
+)
+
+// relay forwards everything out a fixed port — a stand-in for a switch
+// that keeps these tests free of higher-layer dependencies while still
+// exercising re-enqueue-from-delivery (members appended to an active
+// train from inside stepTrain).
+type relay struct {
+	n    *Network
+	node *topology.Node
+	port int
+}
+
+func (r *relay) HandlePacket(pkt *packet.Packet, inPort int) {
+	r.n.Send(r.node, r.port, pkt)
+}
+
+// chainWorld is a three-node line A—B—C: bursty ingress at A, a relay
+// at B, a recording sink at C, and a drop hook capturing every loss in
+// delivery order. The B—C link has a small queue so overload tail-drops.
+type chainWorld struct {
+	n       *Network
+	a       *topology.Node
+	linkAB  *topology.Link
+	linkBC  *topology.Link
+	sink    *sink
+	drops   []Drop
+	dropped []uint64 // seqs in drop order
+}
+
+func newChainWorld(t *testing.T, scalar bool) *chainWorld {
+	t.Helper()
+	g := topology.New("chain")
+	if _, err := g.AddEdge("A"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddCore("B", 7); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddEdge("C"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Connect("A", "B", topology.WithRateMbps(100), topology.WithDelay(time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Connect("B", "C", topology.WithRateMbps(20), topology.WithDelay(2*time.Millisecond), topology.WithQueuePackets(16)); err != nil {
+		t.Fatal(err)
+	}
+	var opts []Option
+	if scalar {
+		opts = append(opts, WithScalarDataPlane())
+	}
+	n := New(g, opts...)
+	if n.Batching() == scalar {
+		t.Fatalf("Batching() = %v with scalar=%v", n.Batching(), scalar)
+	}
+	a, _ := g.Node("A")
+	b, _ := g.Node("B")
+	c, _ := g.Node("C")
+	w := &chainWorld{n: n, a: a, sink: &sink{sched: n.Scheduler()}}
+	w.linkAB, _ = a.PortLink(0)
+	// B's port toward C is whichever port is not the A link.
+	fwd := 1
+	if l, _ := b.PortLink(0); l != w.linkAB {
+		fwd = 0
+	}
+	w.linkBC, _ = b.PortLink(fwd)
+	n.Bind(b, &relay{n: n, node: b, port: fwd})
+	n.Bind(c, w.sink)
+	n.SetDropHook(func(d Drop) {
+		w.drops = append(w.drops, d)
+		w.dropped = append(w.dropped, d.Packet.Seq)
+	})
+	return w
+}
+
+// burst schedules k back-to-back sends from A at t (a train of k).
+func (w *chainWorld) burst(t time.Duration, firstSeq uint64, k int) {
+	w.n.Scheduler().At(t, func() {
+		for i := 0; i < k; i++ {
+			w.n.Send(w.a, 0, &packet.Packet{
+				Size:    1250,
+				TTL:     16,
+				Seq:     firstSeq + uint64(i),
+				RouteID: rns.RouteIDFromUint64(0xABCD_0000 + firstSeq + uint64(i)),
+			})
+		}
+	})
+}
+
+// runFaultGauntlet drives the same mixed workload — bursts, a failure
+// window cutting trains mid-flight, a gray window dropping and
+// corrupting members, queue overload — through one world.
+func runFaultGauntlet(w *chainWorld, seed int64) {
+	sched := w.n.Scheduler()
+	w.burst(0, 0, 30) // overloads the 16-slot B—C queue
+	w.burst(3*time.Millisecond, 100, 20)
+	w.n.ScheduleFailure(w.linkBC, 5*time.Millisecond, 2*time.Millisecond)
+	sched.At(10*time.Millisecond, func() {
+		w.n.SetImpairment(w.linkAB, &Impairment{
+			DropProb: 0.3, CorruptProb: 0.3, Rand: rand.New(rand.NewSource(seed)),
+		})
+	})
+	w.burst(10*time.Millisecond+time.Microsecond, 200, 30)
+	sched.At(15*time.Millisecond, func() { w.n.SetImpairment(w.linkAB, nil) })
+	w.burst(20*time.Millisecond, 300, 10)
+	sched.RunUntil(100 * time.Millisecond)
+}
+
+// TestBatchScalarByteIdentical is the package-level identity gate: the
+// fault gauntlet must produce the same deliveries (seq, time, hops),
+// the same drops (reason, time, order) and a byte-identical metrics
+// dump in batched and scalar modes.
+func TestBatchScalarByteIdentical(t *testing.T) {
+	batch := newChainWorld(t, false)
+	scalar := newChainWorld(t, true)
+	runFaultGauntlet(batch, 42)
+	runFaultGauntlet(scalar, 42)
+
+	if len(batch.sink.pkts) != len(scalar.sink.pkts) {
+		t.Fatalf("delivered: batch %d, scalar %d", len(batch.sink.pkts), len(scalar.sink.pkts))
+	}
+	for i := range batch.sink.pkts {
+		bp, sp := batch.sink.pkts[i], scalar.sink.pkts[i]
+		if bp.Seq != sp.Seq || bp.Hops != sp.Hops || batch.sink.times[i] != scalar.sink.times[i] {
+			t.Fatalf("delivery %d: batch (seq=%d hops=%d at=%v), scalar (seq=%d hops=%d at=%v)",
+				i, bp.Seq, bp.Hops, batch.sink.times[i], sp.Seq, sp.Hops, scalar.sink.times[i])
+		}
+		if bid, sid := bp.RouteID.String(), sp.RouteID.String(); bid != sid {
+			t.Fatalf("delivery %d (seq %d): route ID batch %s, scalar %s (corruption divergence)",
+				i, bp.Seq, bid, sid)
+		}
+	}
+	if len(batch.drops) != len(scalar.drops) {
+		t.Fatalf("drops: batch %d (%v), scalar %d (%v)",
+			len(batch.drops), batch.dropped, len(scalar.drops), scalar.dropped)
+	}
+	for i := range batch.drops {
+		bd, sd := batch.drops[i], scalar.drops[i]
+		if bd.Reason != sd.Reason || bd.Packet.Seq != sd.Packet.Seq || bd.Where != sd.Where || bd.At != sd.At {
+			t.Fatalf("drop %d: batch {%v seq=%d at=%v %s}, scalar {%v seq=%d at=%v %s}",
+				i, bd.Reason, bd.Packet.Seq, bd.At, bd.Where, sd.Reason, sd.Packet.Seq, sd.At, sd.Where)
+		}
+	}
+
+	var bDump, sDump strings.Builder
+	if err := batch.n.Metrics().WritePrometheus(&bDump); err != nil {
+		t.Fatal(err)
+	}
+	if err := scalar.n.Metrics().WritePrometheus(&sDump); err != nil {
+		t.Fatal(err)
+	}
+	if bDump.String() != sDump.String() {
+		t.Errorf("metrics dumps differ between batch and scalar modes:\n--- batch ---\n%s\n--- scalar ---\n%s",
+			bDump.String(), sDump.String())
+	}
+	if p := batch.n.Scheduler().Pending(); p != 0 {
+		t.Errorf("batch scheduler leaks %d pending items", p)
+	}
+
+	// Guard against a vacuous gauntlet: every fault class must have
+	// actually fired, or the identity above proves nothing.
+	seen := map[DropReason]bool{}
+	for _, d := range batch.drops {
+		seen[d.Reason] = true
+	}
+	for _, want := range []DropReason{DropInFlight, DropGray, DropQueueFull} {
+		if !seen[want] {
+			t.Errorf("gauntlet produced no %v drops — fault coverage is vacuous", want)
+		}
+	}
+	if c := batch.n.Metrics().CounterValue("kar_fault_corrupted_total", "link", batch.linkAB.Name()); c == 0 {
+		t.Error("gauntlet corrupted no packets — corruption coverage is vacuous")
+	}
+}
+
+// TestTrainSplitOnFailure pins the fault-exactness contract with
+// hand-computed expectations: five back-to-back packets on a 10 ms
+// link (125 µs serialization each) with the link failing at 5 ms. All
+// five start transmission before the failure, so every one is killed
+// in flight — and the kill happens at each member's own delivery
+// instant, not when the train is split.
+func TestTrainSplitOnFailure(t *testing.T) {
+	n, a, _, sk := twoNodeNet(t, topology.WithRateMbps(80), topology.WithDelay(10*time.Millisecond))
+	aNode, _ := n.Topology().Node("A")
+	link, _ := aNode.PortLink(0)
+	var drops []Drop
+	n.SetDropHook(func(d Drop) { drops = append(drops, d) })
+
+	for i := 0; i < 5; i++ {
+		n.Send(a, 0, &packet.Packet{Size: 1250, TTL: 8, Seq: uint64(i)})
+	}
+	n.Scheduler().At(5*time.Millisecond, func() { n.FailLink(link) })
+	n.Scheduler().RunUntil(time.Second)
+
+	if len(sk.pkts) != 0 {
+		t.Errorf("delivered %d packets, want 0 (all in flight at failure)", len(sk.pkts))
+	}
+	if len(drops) != 5 {
+		t.Fatalf("dropped %d packets, want 5", len(drops))
+	}
+	for i, d := range drops {
+		if d.Reason != DropInFlight {
+			t.Errorf("drop %d reason = %v, want in-flight", i, d.Reason)
+		}
+	}
+	if st := n.LineStats(link); st.InFlightDrops != 5 {
+		t.Errorf("InFlightDrops = %d, want 5", st.InFlightDrops)
+	}
+}
+
+// TestTrainSurvivorsAfterRepair: members whose transmission starts
+// after the repair deliver normally even though earlier members of
+// the same burst schedule were killed — the per-member txStart check.
+func TestTrainSurvivorsAfterRepair(t *testing.T) {
+	n, a, _, sk := twoNodeNet(t, topology.WithRateMbps(80), topology.WithDelay(time.Millisecond))
+	aNode, _ := n.Topology().Node("A")
+	link, _ := aNode.PortLink(0)
+	n.ScheduleFailure(link, 2*time.Millisecond, time.Millisecond)
+
+	// 125 µs serialization each: seq i delivers at (i+1)·125 µs + 1 ms.
+	// The failure event at 2 ms outranks seq 7's same-instant delivery
+	// (it was scheduled first), so seqs 7..15 are killed in flight and
+	// only 0..6 land.
+	for i := 0; i < 16; i++ {
+		n.Send(a, 0, &packet.Packet{Size: 1250, TTL: 8, Seq: uint64(i)})
+	}
+	// Sent during the outage: dropped at send.
+	n.Scheduler().At(2500*time.Microsecond, func() {
+		n.Send(a, 0, &packet.Packet{Size: 1250, TTL: 8, Seq: 90})
+	})
+	// Sent after repair: delivered.
+	n.Scheduler().At(4*time.Millisecond, func() {
+		n.Send(a, 0, &packet.Packet{Size: 1250, TTL: 8, Seq: 91})
+	})
+	n.Scheduler().RunUntil(time.Second)
+
+	wantDelivered := map[uint64]bool{}
+	for i := 0; i < 7; i++ {
+		wantDelivered[uint64(i)] = true
+	}
+	wantDelivered[91] = true
+	if len(sk.pkts) != len(wantDelivered) {
+		t.Fatalf("delivered %d packets, want %d", len(sk.pkts), len(wantDelivered))
+	}
+	for _, p := range sk.pkts {
+		if !wantDelivered[p.Seq] {
+			t.Errorf("seq %d delivered, should have been dropped", p.Seq)
+		}
+	}
+	st := n.LineStats(link)
+	if st.InFlightDrops != 9 {
+		t.Errorf("InFlightDrops = %d, want 9 (seqs 7..15)", st.InFlightDrops)
+	}
+}
+
+// TestBatchQueueDrainExactness: in batch mode queue releases are
+// implicit (drained lazily), so occupancy at the moment of a same-
+// instant enqueue must still match scalar semantics — a release
+// stamped before the current dispatch frees its slot, one stamped
+// after does not.
+func TestBatchQueueDrainExactness(t *testing.T) {
+	for _, scalar := range []bool{false, true} {
+		name := "batch"
+		if scalar {
+			name = "scalar"
+		}
+		t.Run(name, func(t *testing.T) {
+			g := topology.New("pair")
+			if _, err := g.AddEdge("A"); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := g.AddEdge("B"); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := g.Connect("A", "B",
+				topology.WithRateMbps(100), topology.WithDelay(time.Millisecond),
+				topology.WithQueuePackets(3)); err != nil {
+				t.Fatal(err)
+			}
+			var opts []Option
+			if scalar {
+				opts = append(opts, WithScalarDataPlane())
+			}
+			n := New(g, opts...)
+			a, _ := g.Node("A")
+			b, _ := g.Node("B")
+			sk := &sink{sched: n.Scheduler()}
+			n.Bind(b, sk)
+			var qDrops int
+			n.SetDropHook(func(d Drop) {
+				if d.Reason == DropQueueFull {
+					qDrops++
+				}
+			})
+			// Fill the queue, then send again at exactly the instant the
+			// first slot frees (100 µs serialization): the release sorts
+			// before the send (lower seq), so the new packet must fit.
+			for i := 0; i < 3; i++ {
+				n.Send(a, 0, &packet.Packet{Size: 1250, TTL: 8, Seq: uint64(i)})
+			}
+			n.Scheduler().At(100*time.Microsecond, func() {
+				n.Send(a, 0, &packet.Packet{Size: 1250, TTL: 8, Seq: 10})
+			})
+			n.Scheduler().RunUntil(time.Second)
+			if len(sk.pkts) != 4 {
+				t.Errorf("delivered %d packets, want 4 (release precedes same-instant send)", len(sk.pkts))
+			}
+			if qDrops != 0 {
+				t.Errorf("queue drops = %d, want 0", qDrops)
+			}
+		})
+	}
+}

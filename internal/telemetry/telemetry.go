@@ -132,6 +132,40 @@ func (h *Histogram) Observe(v float64) {
 	h.counts[len(h.bounds)]++
 }
 
+// NumBuckets returns the number of buckets including the implicit
+// +Inf bucket. Bounds are immutable after construction, so this and
+// BucketFor need no lock.
+func (h *Histogram) NumBuckets() int { return len(h.bounds) + 1 }
+
+// BucketFor returns the index of the bucket v falls into.
+func (h *Histogram) BucketFor(v float64) int {
+	for i, b := range h.bounds {
+		if v <= b {
+			return i
+		}
+	}
+	return len(h.bounds)
+}
+
+// Merge folds pre-bucketed samples in under one lock: counts must be
+// indexed as by BucketFor, n their total, sum their value sum. The
+// result is byte-identical to observing the samples one at a time as
+// long as the float sums involved are exact — true for the data
+// plane, which observes only integral values (whole hops, whole
+// microseconds); callers with fractional samples should use Observe.
+func (h *Histogram) Merge(counts []int64, n int64, sum float64) {
+	if n <= 0 {
+		return
+	}
+	h.mu.Lock()
+	h.count += n
+	h.sum += sum
+	for i, c := range counts {
+		h.counts[i] += c
+	}
+	h.mu.Unlock()
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 {
 	h.mu.Lock()

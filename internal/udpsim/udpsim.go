@@ -23,6 +23,11 @@ type Config struct {
 	Size int
 	// Count is the total number of packets to send (0 = until Stop).
 	Count int
+	// Burst is the number of packets injected per tick (default 1).
+	// Bursts keep links saturated between ticks — the packets-per-
+	// second benchmarks use it to drive the data plane flat out
+	// without scheduling one timer event per packet.
+	Burst int
 }
 
 // Defaults fills unset fields.
@@ -32,6 +37,9 @@ func (c Config) Defaults() Config {
 	}
 	if c.Size == 0 {
 		c.Size = 1500
+	}
+	if c.Burst == 0 {
+		c.Burst = 1
 	}
 	return c
 }
@@ -45,8 +53,8 @@ type Sender struct {
 
 	sent    int
 	stopped bool
-	cSent   *telemetry.Counter
-	tickFn  func() // cached method value: rescheduling allocates nothing
+	cSent   *simnet.DeferredCounter // per-packet, batch-deferred
+	tickFn  func()                  // cached method value: rescheduling allocates nothing
 }
 
 // Stats for the receiver side.
@@ -83,14 +91,19 @@ type Receiver struct {
 	sched   *simnet.Scheduler
 	highSeq uint64
 	gotAny  bool
-	seen    map[uint64]bool
-	stats   Stats
+	// seen is a duplicate-detection bitmap indexed by sequence number
+	// (CBR seqs are dense from 0, so a map would pay hashing and
+	// rehash pauses on the packets-per-second hot path for nothing).
+	seen  []uint64
+	stats Stats
 
 	// Registry-backed counters and the one-way latency histogram.
-	cReceived  *telemetry.Counter
+	// The per-packet received counter and latency histogram are
+	// batch-deferred; the exception counters stay atomic.
+	cReceived  *simnet.DeferredCounter
 	cReordered *telemetry.Counter
 	cDups      *telemetry.Counter
-	hLatency   *telemetry.Histogram
+	hLatency   *simnet.DeferredHistogram
 }
 
 // NewFlow wires a CBR sender and receiver; the forward route must be
@@ -101,15 +114,15 @@ func NewFlow(net *simnet.Network, srcEdge, dstEdge *edge.Edge, flow packet.FlowI
 	f := flow.String()
 	s := &Sender{
 		sched: net.Scheduler(), edge: srcEdge, flow: flow, cfg: cfg,
-		cSent: reg.Counter("kar_udp_sent_total", "flow", f),
+		cSent: net.DeferCounter(reg.Counter("kar_udp_sent_total", "flow", f)),
 	}
 	s.tickFn = s.tick
 	r := &Receiver{
-		sched: net.Scheduler(), seen: make(map[uint64]bool),
-		cReceived:  reg.Counter("kar_udp_received_total", "flow", f),
+		sched:      net.Scheduler(),
+		cReceived:  net.DeferCounter(reg.Counter("kar_udp_received_total", "flow", f)),
 		cReordered: reg.Counter("kar_udp_reordered_total", "flow", f),
 		cDups:      reg.Counter("kar_udp_dup_total", "flow", f),
-		hLatency:   reg.Histogram("kar_udp_latency_us", telemetry.LatencyBucketsUs, "flow", f),
+		hLatency:   net.DeferHistogram(reg.Histogram("kar_udp_latency_us", telemetry.LatencyBucketsUs, "flow", f)),
 	}
 	dstEdge.Attach(flow, edge.ReceiverFunc(r.onData))
 	return s, r
@@ -128,16 +141,21 @@ func (s *Sender) tick() {
 	if s.stopped || (s.cfg.Count > 0 && s.sent >= s.cfg.Count) {
 		return
 	}
-	pkt := packet.Get()
-	pkt.Flow = s.flow
-	pkt.Kind = packet.KindData
-	pkt.Seq = uint64(s.sent)
-	pkt.Size = s.cfg.Size
-	pkt.SentAt = s.sched.Now()
-	s.sent++
-	s.cSent.Inc()
-	if err := s.edge.Inject(pkt); err != nil {
-		pkt.Release()
+	for i := 0; i < s.cfg.Burst; i++ {
+		if s.cfg.Count > 0 && s.sent >= s.cfg.Count {
+			break
+		}
+		pkt := packet.Get()
+		pkt.Flow = s.flow
+		pkt.Kind = packet.KindData
+		pkt.Seq = uint64(s.sent)
+		pkt.Size = s.cfg.Size
+		pkt.SentAt = s.sched.Now()
+		s.sent++
+		s.cSent.Inc()
+		if err := s.edge.Inject(pkt); err != nil {
+			pkt.Release()
+		}
 	}
 	s.sched.After(s.cfg.Interval, s.tickFn)
 }
@@ -147,11 +165,17 @@ func (s *Sender) tick() {
 func (r *Receiver) onData(pkt *packet.Packet) {
 	defer pkt.Release()
 	st := &r.stats
-	if r.seen[pkt.Seq] {
+	word, bit := pkt.Seq>>6, uint64(1)<<(pkt.Seq&63)
+	if word >= uint64(len(r.seen)) {
+		grown := make([]uint64, (word+1)*2)
+		copy(grown, r.seen)
+		r.seen = grown
+	}
+	if r.seen[word]&bit != 0 {
 		r.cDups.Inc()
 		return
 	}
-	r.seen[pkt.Seq] = true
+	r.seen[word] |= bit
 	r.cReceived.Inc()
 	st.TotalHops += int64(pkt.Hops)
 	if r.cReceived.Value() == 1 || pkt.Hops < st.MinHops {

@@ -187,6 +187,39 @@ for want in 'reaction chains' 'detection' 'first delivery' 'Journeys by flow'; d
 done
 echo "trace determinism OK ($(wc -l < "$tmp/t1.jsonl") records, byte-identical across repeats and worker counts)"
 
+echo "==> batch data plane identity (fig4, -batch vs -batch=false, -workers 1 vs 4)"
+# The batched data plane's contract (DESIGN.md §9): packet trains,
+# word-parallel reduction and deferred telemetry are pure mechanics —
+# the same seed must produce byte-identical metric dumps and trace
+# exports with -batch on or off, at any worker count. The batched
+# trace export is compared against t1 above (default -batch).
+"$tmp/karsim" -exp fig4 -seed 1 -workers 1 -batch=false -metrics "$tmp/sc1.prom" > /dev/null
+"$tmp/karsim" -exp fig4 -seed 1 -workers 4 -batch=false -metrics "$tmp/sc4.prom" > /dev/null
+cmp -s "$tmp/w1.prom" "$tmp/sc1.prom" || {
+    echo "FAIL: batched and scalar metrics dumps differ (-workers 1)" >&2
+    exit 1
+}
+cmp -s "$tmp/w3.prom" "$tmp/sc4.prom" || {
+    echo "FAIL: batched and scalar metrics dumps differ across worker counts" >&2
+    exit 1
+}
+"$tmp/karsim" -scenario examples/scenarios/flap-react-net15.json -workers 1 -batch=false -trace-export "$tmp/tsc" > /dev/null
+cmp -s "$tmp/t1.jsonl" "$tmp/tsc.jsonl" || {
+    echo "FAIL: batched and scalar trace exports differ" >&2
+    exit 1
+}
+cmp -s "$tmp/t1.trace.json" "$tmp/tsc.trace.json" || {
+    echo "FAIL: batched and scalar Perfetto exports differ" >&2
+    exit 1
+}
+echo "batch data plane identity OK"
+
+echo "==> go test -race (batch data plane focused)"
+# The batched hot path (trains, deferred counters/histograms, burst
+# forwarding) runs single-goroutine per world by contract; this line
+# proves worker-pool parallelism over batched worlds stays race-free.
+go test -race -run 'Batch|Train|ReduceBatch' ./internal/rns/ ./internal/simnet/ ./internal/kswitch/ ./internal/udpsim/
+
 echo "==> resilience verifier (karsim -verify net15, -workers 1 vs 4)"
 # The exhaustive failure sweep must (a) prove 100% single-failure
 # delivery for avp/nip on the SW29-rooted full-protection routes
