@@ -50,6 +50,14 @@ type options struct {
 	metrics  string
 	pprof    string
 
+	shards    int
+	topo      string
+	flows     int
+	pairs     int
+	rate      float64
+	arrival   string
+	failLinks int
+
 	traceExport string
 	traceSample float64
 	traceMax    int
@@ -73,7 +81,7 @@ type options struct {
 func run(args []string) error {
 	fs := flag.NewFlagSet("karsim", flag.ContinueOnError)
 	opts := options{}
-	fs.StringVar(&opts.exp, "exp", "all", "experiment: table1, fig4, fig5, fig7, fig8, table2, coverage, ablation, reaction, all")
+	fs.StringVar(&opts.exp, "exp", "all", "experiment: table1, fig4, fig5, fig7, fig8, table2, coverage, ablation, reaction, scale, all")
 	fs.StringVar(&opts.scenario, "scenario", "", "run a declarative fault scenario file (JSON, see examples/scenarios/) instead of -exp")
 	fs.IntVar(&opts.runs, "runs", 30, "repetitions for fig5/fig7/fig8 (the paper used 30)")
 	fs.DurationVar(&opts.duration, "duration", 6*time.Second, "virtual duration per fig5/fig7/fig8 run (paper: 5s + ramp)")
@@ -83,6 +91,13 @@ func run(args []string) error {
 	fs.BoolVar(&opts.csv, "csv", false, "emit CSV instead of aligned tables")
 	fs.StringVar(&opts.metrics, "metrics", "", "write a Prometheus-text metrics dump to this path (plus <path>.json with events) and print a MetricsReport")
 	fs.StringVar(&opts.pprof, "pprof", "", "write runtime profiles to <prefix>.{cpu,heap,mutex,block}.pprof")
+	fs.IntVar(&opts.shards, "shards", 1, "parallel region shards for -exp scale (results are byte-identical for every value)")
+	fs.StringVar(&opts.topo, "topo", "", "generated topology spec for -exp scale: fattree:<k>, clos:<leaves>:<spines>, isp:<cores>:<m>:<hosts>:<seed>, rand:<cores>:<extra>:<edges>:<seed>")
+	fs.IntVar(&opts.flows, "flows", 0, "logical flow population for -exp scale (default 100000)")
+	fs.IntVar(&opts.pairs, "pairs", 0, "distinct src/dst host pairs for -exp scale (default 64)")
+	fs.Float64Var(&opts.rate, "rate", 0, "mean per-flow packets/s for -exp scale (default 5)")
+	fs.StringVar(&opts.arrival, "arrival", "poisson", "arrival process for -exp scale: poisson or onoff")
+	fs.IntVar(&opts.failLinks, "fail-links", 0, "fail this many seeded fabric links mid-run in -exp scale")
 	fs.StringVar(&opts.traceExport, "trace-export", "", "write flight-recorder traces to <prefix>.jsonl (structured) and <prefix>.trace.json (Perfetto/chrome://tracing)")
 	fs.Float64Var(&opts.traceSample, "trace-sample", 1, "per-flow sampling probability for -trace-export (deterministic flow hash, not an RNG)")
 	fs.IntVar(&opts.traceMax, "trace-max", 0, "retained flight-recorder records per run (0 = default 65536)")
@@ -153,6 +168,9 @@ func run(args []string) error {
 		"coverage": runCoverage,
 		"ablation": runAblation,
 		"reaction": runReaction,
+		// scale is deliberately not in `order`: it is sized by its own
+		// flags, not meant to ride along with -exp all.
+		"scale": runScale,
 	}
 	order := []string{"table1", "fig4", "fig5", "fig7", "fig8", "table2", "coverage", "ablation", "reaction"}
 
@@ -168,7 +186,7 @@ func run(args []string) error {
 	}
 	fn, ok := experiments[opts.exp]
 	if !ok {
-		return fmt.Errorf("unknown experiment %q (want one of %s, all)", opts.exp, strings.Join(order, ", "))
+		return fmt.Errorf("unknown experiment %q (want one of %s, scale, all)", opts.exp, strings.Join(order, ", "))
 	}
 	if err := fn(opts); err != nil {
 		return err
@@ -372,6 +390,33 @@ func runReaction(opts options) error {
 		return err
 	}
 	emit(opts, experiment.ReactionTable(rows))
+	return nil
+}
+
+// runScale is the datacenter-scale workload: a generated fabric
+// (fattree:28 ≈ 1k switches), a million-flow population, and -shards
+// parallel regions under conservative lookahead. The metrics dump is
+// byte-identical for every -shards/-workers/-batch combination —
+// scripts/check.sh gates on it.
+func runScale(opts options) error {
+	res, err := experiment.Scale(experiment.ScaleConfig{
+		Topo:      opts.topo,
+		Shards:    opts.shards,
+		Flows:     opts.flows,
+		Pairs:     opts.pairs,
+		Rate:      opts.rate,
+		Arrival:   opts.arrival,
+		FailLinks: opts.failLinks,
+		Duration:  opts.duration,
+		Seed:      opts.seed,
+		Scalar:    !opts.batch,
+		Metrics:   opts.collector,
+		Trace:     opts.tracer,
+	})
+	if err != nil {
+		return err
+	}
+	emit(opts, experiment.ScaleTable(res))
 	return nil
 }
 

@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
-	"strconv"
 	"strings"
 
 	"repro/internal/measure"
@@ -82,25 +81,12 @@ func runVerify(opts options) (*resilience.Report, error) {
 	return rep, nil
 }
 
-// buildVerifyTopology accepts the scenario topology names plus
-// "rand:<cores>:<extra>:<edges>:<seed>" for generated graphs.
+// buildVerifyTopology accepts the scenario topology names plus every
+// topology.FromSpec generator spec ("rand:...", "fattree:<k>",
+// "clos:<leaves>:<spines>", "isp:<cores>:<m>:<hosts>:<seed>").
 func buildVerifyTopology(name string) (*topology.Graph, error) {
-	if spec, ok := strings.CutPrefix(name, "rand:"); ok {
-		parts := strings.Split(spec, ":")
-		if len(parts) != 4 {
-			return nil, fmt.Errorf("verify: %q: want rand:<cores>:<extra-links>:<edges>:<seed>", name)
-		}
-		nums := make([]int64, 4)
-		for i, p := range parts {
-			v, err := strconv.ParseInt(p, 10, 64)
-			if err != nil {
-				return nil, fmt.Errorf("verify: %q: %w", name, err)
-			}
-			nums[i] = v
-		}
-		return topology.Generate(topology.GenConfig{
-			Cores: int(nums[0]), ExtraLinks: int(nums[1]), Edges: int(nums[2]), Seed: nums[3],
-		})
+	if topology.IsSpec(name) {
+		return topology.FromSpec(name)
 	}
 	return scenario.BuildTopology(name)
 }
@@ -111,7 +97,7 @@ func verifyProtectionPairs(topo, level string) ([][2]string, error) {
 	if level == "" || level == "none" {
 		return nil, nil
 	}
-	if strings.HasPrefix(topo, "rand:") {
+	if topology.IsSpec(topo) {
 		return nil, fmt.Errorf("verify: generated topologies have no canned %q protection set", level)
 	}
 	return scenario.ProtectionPairs(topo, level)

@@ -21,6 +21,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/rns"
@@ -59,6 +60,14 @@ type Controller struct {
 	// current primary path crosses it. NotifyFailure consults it to
 	// recompute only crossing routes.
 	byLink map[*topology.Link]map[pair]struct{}
+
+	// reencMu serializes re-encode requests. On a sharded world,
+	// misdelivered packets from different regions can request fresh
+	// routes concurrently inside one parallel window; a cache miss
+	// mutates the route table, so the whole request holds the lock.
+	// All other mutators run in control-plane context (single-threaded
+	// between windows) and cannot overlap a window by construction.
+	reencMu sync.Mutex
 
 	// enc caches RNS bases across encodes: reroutes re-encode routes
 	// over recurring (path ∪ protection) switch sets.
@@ -297,7 +306,22 @@ func (c *Controller) IngressPort(route *core.Route) (int, error) {
 // reusing the destination's protection hops where they do not collide
 // with the new path (single-residue constraint).
 func (c *Controller) ReencodeRoute(fromEdge, dstEdge string) (rns.RouteID, int, error) {
+	return c.reencode(fromEdge, dstEdge, nil)
+}
+
+// ReencodeRouteAt implements edge.ReencoderAt: ReencodeRoute with the
+// requesting edge's virtual time, so a cache miss's route_install
+// event is stamped at the instant the re-encode actually happened even
+// when the request arrives from a shard lane running ahead of the
+// control clock.
+func (c *Controller) ReencodeRouteAt(at time.Duration, fromEdge, dstEdge string) (rns.RouteID, int, error) {
+	return c.reencode(fromEdge, dstEdge, &at)
+}
+
+func (c *Controller) reencode(fromEdge, dstEdge string, at *time.Duration) (rns.RouteID, int, error) {
 	c.cReencodes.Inc()
+	c.reencMu.Lock()
+	defer c.reencMu.Unlock()
 	k := pair{src: fromEdge, dst: dstEdge}
 	if e, ok := c.entries[k]; ok {
 		port, err := c.IngressPort(e.route)
@@ -317,7 +341,13 @@ func (c *Controller) ReencodeRoute(fromEdge, dstEdge string) (rns.RouteID, int, 
 		return rns.RouteID{}, 0, fmt.Errorf("controller: re-encode %s->%s: %w", fromEdge, dstEdge, err)
 	}
 	c.install(k, route, route.Protection)
-	c.recordInstall(fromEdge, dstEdge, route)
+	c.cInstalls.Inc()
+	detail := fmt.Sprintf("%s->%s bits=%d protection=%d", fromEdge, dstEdge, route.BitLength(), len(route.Protection))
+	if at != nil {
+		c.events.RecordAt(*at, telemetry.EventRouteInstall, fromEdge, detail)
+	} else {
+		c.events.Record(telemetry.EventRouteInstall, fromEdge, detail)
+	}
 	port, err := c.IngressPort(route)
 	if err != nil {
 		return rns.RouteID{}, 0, err
@@ -325,16 +355,25 @@ func (c *Controller) ReencodeRoute(fromEdge, dstEdge string) (rns.RouteID, int, 
 	return route.ID, port, nil
 }
 
-// protectionToward returns the protection hops of any installed route
+// protectionToward returns the protection hops of an installed route
 // ending at dstEdge (they form a tree toward the destination, so they
-// remain valid from any ingress).
+// remain valid from any ingress). When several protected routes end
+// there, the lexicographically smallest source wins — a fixed rule, so
+// the choice never depends on map iteration order.
 func (c *Controller) protectionToward(dstEdge string) []core.Hop {
+	var (
+		bestSrc string
+		best    []core.Hop
+	)
 	for k, e := range c.entries {
-		if k.dst == dstEdge && len(e.protection) > 0 {
-			return e.protection
+		if k.dst != dstEdge || len(e.protection) == 0 {
+			continue
+		}
+		if best == nil || k.src < bestSrc {
+			bestSrc, best = k.src, e.protection
 		}
 	}
-	return nil
+	return best
 }
 
 // filterHops removes hops whose switch lies on the path (it already

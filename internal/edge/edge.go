@@ -23,6 +23,16 @@ type Reencoder interface {
 	ReencodeRoute(fromEdge, dstEdge string) (rns.RouteID, int, error)
 }
 
+// ReencoderAt is the sharded-world upgrade of Reencoder: the edge
+// passes its own clock's virtual time so the controller can stamp the
+// resulting route_install event correctly even when the request
+// arrives from a shard lane running ahead of the control clock. Edges
+// use it whenever the controller implements it.
+type ReencoderAt interface {
+	Reencoder
+	ReencodeRouteAt(at time.Duration, fromEdge, dstEdge string) (rns.RouteID, int, error)
+}
+
 // Receiver consumes decapsulated packets at the egress edge —
 // implemented by transport endpoints (TCP/UDP receivers).
 type Receiver interface {
@@ -60,6 +70,11 @@ type Edge struct {
 	node *topology.Node
 	ctrl Reencoder
 
+	// clock schedules this edge's timers (re-encode delays) on the
+	// shard lane owning the node, keyed by the node's entity — the
+	// shard-count-invariant replacement for the global scheduler.
+	clock simnet.Clock
+
 	// reencodeDelay models the control-plane round trip for
 	// misdelivered packets.
 	reencodeDelay time.Duration
@@ -76,6 +91,12 @@ type Edge struct {
 	lastFlow  packet.FlowID
 	lastEp    endpoint
 	hasLastEp bool
+
+	// defaultEp catches flows without a specific Attach entry — the
+	// million-flow generator's path: one receiver per edge instead of
+	// one map entry (plus two histograms) per flow.
+	defaultEp  endpoint
+	hasDefault bool
 
 	// Registry-backed counters (labelled edge=<node>). The two
 	// per-packet ones — encap on inject, decap on delivery — are
@@ -117,6 +138,7 @@ func New(net *simnet.Network, node *topology.Node, ctrl Reencoder, opts ...Optio
 		net:            net,
 		node:           node,
 		ctrl:           ctrl,
+		clock:          net.ClockOf(node),
 		reencodeDelay:  DefaultReencodeDelay,
 		routes:         make(map[string]routeEntry),
 		local:          make(map[packet.FlowID]endpoint),
@@ -170,6 +192,19 @@ func (e *Edge) Attach(flow packet.FlowID, r Receiver) {
 	}
 }
 
+// AttachDefault registers a catch-all receiver: packets terminating at
+// this edge whose flow has no specific Attach entry are handed to r
+// instead of counting as unclaimed. Large flow sets (udpsim.FlowSet)
+// use one default receiver per edge and do their own per-flow
+// accounting in flat arrays; the per-flow stretch/latency histograms
+// of Attach are deliberately skipped (the set keeps aggregates). Pass
+// nil to detach.
+func (e *Edge) AttachDefault(r Receiver) {
+	e.hasLastEp = false // invalidate the delivery lookup cache
+	e.defaultEp = endpoint{r: r}
+	e.hasDefault = r != nil
+}
+
 // Inject encapsulates a locally originated packet — stamps the route
 // ID and TTL — and sends it into the core. It returns an error when
 // no route is installed for the packet's destination edge.
@@ -210,9 +245,12 @@ func (e *Edge) HandlePacket(pkt *packet.Packet, inPort int) {
 			var ok bool
 			ep, ok = e.local[pkt.Flow]
 			if !ok {
-				e.cUnclaimed.Inc()
-				e.net.Drop(pkt, simnet.DropNoPort, e.node.Name())
-				return
+				if !e.hasDefault {
+					e.cUnclaimed.Inc()
+					e.net.Drop(pkt, simnet.DropNoPort, e.node.Name())
+					return
+				}
+				ep = e.defaultEp
 			}
 			e.lastFlow, e.lastEp, e.hasLastEp = pkt.Flow, ep, true
 		}
@@ -223,7 +261,7 @@ func (e *Edge) HandlePacket(pkt *packet.Packet, inPort int) {
 		if ep.latency != nil && pkt.SentAt > 0 {
 			// Whole microseconds: integral sums keep metric exports
 			// byte-identical across worker counts.
-			ep.latency.Observe(float64((e.net.Scheduler().Now() - pkt.SentAt) / time.Microsecond))
+			ep.latency.Observe(float64((e.clock.Now() - pkt.SentAt) / time.Microsecond))
 		}
 		if pkt.Sampled {
 			if t := e.net.Trace(); t != nil {
@@ -240,8 +278,17 @@ func (e *Edge) HandlePacket(pkt *packet.Packet, inPort int) {
 		e.net.Drop(pkt, simnet.DropNoViablePort, e.node.Name())
 		return
 	}
-	e.net.Scheduler().After(e.reencodeDelay, func() {
-		id, outPort, err := e.ctrl.ReencodeRoute(e.node.Name(), pkt.Flow.Dst)
+	e.clock.After(e.reencodeDelay, func() {
+		var (
+			id      rns.RouteID
+			outPort int
+			err     error
+		)
+		if ra, ok := e.ctrl.(ReencoderAt); ok {
+			id, outPort, err = ra.ReencodeRouteAt(e.clock.Now(), e.node.Name(), pkt.Flow.Dst)
+		} else {
+			id, outPort, err = e.ctrl.ReencodeRoute(e.node.Name(), pkt.Flow.Dst)
+		}
 		if err != nil {
 			e.net.Drop(pkt, simnet.DropNoViablePort, e.node.Name())
 			return
@@ -252,7 +299,9 @@ func (e *Edge) HandlePacket(pkt *packet.Packet, inPort int) {
 		e.cReencoded.Inc()
 		if !e.loggedReencode[pkt.Flow] {
 			e.loggedReencode[pkt.Flow] = true
-			e.net.Events().Record(telemetry.EventReencode, e.node.Name(), pkt.Flow.String())
+			// Explicit timestamp: this callback may run on a shard lane
+			// whose clock is ahead of the event log's control clock.
+			e.net.Events().RecordAt(e.clock.Now(), telemetry.EventReencode, e.node.Name(), pkt.Flow.String())
 		}
 		if pkt.Sampled {
 			if t := e.net.Trace(); t != nil {

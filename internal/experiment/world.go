@@ -48,6 +48,12 @@ func NewWorld(g *topology.Graph, policy deflect.Policy, seed int64, opts ...Worl
 	if cfg.scalarDataPlane {
 		netOpts = append(netOpts, simnet.WithScalarDataPlane())
 	}
+	if cfg.shards > 1 {
+		netOpts = append(netOpts, simnet.WithShards(cfg.shards))
+	}
+	if cfg.eventCap > 0 {
+		netOpts = append(netOpts, simnet.WithEventCapacity(cfg.eventCap))
+	}
 	w := &World{Net: simnet.New(g, netOpts...)}
 	// Controller telemetry shares the world's registry and event log:
 	// route installs and re-encodes interleave with link failures on
@@ -76,6 +82,8 @@ type worldConfig struct {
 	detectUp        time.Duration
 	metricLabels    []string
 	scalarDataPlane bool
+	shards          int
+	eventCap        int
 }
 
 // WorldOption tunes world assembly.
@@ -112,6 +120,22 @@ func WithWorldMetricLabels(kv ...string) WorldOption {
 // both modes — this exists for the byte-identity gate and benchmarks.
 func WithScalarDataPlane() WorldOption {
 	return func(c *worldConfig) { c.scalarDataPlane = true }
+}
+
+// WithShards partitions the world's network into n region shards that
+// advance in parallel under conservative lookahead windows (see
+// simnet.WithShards). Results are byte-identical for every shard
+// count; only wall clock changes.
+func WithShards(n int) WorldOption {
+	return func(c *worldConfig) { c.shards = n }
+}
+
+// WithWorldEventCapacity raises the control-plane event log's
+// retention. Scale worlds install thousands of routes; the default
+// capacity would evict, and eviction order is the one thing the
+// parallel lanes do not keep deterministic.
+func WithWorldEventCapacity(n int) WorldOption {
+	return func(c *worldConfig) { c.eventCap = n }
 }
 
 // WithDetectionDelays threads a failure-detection latency model into
@@ -193,8 +217,11 @@ func (w *World) FailLinkBetween(a, b string, from, duration time.Duration) error
 	return nil
 }
 
-// Run drives the world to the given virtual time.
-func (w *World) Run(until time.Duration) { w.Net.Scheduler().RunUntil(until) }
+// Run drives the world to the given virtual time. Sharded worlds
+// advance their region lanes under conservative windows (see
+// simnet.Network.RunUntil); unsharded worlds run the single scheduler
+// directly.
+func (w *World) Run(until time.Duration) { w.Net.RunUntil(until) }
 
 // PolicyByName resolves a deflection policy or fails loudly; it exists
 // so experiment definitions can be table-driven on policy names.

@@ -66,6 +66,10 @@ type Switch struct {
 	policy deflect.Policy
 	rng    *rand.Rand
 	red    rns.Reducer // precomputed constants for node.ID()
+	// clock is the node's lane-local virtual time: event-log records
+	// from the forwarding path must carry it, because the global
+	// control clock lags inside parallel shard windows.
+	clock simnet.Clock
 
 	// Cached registry handles.
 	cReceived    *telemetry.Counter
@@ -128,6 +132,7 @@ func New(net *simnet.Network, node *topology.Node, policy deflect.Policy, seed i
 		policy:       policy,
 		rng:          rand.New(rand.NewSource(seed)),
 		red:          rns.NewReducer(node.ID()),
+		clock:        net.ClockOf(node),
 		cReceived:    reg.Counter("kar_switch_received_total", "switch", node.Name()),
 		cForwarded:   reg.Counter("kar_switch_forwards_total", "switch", node.Name()),
 		cTTLDrops:    reg.Counter("kar_switch_ttl_expired_total", "switch", node.Name()),
@@ -254,7 +259,7 @@ func (s *Switch) decide(pkt *packet.Packet, inPort int) {
 		s.cPolicyDrops.Inc()
 		if flow := pkt.Flow.String(); !s.loggedDrop[flow] {
 			s.loggedDrop[flow] = true
-			s.net.Events().Record(telemetry.EventPolicyDrop, s.node.Name(), flow)
+			s.net.Events().RecordAt(s.clock.Now(), telemetry.EventPolicyDrop, s.node.Name(), flow)
 		}
 		s.net.Drop(pkt, simnet.DropNoViablePort, s.node.Name())
 		return
@@ -265,7 +270,7 @@ func (s *Switch) decide(pkt *packet.Packet, inPort int) {
 		s.cDeflections[cause].Inc()
 		if !s.loggedDeflect[cause] {
 			s.loggedDeflect[cause] = true
-			s.net.Events().Record(telemetry.EventDeflect, s.node.Name(), causeNames[cause])
+			s.net.Events().RecordAt(s.clock.Now(), telemetry.EventDeflect, s.node.Name(), causeNames[cause])
 		}
 		if pkt.Sampled {
 			if t := s.net.Trace(); t != nil {

@@ -275,6 +275,9 @@ func runOne(spec *Spec, idx int, coll *telemetry.Collector, traces *trace.Collec
 	if scalar {
 		worldOpts = append(worldOpts, experiment.WithScalarDataPlane())
 	}
+	if spec.Shards > 1 {
+		worldOpts = append(worldOpts, experiment.WithShards(spec.Shards))
+	}
 	w := experiment.NewWorld(g, policy, seed, worldOpts...)
 	// Attach before route installs so the initial ingress programming
 	// lands on the recorded control-plane timeline.

@@ -47,8 +47,14 @@ func (d *Duration) UnmarshalJSON(b []byte) error {
 type Spec struct {
 	Name        string `json:"name"`
 	Description string `json:"description,omitempty"`
-	// Topology names a canned graph: net15, rnp28, rnp28-fig8 or fig1.
+	// Topology names a canned graph (net15, rnp28, rnp28-fig8, fig1)
+	// or a topology.FromSpec generator spec ("fattree:8",
+	// "clos:8:4", "isp:200:2:40:7", "rand:12:4:6:9").
 	Topology string `json:"topology"`
+	// Shards partitions each run's network into parallel regions.
+	// Results are byte-identical for every value; this is a wall-clock
+	// knob only.
+	Shards int `json:"shards,omitempty"`
 	// Policy is the deflection policy (none/hp/avp/nip).
 	Policy string `json:"policy"`
 	// Protection selects a canned driven-deflection set for the
@@ -297,9 +303,12 @@ func (inj Injection) build(runSeed int64, idx int) (fault.Injector, error) {
 
 // BuildTopology resolves a scenario topology name to a fresh graph.
 func BuildTopology(name string) (*topology.Graph, error) {
+	if topology.IsSpec(name) {
+		return topology.FromSpec(name)
+	}
 	b, ok := topologies[name]
 	if !ok {
-		return nil, fmt.Errorf("scenario: unknown topology %q (want one of %v)", name, TopologyNames())
+		return nil, fmt.Errorf("scenario: unknown topology %q (want one of %v or a generator spec)", name, TopologyNames())
 	}
 	return b()
 }

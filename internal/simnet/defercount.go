@@ -35,8 +35,13 @@ func (n *Network) DeferCounter(c *telemetry.Counter) *DeferredCounter {
 func (d *DeferredCounter) Inc() { d.Add(1) }
 
 // Add accumulates v, deferring the atomic update in batch mode.
+// Inside a parallel shard window increments pass straight through to
+// the atomic backing counter instead: lanes run concurrently there, so
+// the single-goroutine deferral contract does not hold, and atomic
+// adds commute — total counts (all any observer can see, since
+// observation points sit at window barriers) are unchanged.
 func (d *DeferredCounter) Add(v int64) {
-	if !d.n.batch {
+	if !d.n.batch || d.n.inWindow {
 		d.c.Add(v)
 		return
 	}
@@ -73,9 +78,11 @@ func (n *Network) DeferHistogram(h *telemetry.Histogram) *DeferredHistogram {
 }
 
 // Observe records one sample, deferring the locked histogram update
-// in batch mode.
+// in batch mode. Parallel shard windows pass through to the mutexed
+// histogram (same reasoning as DeferredCounter.Add: bucket counts and
+// integral sums commute, so barrier-time observations are identical).
 func (d *DeferredHistogram) Observe(v float64) {
-	if !d.w.batch {
+	if !d.w.batch || d.w.inWindow {
 		d.h.Observe(v)
 		return
 	}
@@ -89,8 +96,15 @@ func (d *DeferredHistogram) Observe(v float64) {
 
 // flushCounters drains every dirty deferred counter and histogram
 // into its backing telemetry cell. Called at observation boundaries;
-// cheap when nothing is pending.
+// cheap when nothing is pending. The empty-case early return is
+// load-bearing under sharding: inside parallel windows the dirty lists
+// are always empty (Add/Observe pass through), and returning before
+// any slice-header write keeps concurrent no-op flushes from lane
+// evtFunc dispatches race-free.
 func (n *Network) flushCounters() {
+	if len(n.dirty) == 0 && len(n.dirtyH) == 0 {
+		return
+	}
 	for i, d := range n.dirty {
 		d.c.Add(d.pending)
 		d.pending = 0

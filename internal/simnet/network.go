@@ -118,6 +118,19 @@ type dirState struct {
 	dst     *topology.Node
 	dstPort int
 
+	// Sharded execution (see shard.go). lane is the scheduler of the
+	// shard owning the *sending* node — the only lane that may post
+	// this direction's events; dstLane owns the receiving node. ent is
+	// this direction's tie-break entity; noBatch marks cut (cross-
+	// shard) directions, which stay on the scalar two-event path so a
+	// delivery is a self-contained message rather than shared train
+	// state. In a 1-shard world lane == dstLane == the network
+	// scheduler and noBatch is false everywhere.
+	lane    *Scheduler
+	dstLane *Scheduler
+	ent     uint32
+	noBatch bool
+
 	// Registry-backed counters.
 	sentPackets   *DeferredCounter
 	sentBytes     *DeferredCounter
@@ -226,6 +239,21 @@ type Network struct {
 	// train.go). Scalar mode keeps the original two-events-per-packet
 	// path so check.sh can byte-compare the two.
 	batch bool
+
+	// Sharded execution (see shard.go). lanes[i] is shard i's
+	// scheduler; with one shard, lanes[0] == sched (the legacy single-
+	// loop world). nodeLane maps node insertion index → owning lane
+	// index; lookahead is the conservative window bound (the minimum
+	// propagation delay over cut links); impaired counts lines with an
+	// installed gray impairment (impairments force serialized
+	// execution: their RNG draw order is defined by the global event
+	// order). inWindow is true exactly while shard goroutines run a
+	// parallel window — the deferred-telemetry pass-through flag.
+	lanes     []*Scheduler
+	nodeLane  []int
+	lookahead time.Duration
+	impaired  int
+	inWindow  bool
 }
 
 // Option configures a Network.
@@ -237,6 +265,7 @@ type netConfig struct {
 	detectDown time.Duration
 	detectUp   time.Duration
 	scalar     bool
+	shards     int
 }
 
 // WithMetricLabels attaches constant key/value labels to every metric
@@ -276,6 +305,17 @@ func WithScalarDataPlane() Option {
 	return func(c *netConfig) { c.scalar = true }
 }
 
+// WithShards partitions the world into n parallel regions (see
+// shard.go): topology.PartitionRegions assigns every node to a shard,
+// each shard advances on its own scheduler lane, and lanes synchronize
+// conservatively with a lookahead window derived from the minimum
+// cut-link propagation delay. n ≤ 1 (the default) is the legacy
+// single-loop world. Determinism is unaffected by construction: same
+// seed ⇒ byte-identical dumps for every shard count.
+func WithShards(n int) Option {
+	return func(c *netConfig) { c.shards = n }
+}
+
 // New builds a Network over a validated topology. Every topology link
 // starts up.
 func New(topo *topology.Graph, opts ...Option) *Network {
@@ -283,23 +323,54 @@ func New(topo *topology.Graph, opts ...Option) *Network {
 	for _, opt := range opts {
 		opt(&cfg)
 	}
+	nodes := topo.Nodes()
+	links := topo.Links()
+	shards := cfg.shards
+	if shards < 1 {
+		shards = 1
+	}
+	if c := len(topo.CoreNodes()); shards > c && c > 0 {
+		shards = c
+	}
 	n := &Network{
-		sched:      &Scheduler{},
 		topo:       topo,
-		lines:      make(map[*topology.Link]*Line, len(topo.Links())),
-		handlers:   make(map[*topology.Node]Handler, len(topo.Nodes())),
+		lines:      make(map[*topology.Link]*Line, len(links)),
+		handlers:   make(map[*topology.Node]Handler, len(nodes)),
 		metrics:    telemetry.NewRegistry(telemetry.WithBaseLabels(cfg.baseLabels...)),
 		detectDown: cfg.detectDown,
 		detectUp:   cfg.detectUp,
 		batch:      !cfg.scalar,
 	}
-	// Pre-size the event heap and train lane from the topology: enough
-	// for a few events per link plus control-plane headroom, so world
-	// start-up never re-grows them (visible as startup allocs in the
-	// Fig5 benchmarks).
-	n.sched.Reserve(4*len(topo.Links()) + 64)
+	// Tie-break entity layout: 0 is the control plane, 1..len(nodes)
+	// the nodes (per-node timers), then two entities per link (one per
+	// direction). All lanes share the counter array — each entity is
+	// posted to from exactly one lane — so keys depend only on per-
+	// entity posting order, never on which lane allocated them.
+	ents := make([]uint64, 1+len(nodes)+2*len(links))
+	n.sched = &Scheduler{ents: ents}
+	n.nodeLane = topology.PartitionRegions(topo, shards)
+	n.lanes = make([]*Scheduler, shards)
+	// Pre-size the event heaps and train lanes from the topology:
+	// enough for a few events per link plus control-plane headroom, so
+	// world start-up never re-grows them (visible as startup allocs in
+	// the Fig5 benchmarks).
+	perLane := 4*len(links)/shards + 64
+	if shards == 1 {
+		// Single shard: the data lane IS the control scheduler — the
+		// exact pre-shard world, bit for bit.
+		n.lanes[0] = n.sched
+		n.sched.Reserve(perLane)
+	} else {
+		n.sched.Reserve(2*len(links) + 64)
+		for i := range n.lanes {
+			n.lanes[i] = &Scheduler{ents: ents}
+			n.lanes[i].Reserve(perLane)
+		}
+	}
 	if n.batch {
-		n.sched.trains = make([]*train, 0, 2*len(topo.Links()))
+		for _, lane := range n.lanes {
+			lane.trains = make([]*train, 0, 2*len(links)/shards+8)
+		}
 	}
 	n.events = telemetry.NewEventLog(cfg.eventCap, n.sched.Now)
 	n.events.SetEvictedCounter(n.metrics.Counter("kar_events_evicted_total"))
@@ -314,11 +385,14 @@ func New(topo *topology.Graph, opts ...Option) *Network {
 	n.dSends = n.DeferCounter(n.cSends)
 	if n.batch {
 		n.sched.flush = n.flushCounters
+		for _, lane := range n.lanes {
+			lane.flush = n.flushCounters
+		}
 	}
 	for r := DropReason(1); r < dropReasonCount; r++ {
 		n.cDrops[r] = n.metrics.Counter("kar_net_drops_total", "reason", r.String())
 	}
-	for _, l := range topo.Links() {
+	for li, l := range links {
 		line := &Line{
 			net: n, link: l, seenUp: true,
 			delay: l.Delay(), rate: l.RateMbps(), queueCap: l.QueuePackets(),
@@ -326,20 +400,33 @@ func New(topo *topology.Graph, opts ...Option) *Network {
 		}
 		line.gaugeUp.Set(1)
 		for d, dir := range [2]string{"fwd", "rev"} {
-			dst := l.B()
+			src, dst := l.A(), l.B()
 			if d == 1 {
-				dst = l.A()
+				src, dst = dst, src
 			}
 			line.dirs[d] = dirState{
 				dst:           dst,
 				dstPort:       l.PortOf(dst),
+				lane:          n.lanes[n.nodeLane[src.Index()]],
+				dstLane:       n.lanes[n.nodeLane[dst.Index()]],
+				ent:           uint32(1 + len(nodes) + 2*li + d),
 				sentPackets:   n.DeferCounter(n.metrics.Counter("kar_link_sent_packets_total", "link", l.Name(), "dir", dir)),
 				sentBytes:     n.DeferCounter(n.metrics.Counter("kar_link_sent_bytes_total", "link", l.Name(), "dir", dir)),
 				queueDrops:    n.metrics.Counter("kar_link_queue_drops_total", "link", l.Name(), "dir", dir),
 				inFlightDrops: n.metrics.Counter("kar_link_inflight_drops_total", "link", l.Name(), "dir", dir),
 			}
-			if n.batch {
-				tr := &line.dirs[d].train
+			ds := &line.dirs[d]
+			if ds.lane != ds.dstLane {
+				// Cut direction: deliveries cross shards as scalar
+				// messages, and its propagation delay bounds the
+				// conservative window.
+				ds.noBatch = true
+				if n.lookahead == 0 || line.delay < n.lookahead {
+					n.lookahead = line.delay
+				}
+			}
+			if n.batch && !ds.noBatch {
+				tr := &ds.train
 				tr.line, tr.dir, tr.hpos = line, uint8(d), -1
 				tr.members = make([]trainMember, 0, 16)
 			}
@@ -348,6 +435,15 @@ func New(topo *topology.Graph, opts ...Option) *Network {
 	}
 	return n
 }
+
+// Shards returns the number of parallel regions this world runs as
+// (1 for the legacy single-loop world).
+func (n *Network) Shards() int { return len(n.lanes) }
+
+// Lookahead returns the conservative synchronization bound: the
+// minimum propagation delay over links that cross shard boundaries
+// (zero in a 1-shard world, where no link does).
+func (n *Network) Lookahead() time.Duration { return n.lookahead }
 
 // Batching reports whether the packet-train data plane is active.
 func (n *Network) Batching() bool { return n.batch }
@@ -499,13 +595,28 @@ func (n *Network) SendOnLine(line *Line, dir uint8, pkt *packet.Packet) {
 // enqueue queues pkt on one link direction: tail-drop check, FIFO
 // serialization, then either the scalar pair of scheduler events or a
 // train member append (batch mode). The two arms bump identical
-// counters in identical order and allocate identical sequence numbers,
-// which is what keeps batched and scalar runs byte-identical.
+// counters in identical order and allocate identical tie-break keys
+// from the direction's entity, which is what keeps batched and scalar
+// runs byte-identical. Cut (cross-shard) directions always take the
+// scalar arm; their delivery event is routed to the receiving shard's
+// lane (buffered in the sender's outbox during parallel windows).
 func (n *Network) enqueue(line *Line, dir int, pkt *packet.Packet) {
 	ds := &line.dirs[dir]
-	if n.batch {
+	lane := ds.lane
+	// The current dispatch instant. Usually the owning lane is the
+	// dispatcher, but a control-plane callback (a test injecting via
+	// Scheduler.At, a fault hook) sends while the lane clock still
+	// shows its last data event — there the control clock is ahead
+	// and is the truth. Taking the later of the two reproduces the
+	// single-scheduler timeline exactly in every execution mode.
+	now, cur := lane.now, lane.curKey
+	if n.sched != lane && n.sched.now > now {
+		now, cur = n.sched.now, n.sched.curKey
+	}
+	batch := n.batch && !ds.noBatch
+	if batch {
 		tr := &ds.train
-		line.drainDeq(tr)
+		line.drainDeq(tr, now, cur)
 		tr.compact()
 		if tr.pendingQueue() >= line.queueCap {
 			ds.queueDrops.Inc()
@@ -518,7 +629,6 @@ func (n *Network) enqueue(line *Line, dir int, pkt *packet.Packet) {
 		return
 	}
 
-	now := n.sched.now
 	txTime := transmissionTime(pkt.Size, line.rate)
 	start := ds.busyUntil
 	if start < now {
@@ -532,15 +642,30 @@ func (n *Network) enqueue(line *Line, dir int, pkt *packet.Packet) {
 		n.trace.PacketTx(pkt, line.link.Name(), start-now, txTime)
 	}
 
-	if n.batch {
+	if batch {
 		n.enqueueBatch(line, dir, pkt, done, start)
 		return
 	}
 	ds.queued++
-	n.sched.post(done, event{kind: evtDequeue, ds: ds})
-	n.sched.post(done+line.delay, event{
+	lane.post(done, ds.ent, event{kind: evtDequeue, ds: ds})
+	ev := event{
+		at:   done + line.delay,
+		key:  lane.allocKey(ds.ent),
 		kind: evtDeliver, dir: uint8(dir), line: line, pkt: pkt, txStart: start,
-	})
+	}
+	switch {
+	case ds.dstLane == lane:
+		lane.push(ev)
+	case n.inWindow:
+		// Parallel window: lanes may not touch each other's heaps.
+		// Buffer in the sender's outbox; the barrier drains it. The
+		// lookahead bound guarantees ev.at lands at or after the
+		// window end, so the receiver cannot have passed it.
+		lane.outbox = append(lane.outbox, outMsg{dst: ds.dstLane, ev: ev})
+	default:
+		// Serialized execution (or between windows): push directly.
+		ds.dstLane.push(ev)
+	}
 }
 
 // finishTransit completes one evtDeliver: the packet dies if the link
@@ -607,6 +732,15 @@ func (n *Network) SetImpairment(l *topology.Link, imp *Impairment) {
 		n.metrics.Help("kar_fault_corrupted_total", "Packets whose route ID a gray-failure impairment bit-flipped, by link.")
 		line.cGrayDrops = n.metrics.Counter("kar_fault_gray_drops_total", "link", l.Name())
 		line.cCorrupted = n.metrics.Counter("kar_fault_corrupted_total", "link", l.Name())
+	}
+	// Track how many lines are impaired: any impairment forces a
+	// sharded world onto the serialized driver, because gray RNG draws
+	// must happen in the global event order (see shard.go).
+	switch {
+	case imp != nil && line.imp == nil:
+		n.impaired++
+	case imp == nil && line.imp != nil:
+		n.impaired--
 	}
 	line.imp = imp
 }

@@ -28,8 +28,14 @@ const (
 // group is meaningful; the struct is stored by value in the heap slice
 // so scheduling moves no separate allocation.
 type event struct {
-	at  time.Duration
-	seq uint64 // FIFO tiebreak for equal times
+	at time.Duration
+	// key is the equal-time tie-break: entity<<entShift | per-entity
+	// count (see Scheduler.allocKey). Unlike a global FIFO sequence,
+	// the key an event gets depends only on which entity posted it and
+	// how many that entity posted before — an order that is identical
+	// however the world is sharded, which is what makes N-shard runs
+	// replay the 1-shard dispatch order exactly.
+	key uint64
 
 	kind uint8
 	dir  uint8 // evtDeliver: line direction index
@@ -41,18 +47,32 @@ type event struct {
 	txStart time.Duration  // evtDeliver: serialization start (in-flight kill check)
 }
 
-// before is the heap order: time, then scheduling order.
+// before is the heap order: time, then composite key.
 func (e *event) before(o *event) bool {
 	if e.at != o.at {
 		return e.at < o.at
 	}
-	return e.seq < o.seq
+	return e.key < o.key
 }
 
-// Scheduler is a virtual-time event loop. Events at equal times run in
-// scheduling (FIFO) order, making runs fully deterministic. Not safe
-// for concurrent use: one scheduler per simulated world, many worlds
-// in parallel.
+// entShift packs the posting entity into the key's high bits: entity
+// index above, per-entity count below. 2^40 events per entity and 2^24
+// entities bound nothing real (a saturated 200 Mb/s link carries ~1.6e4
+// packets per simulated second).
+const entShift = 40
+
+// ctlEntity is entity 0: the control plane. Untagged At/After callbacks
+// (experiment phases, fault injectors, detection timers) post here, so
+// at equal times control events dispatch before any data event — a
+// fixed rule instead of posting-order luck.
+const ctlEntity = 0
+
+// Scheduler is a virtual-time event loop — one priority lane of a
+// simulated world. Events at equal times run in (entity, per-entity
+// count) order, making runs fully deterministic and independent of how
+// the world's entities are partitioned into lanes. Not safe for
+// concurrent use: one lane is driven by one goroutine at a time (the
+// Network coordinates multi-lane worlds).
 //
 // The queue is a 4-ary min-heap in a plain slice: no interface boxing
 // on push/pop, shallower sift paths than a binary heap, and the
@@ -61,27 +81,42 @@ func (e *event) before(o *event) bool {
 type Scheduler struct {
 	now    time.Duration
 	events []event
-	seq    uint64
 
-	// curSeq is the sequence number of the item currently (or most
-	// recently) dispatched. The batched data plane's lazy dequeue ring
-	// compares against it to decide whether an implicit queue-release
-	// with an equal timestamp would already have run in scalar mode
-	// (events at equal times run in seq order). After RunUntil drains
-	// everything ≤ t it is set to idleSeq: every release stamped so far
-	// has matured.
-	curSeq uint64
+	// ents holds the per-entity key counters. Lanes of one world share
+	// a single backing array (each entity is owned by exactly one
+	// lane); a standalone scheduler lazily grows its own.
+	ents []uint64
+
+	// curKey is the key of the item currently (or most recently)
+	// dispatched. The batched data plane's lazy dequeue ring compares
+	// against it to decide whether an implicit queue-release with an
+	// equal timestamp would already have run in scalar mode (events at
+	// equal times run in key order). After RunUntil drains everything
+	// ≤ t it is set to idleKey: every release stamped so far has
+	// matured.
+	curKey uint64
 
 	// trains is the second priority lane of the batched data plane: a
-	// small 4-ary heap of active packet trains, each keyed by its next
-	// undelivered member's (at, seq). The main loop always dispatches
-	// the global (at, seq) minimum across both lanes, so batched runs
-	// replay the scalar event order exactly — but advancing a train is
-	// one shallow sift in a heap of O(active links) instead of a
-	// push/pop pair in the main event heap. trainMembers counts
-	// undelivered members across all trains (Pending accounting).
+	// small 4-ary heap of active packet trains, each keyed by the
+	// cached head-member (at, key). The main loop always dispatches
+	// the global (at, key) minimum across both lanes, so batch replays
+	// scalar event order exactly — but advancing a train is one
+	// shallow sift in a heap of O(active links) instead of a push/pop
+	// pair in the main event heap. trainMembers counts undelivered
+	// members across all trains (Pending accounting).
 	trains       []*train
 	trainMembers int
+
+	// outbox buffers cross-lane deliveries produced inside a parallel
+	// window; the Network drains it into the destination lanes at the
+	// window barrier (heap order makes the drain order irrelevant).
+	outbox []outMsg
+
+	// denyPost, when set, panics At/After: the Network sets it on the
+	// control lane during parallel windows, because a control event
+	// posted from a shard goroutine could race the control heap (data
+	// contexts must schedule through their node's Clock instead).
+	denyPost bool
 
 	// cPast counts events scheduled for an already-elapsed virtual
 	// time (clamped to "now"); nil until a Network attaches one.
@@ -94,9 +129,15 @@ type Scheduler struct {
 	flush func()
 }
 
-// idleSeq marks "no dispatch in progress": all sequence numbers
-// allocated so far compare below it.
-const idleSeq = ^uint64(0)
+// outMsg is one buffered cross-lane delivery.
+type outMsg struct {
+	dst *Scheduler
+	ev  event
+}
+
+// idleKey marks "no dispatch in progress": all keys allocated so far
+// compare below it (entity indexes stay far under 2^24).
+const idleKey = ^uint64(0)
 
 // Now returns the current virtual time.
 func (s *Scheduler) Now() time.Duration { return s.now }
@@ -113,13 +154,21 @@ func (s *Scheduler) Reserve(n int) {
 	s.events = q
 }
 
-// allocSeq stamps one FIFO sequence number. The batched data plane
-// allocates them at exactly the points the scalar plane posts events
-// (one per implicit queue release, one per train member), so tie-break
-// order against control-plane events is identical in both modes.
-func (s *Scheduler) allocSeq() uint64 {
-	s.seq++
-	return s.seq
+// allocKey stamps one tie-break key for the given entity. The batched
+// data plane allocates them at exactly the points the scalar plane
+// posts events (one per implicit queue release, one per train member),
+// so tie-break order against every other event is identical in both
+// modes. Entity counters are single-writer: each entity posts only
+// from its own lane's goroutine.
+func (s *Scheduler) allocKey(ent uint32) uint64 {
+	if int(ent) >= len(s.ents) {
+		// Standalone scheduler (tests): grow a private counter array.
+		grown := make([]uint64, int(ent)+1)
+		copy(grown, s.ents)
+		s.ents = grown
+	}
+	s.ents[ent]++
+	return uint64(ent)<<entShift | s.ents[ent]
 }
 
 // SetPastEventCounter attaches the counter bumped whenever an event is
@@ -127,16 +176,26 @@ func (s *Scheduler) allocSeq() uint64 {
 func (s *Scheduler) SetPastEventCounter(c *telemetry.Counter) { s.cPast = c }
 
 // At schedules fn at absolute virtual time t; times in the past run
-// "now" (next step) and are counted on the past-event counter.
+// "now" (next step) and are counted on the past-event counter. At
+// posts to the control entity: use Network.ClockOf to schedule from
+// data-plane (per-node) contexts in sharded worlds.
 func (s *Scheduler) At(t time.Duration, fn func()) {
-	s.post(t, event{kind: evtFunc, fn: fn})
+	if s.denyPost {
+		panic("simnet: control-plane At/After from inside a parallel shard window; use Network.ClockOf for per-node timers")
+	}
+	s.postFn(t, ctlEntity, fn)
 }
 
 // After schedules fn d from now.
 func (s *Scheduler) After(d time.Duration, fn func()) { s.At(s.now+d, fn) }
 
-// post clamps t, stamps the FIFO sequence and pushes e.
-func (s *Scheduler) post(t time.Duration, e event) {
+// postFn clamps t, stamps ent's next key and pushes a callback event.
+func (s *Scheduler) postFn(t time.Duration, ent uint32, fn func()) {
+	s.post(t, ent, event{kind: evtFunc, fn: fn})
+}
+
+// post clamps t, stamps ent's next key and pushes e.
+func (s *Scheduler) post(t time.Duration, ent uint32, e event) {
 	if t < s.now {
 		t = s.now
 		if s.cPast != nil {
@@ -144,8 +203,7 @@ func (s *Scheduler) post(t time.Duration, e event) {
 		}
 	}
 	e.at = t
-	s.seq++
-	e.seq = s.seq
+	e.key = s.allocKey(ent)
 	s.push(e)
 }
 
@@ -225,26 +283,43 @@ func (s *Scheduler) trainFirst() bool {
 	if tr.keyAt != e.at {
 		return tr.keyAt < e.at
 	}
-	return tr.keySeq < e.seq
+	return tr.keyOrd < e.key
+}
+
+// peekKey returns the (at, key) of the earliest pending item across
+// both lanes, or ok=false when the lane is empty.
+func (s *Scheduler) peekKey() (time.Duration, uint64, bool) {
+	if s.trainFirst() {
+		tr := s.trains[0]
+		return tr.keyAt, tr.keyOrd, true
+	}
+	if len(s.events) == 0 {
+		return 0, 0, false
+	}
+	return s.events[0].at, s.events[0].key, true
+}
+
+// stepOnce runs the earliest pending item without the observation-
+// boundary flush (RunUntil and the Network's sharded drivers call it
+// in a loop and flush at their own boundaries).
+func (s *Scheduler) stepOnce() {
+	if s.trainFirst() {
+		s.stepTrain()
+		return
+	}
+	e := s.pop()
+	s.now = e.at
+	s.curKey = e.key
+	s.dispatch(&e)
 }
 
 // Step runs the earliest pending item — heap event or train member —
 // and reports false when none remain.
 func (s *Scheduler) Step() bool {
-	if s.trainFirst() {
-		s.stepTrain()
-		if s.flush != nil {
-			s.flush()
-		}
-		return true
-	}
-	if len(s.events) == 0 {
+	if len(s.events) == 0 && len(s.trains) == 0 {
 		return false
 	}
-	e := s.pop()
-	s.now = e.at
-	s.curSeq = e.seq
-	s.dispatch(&e)
+	s.stepOnce()
 	if s.flush != nil {
 		s.flush()
 	}
@@ -252,36 +327,78 @@ func (s *Scheduler) Step() bool {
 }
 
 // RunUntil processes every event and train member scheduled at or
-// before t — always the global (at, seq) minimum first, so batched and
+// before t — always the global (at, key) minimum first, so batched and
 // scalar runs replay the same order — then advances the clock to t.
+// Drive sharded worlds through Network.RunUntil instead: this runs one
+// lane only.
 func (s *Scheduler) RunUntil(t time.Duration) {
 	for {
-		if s.trainFirst() {
-			if s.trains[0].keyAt > t {
-				break
-			}
-			s.stepTrain()
-			continue
-		}
-		if len(s.events) == 0 || s.events[0].at > t {
+		at, _, ok := s.peekKey()
+		if !ok || at > t {
 			break
 		}
-		e := s.pop()
-		s.now = e.at
-		s.curSeq = e.seq
-		s.dispatch(&e)
+		s.stepOnce()
 	}
 	if s.now < t {
 		s.now = t
 	}
 	// Everything stamped ≤ t has run; implicit queue releases at
 	// exactly t must all read as matured from here on.
-	s.curSeq = idleSeq
+	s.curKey = idleKey
 	if s.flush != nil {
 		s.flush()
 	}
 }
 
+// runWindow processes this lane's items with at < endExcl (and ≤ tMax)
+// — one shard's share of a conservative parallel window. It leaves
+// now/curKey at the last dispatched item: the window bound, not the
+// clock, is the synchronization point.
+func (s *Scheduler) runWindow(endExcl, tMax time.Duration) {
+	for {
+		at, _, ok := s.peekKey()
+		if !ok || at >= endExcl || at > tMax {
+			return
+		}
+		s.stepOnce()
+	}
+}
+
+// drainOutbox pushes buffered cross-lane deliveries into their
+// destination heaps. Called single-threaded at window barriers; heap
+// order by (at, key) makes the drain order irrelevant.
+func (s *Scheduler) drainOutbox() {
+	for i := range s.outbox {
+		m := &s.outbox[i]
+		m.dst.push(m.ev)
+		s.outbox[i] = outMsg{} // no stale packet pins
+	}
+	s.outbox = s.outbox[:0]
+}
+
 // Pending returns the number of scheduled items — heap events plus
 // undelivered train members (for tests and leak-detection assertions).
 func (s *Scheduler) Pending() int { return len(s.events) + s.trainMembers }
+
+// Clock is a per-node scheduling handle: Now/At/After bound to the
+// lane that owns one node, stamping events with that node's entity.
+// Data-plane components (edges, transports, traffic generators) must
+// schedule their timers through a Clock rather than the global
+// Scheduler — that is what keeps their tie-break keys, and therefore
+// whole-run determinism, independent of the shard count, and what
+// makes their callbacks run on the owning shard in parallel windows.
+// The zero Clock is not usable; obtain one from Network.ClockOf.
+type Clock struct {
+	s   *Scheduler
+	ent uint32
+}
+
+// Now returns the owning lane's current virtual time — inside a
+// handler or timer callback, the exact instant of the current event.
+func (c Clock) Now() time.Duration { return c.s.now }
+
+// At schedules fn at absolute virtual time t on the node's lane.
+func (c Clock) At(t time.Duration, fn func()) { c.s.postFn(t, c.ent, fn) }
+
+// After schedules fn d from the node's current time.
+func (c Clock) After(d time.Duration, fn func()) { c.At(c.s.now+d, fn) }

@@ -1,0 +1,338 @@
+package simnet
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/rns"
+	"repro/internal/topology"
+)
+
+// The sharded engine's contract is byte-identity: the same seed and
+// the same injection schedule must produce the same deliveries, the
+// same arrival instants and the same metric dump for every shard
+// count, every worker interleaving, and both data planes. These tests
+// pin that contract on a topology small enough to reason about by
+// hand: a six-node line
+//
+//	E0 — C1 — C2 — C3 — C4 — E1
+//
+// whose middle links have distinct propagation delays, so cut-link
+// sets (and therefore lookahead windows) differ per shard count.
+
+// lineRelay forwards along the line: whatever arrives on one port
+// leaves on the other. Supports traffic in both directions, so
+// cross-shard outboxes are exercised both ways.
+type lineRelay struct {
+	n    *Network
+	node *topology.Node
+}
+
+func (r *lineRelay) HandlePacket(pkt *packet.Packet, inPort int) {
+	out := 0
+	if inPort == 0 {
+		out = 1
+	}
+	r.n.Send(r.node, out, pkt)
+}
+
+// laneSink records deliveries with the owning lane's clock — the only
+// clock a handler may read in a sharded world.
+type laneSink struct {
+	clk  Clock
+	seqs []uint64
+	ats  []time.Duration
+}
+
+func (s *laneSink) HandlePacket(pkt *packet.Packet, inPort int) {
+	s.seqs = append(s.seqs, pkt.Seq)
+	s.ats = append(s.ats, s.clk.Now())
+}
+
+type shardChain struct {
+	n      *Network
+	e0, e1 *topology.Node
+	cut    *topology.Link // C2—C3: the lone cut link at shards=2
+	s0, s1 *laneSink
+}
+
+func newShardChain(t *testing.T, shards int, scalar bool) *shardChain {
+	t.Helper()
+	g := topology.New("shardchain")
+	if _, err := g.AddEdge("E0"); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"C1", "C2", "C3", "C4"} {
+		if _, err := g.AddCore(name, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := g.AddEdge("E1"); err != nil {
+		t.Fatal(err)
+	}
+	type hop struct {
+		a, b  string
+		delay time.Duration
+	}
+	hops := []hop{
+		{"E0", "C1", 200 * time.Microsecond},
+		{"C1", "C2", 500 * time.Microsecond},
+		{"C2", "C3", 300 * time.Microsecond},
+		{"C3", "C4", 400 * time.Microsecond},
+		{"C4", "E1", 250 * time.Microsecond},
+	}
+	var cut *topology.Link
+	for _, h := range hops {
+		l, err := g.Connect(h.a, h.b,
+			topology.WithRateMbps(100),
+			topology.WithDelay(h.delay),
+			topology.WithQueuePackets(32))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.a == "C2" {
+			cut = l
+		}
+	}
+	opts := []Option{WithShards(shards)}
+	if scalar {
+		opts = append(opts, WithScalarDataPlane())
+	}
+	n := New(g, opts...)
+	w := &shardChain{n: n, cut: cut}
+	w.e0, _ = g.Node("E0")
+	w.e1, _ = g.Node("E1")
+	for _, name := range []string{"C1", "C2", "C3", "C4"} {
+		c, _ := g.Node(name)
+		n.Bind(c, &lineRelay{n: n, node: c})
+	}
+	w.s0 = &laneSink{clk: n.ClockOf(w.e0)}
+	w.s1 = &laneSink{clk: n.ClockOf(w.e1)}
+	n.Bind(w.e0, w.s0)
+	n.Bind(w.e1, w.s1)
+	return w
+}
+
+// burst schedules k back-to-back sends from node at t via the control
+// plane — the injection style every experiment and fault hook uses,
+// which dispatches on the control lane even when the node's data lane
+// is elsewhere.
+func (w *shardChain) burst(node *topology.Node, t time.Duration, firstSeq uint64, k int) {
+	w.n.Scheduler().At(t, func() {
+		for i := 0; i < k; i++ {
+			w.n.Send(node, 0, &packet.Packet{
+				Size:    600,
+				TTL:     16,
+				Seq:     firstSeq + uint64(i),
+				RouteID: rns.RouteIDFromUint64(0x5AD_0000 + firstSeq + uint64(i)),
+			})
+		}
+	})
+}
+
+type chainRun struct {
+	seq0, seq1 []uint64
+	at0, at1   []time.Duration
+	dump       string
+}
+
+// driveChain runs the canonical injection schedule: control-plane
+// bursts from both ends, lane-local timer sends, a mid-run injection
+// posted between two RunUntil segments, and (optionally) a failure
+// window on the C2—C3 cut link.
+func driveChain(t *testing.T, shards int, scalar, fail bool) chainRun {
+	t.Helper()
+	w := newShardChain(t, shards, scalar)
+	w.burst(w.e0, 0, 100, 8)
+	w.burst(w.e1, 700*time.Microsecond, 300, 5)
+	// Lane-local timer: the shard-safe way for traffic generators.
+	w.n.ClockOf(w.e0).At(300*time.Microsecond, func() {
+		for i := uint64(0); i < 4; i++ {
+			w.n.Send(w.e0, 0, &packet.Packet{Size: 600, TTL: 16, Seq: 200 + i})
+		}
+	})
+	// Control-plane injection while data packets are mid-flight: the
+	// control clock is ahead of the idle edge lane here, so a stale
+	// lane clock would serialize these too early and diverge.
+	w.burst(w.e0, 1500*time.Microsecond, 400, 6)
+	if fail {
+		w.n.ScheduleFailure(w.cut, 800*time.Microsecond, 600*time.Microsecond)
+	}
+	w.n.RunUntil(2 * time.Millisecond)
+	// Inject more after a partial run: lanes were parked at 2ms.
+	w.burst(w.e1, 2200*time.Microsecond, 500, 3)
+	w.burst(w.e0, 2500*time.Microsecond, 600, 4)
+	w.n.RunUntil(10 * time.Millisecond)
+	var buf bytes.Buffer
+	if err := w.n.Metrics().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return chainRun{
+		seq0: w.s0.seqs, seq1: w.s1.seqs,
+		at0: w.s0.ats, at1: w.s1.ats,
+		dump: buf.String(),
+	}
+}
+
+func checkRunsEqual(t *testing.T, name string, want, got chainRun) {
+	t.Helper()
+	if !reflect.DeepEqual(want.seq0, got.seq0) || !reflect.DeepEqual(want.seq1, got.seq1) {
+		t.Errorf("%s: delivery order diverged\n  E0 want %v got %v\n  E1 want %v got %v",
+			name, want.seq0, got.seq0, want.seq1, got.seq1)
+	}
+	if !reflect.DeepEqual(want.at0, got.at0) || !reflect.DeepEqual(want.at1, got.at1) {
+		t.Errorf("%s: arrival instants diverged", name)
+	}
+	if want.dump != got.dump {
+		t.Errorf("%s: metric dump diverged from 1-shard reference", name)
+	}
+}
+
+// TestShardDeterminismChain is the headline byte-identity gate: every
+// shard count and both data planes must replay the 1-shard batched
+// run exactly — deliveries, arrival times, metric dump.
+func TestShardDeterminismChain(t *testing.T) {
+	ref := driveChain(t, 1, false, false)
+	if len(ref.seq0) == 0 || len(ref.seq1) == 0 {
+		t.Fatalf("reference run delivered nothing (E0 %d, E1 %d)", len(ref.seq0), len(ref.seq1))
+	}
+	for _, tc := range []struct {
+		name   string
+		shards int
+		scalar bool
+	}{
+		{"shards1-scalar", 1, true},
+		{"shards2", 2, false},
+		{"shards2-scalar", 2, true},
+		{"shards4", 4, false},
+		{"shards4-scalar", 4, true},
+	} {
+		checkRunsEqual(t, tc.name, ref, driveChain(t, tc.shards, tc.scalar, false))
+	}
+}
+
+// TestShardDeterminismCutFailure replays the schedule with a failure
+// window on the cut link itself: link state flips are control events,
+// and windows must never span them.
+func TestShardDeterminismCutFailure(t *testing.T) {
+	ref := driveChain(t, 1, false, true)
+	clean := driveChain(t, 1, false, false)
+	if reflect.DeepEqual(ref.seq1, clean.seq1) && reflect.DeepEqual(ref.seq0, clean.seq0) {
+		t.Fatalf("failure window changed nothing — schedule does not exercise the cut link")
+	}
+	for _, shards := range []int{2, 4} {
+		got := driveChain(t, shards, false, true)
+		checkRunsEqual(t, "fail-shards", ref, got)
+	}
+}
+
+// TestShardSerialMatchesParallel pins that the serialized global-merge
+// driver (forced by any total-order observer, here a deliver hook) and
+// the parallel window driver produce identical runs.
+func TestShardSerialMatchesParallel(t *testing.T) {
+	parallel := driveChain(t, 4, false, false)
+
+	w := newShardChain(t, 4, false)
+	delivered := 0
+	w.n.SetDeliverHook(func(pkt *packet.Packet, at *topology.Node, inPort int) { delivered++ })
+	if w.n.parallelOK() {
+		t.Fatal("deliver hook should force the serialized driver")
+	}
+	w.burst(w.e0, 0, 100, 8)
+	w.burst(w.e1, 700*time.Microsecond, 300, 5)
+	w.n.ClockOf(w.e0).At(300*time.Microsecond, func() {
+		for i := uint64(0); i < 4; i++ {
+			w.n.Send(w.e0, 0, &packet.Packet{Size: 600, TTL: 16, Seq: 200 + i})
+		}
+	})
+	w.burst(w.e0, 1500*time.Microsecond, 400, 6)
+	w.n.RunUntil(2 * time.Millisecond)
+	w.burst(w.e1, 2200*time.Microsecond, 500, 3)
+	w.burst(w.e0, 2500*time.Microsecond, 600, 4)
+	w.n.RunUntil(10 * time.Millisecond)
+
+	serial := chainRun{seq0: w.s0.seqs, seq1: w.s1.seqs, at0: w.s0.ats, at1: w.s1.ats}
+	var buf bytes.Buffer
+	if err := w.n.Metrics().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	serial.dump = buf.String()
+	checkRunsEqual(t, "serial-vs-parallel", parallel, serial)
+	// The hook sees every per-node delivery, relay hops included, so
+	// it must count at least the end-to-end deliveries.
+	if delivered < len(serial.seq0)+len(serial.seq1) {
+		t.Errorf("deliver hook saw %d packets, sinks saw %d", delivered, len(serial.seq0)+len(serial.seq1))
+	}
+}
+
+// TestShardLookahead checks the conservative window bound: the minimum
+// propagation delay over cut links, which depends on where the
+// partition falls.
+func TestShardLookahead(t *testing.T) {
+	if w := newShardChain(t, 1, false); w.n.Lookahead() != 0 {
+		t.Errorf("1 shard: lookahead = %v, want 0 (no cut links)", w.n.Lookahead())
+	}
+	// shards=2: cores split {C1,C2} | {C3,C4}; only C2—C3 (300µs) cut.
+	if w := newShardChain(t, 2, false); w.n.Lookahead() != 300*time.Microsecond {
+		t.Errorf("2 shards: lookahead = %v, want 300µs", w.n.Lookahead())
+	}
+	// shards=4: every core its own region; all three inter-core links
+	// cut, min delay still C2—C3.
+	if w := newShardChain(t, 4, false); w.n.Lookahead() != 300*time.Microsecond {
+		t.Errorf("4 shards: lookahead = %v, want 300µs", w.n.Lookahead())
+	}
+}
+
+// TestShardCountClamped: the shard count never exceeds the number of
+// core nodes, and nonpositive values mean the legacy 1-lane world.
+func TestShardCountClamped(t *testing.T) {
+	if w := newShardChain(t, 16, false); w.n.Shards() != 4 {
+		t.Errorf("Shards() = %d, want clamp to 4 cores", w.n.Shards())
+	}
+	if w := newShardChain(t, 0, false); w.n.Shards() != 1 {
+		t.Errorf("Shards() = %d, want 1", w.n.Shards())
+	}
+	if w := newShardChain(t, 2, false); w.n.Shards() != 2 {
+		t.Errorf("Shards() = %d, want 2", w.n.Shards())
+	}
+}
+
+// TestWindowDenyPostPanics: posting to the control scheduler from
+// inside a parallel window is a determinism bug, and the engine turns
+// it into a loud panic instead of a silent race.
+func TestWindowDenyPostPanics(t *testing.T) {
+	w := newShardChain(t, 2, false)
+	w.n.sched.denyPost = true
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At on a denyPost scheduler should panic")
+		}
+	}()
+	w.n.Scheduler().At(time.Millisecond, func() {})
+}
+
+// TestClockOfLaneTimers: per-node clocks fire on the owning lane at
+// the exact requested instant, in every execution mode, and nested
+// After scheduling works from inside a shard-lane callback.
+func TestClockOfLaneTimers(t *testing.T) {
+	for _, shards := range []int{1, 2, 4} {
+		w := newShardChain(t, shards, false)
+		var at0, at1, nested time.Duration
+		c0, c1 := w.n.ClockOf(w.e0), w.n.ClockOf(w.e1)
+		c0.At(time.Millisecond, func() {
+			at0 = c0.Now()
+			c0.After(500*time.Microsecond, func() { nested = c0.Now() })
+		})
+		c1.At(time.Millisecond, func() { at1 = c1.Now() })
+		w.n.RunUntil(5 * time.Millisecond)
+		if at0 != time.Millisecond || at1 != time.Millisecond {
+			t.Errorf("shards=%d: timers fired at %v/%v, want 1ms", shards, at0, at1)
+		}
+		if nested != 1500*time.Microsecond {
+			t.Errorf("shards=%d: nested After fired at %v, want 1.5ms", shards, nested)
+		}
+	}
+}

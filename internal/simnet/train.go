@@ -59,13 +59,13 @@ type BatchHandler interface {
 }
 
 // trainMember is one queued transmission: the packet, its delivery key
-// (at, seq), the seq of its implicit queue release (deqSeq; its time
+// (at, key), the key of its implicit queue release (deqKey; its time
 // is at minus the link delay), the serialization start for the
 // in-flight kill check, and the precomputed port residue.
 type trainMember struct {
 	at      time.Duration
-	seq     uint64
-	deqSeq  uint64
+	key     uint64
+	deqKey  uint64
 	txStart time.Duration
 	pkt     *packet.Packet
 	res     uint16
@@ -81,11 +81,11 @@ type train struct {
 	dir  uint8
 	hpos int32 // index in Scheduler.trains; -1 when inactive
 
-	// keyAt/keySeq mirror members[head]'s (at, seq) while the train is
+	// keyAt/keyOrd mirror members[head]'s (at, key) while the train is
 	// active, so heap comparisons touch only the train struct instead
 	// of chasing the members slice.
 	keyAt  time.Duration
-	keySeq uint64
+	keyOrd uint64
 
 	head    int // next member to deliver
 	deqHead int // next queue slot to release (lazy, ≤ delivery order)
@@ -165,18 +165,18 @@ func (tr *train) extendResidues() {
 // --- Scheduler train lane -------------------------------------------------
 
 // trainBefore is the lane's heap order: the trains' next members'
-// (at, seq), via the cached copies.
+// (at, key), via the cached copies.
 func trainBefore(a, b *train) bool {
 	if a.keyAt != b.keyAt {
 		return a.keyAt < b.keyAt
 	}
-	return a.keySeq < b.keySeq
+	return a.keyOrd < b.keyOrd
 }
 
 // trainPush activates a train (first member just appended).
 func (s *Scheduler) trainPush(tr *train) {
 	m := &tr.members[tr.head]
-	tr.keyAt, tr.keySeq = m.at, m.seq
+	tr.keyAt, tr.keyOrd = m.at, m.key
 	s.trains = append(s.trains, tr)
 	i := len(s.trains) - 1
 	tr.hpos = int32(i)
@@ -233,7 +233,7 @@ func (s *Scheduler) trainPopTop() {
 }
 
 // stepTrain delivers the root train's next member: advance the clock
-// and curSeq to the member's key, fix the lane, then hand the packet
+// and curKey to the member's key, fix the lane, then hand the packet
 // to the line — mirroring pop-then-dispatch so handlers may freely
 // enqueue more traffic (including onto this train).
 func (s *Scheduler) stepTrain() {
@@ -250,25 +250,24 @@ func (s *Scheduler) stepTrain() {
 		tr.reset()
 	} else {
 		next := &tr.members[tr.head]
-		tr.keyAt, tr.keySeq = next.at, next.seq
+		tr.keyAt, tr.keyOrd = next.at, next.key
 		s.trainSiftDown()
 	}
 	s.now = m.at
-	s.curSeq = m.seq
+	s.curKey = m.key
 	tr.line.deliverMember(tr, &m)
 }
 
 // --- Line-side train operations -------------------------------------------
 
 // drainDeq releases queue slots whose implicit dequeue — (release
-// time, seq) — precedes the scheduler's current dispatch position,
+// time, key) — precedes the owning lane's current dispatch position,
 // exactly the evtDequeue events scalar mode would already have popped.
-func (l *Line) drainDeq(tr *train) {
-	now, cur := l.net.sched.now, l.net.sched.curSeq
+func (l *Line) drainDeq(tr *train, now time.Duration, cur uint64) {
 	for tr.deqHead < len(tr.members) {
 		m := &tr.members[tr.deqHead]
 		done := m.at - l.delay
-		if done < now || (done == now && m.deqSeq < cur) {
+		if done < now || (done == now && m.deqKey < cur) {
 			tr.deqHead++
 			continue
 		}
@@ -304,14 +303,14 @@ func (tr *train) compact() {
 func (n *Network) enqueueBatch(line *Line, dir int, pkt *packet.Packet, done, txStart time.Duration) {
 	ds := &line.dirs[dir]
 	tr := &ds.train
-	deqSeq := n.sched.allocSeq()
-	seq := n.sched.allocSeq()
+	deqKey := ds.lane.allocKey(ds.ent)
+	key := ds.lane.allocKey(ds.ent)
 	tr.members = append(tr.members, trainMember{
-		at: done + line.delay, seq: seq, deqSeq: deqSeq, txStart: txStart, pkt: pkt,
+		at: done + line.delay, key: key, deqKey: deqKey, txStart: txStart, pkt: pkt,
 	})
-	n.sched.trainMembers++
+	ds.lane.trainMembers++
 	if tr.hpos < 0 {
-		n.sched.trainPush(tr)
+		ds.lane.trainPush(tr)
 	}
 }
 

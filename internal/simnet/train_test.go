@@ -266,9 +266,12 @@ func TestTrainSurvivorsAfterRepair(t *testing.T) {
 
 // TestBatchQueueDrainExactness: in batch mode queue releases are
 // implicit (drained lazily), so occupancy at the moment of a same-
-// instant enqueue must still match scalar semantics — a release
-// stamped before the current dispatch frees its slot, one stamped
-// after does not.
+// instant enqueue must still match scalar semantics. Equal-instant
+// order is fixed by the entity tie-break keys: control callbacks
+// (entity 0) run before any line-direction event of the same instant,
+// so a send fired at exactly the release time still sees the slot
+// occupied, while a send any later sees it free — identically in both
+// data planes and for any shard count.
 func TestBatchQueueDrainExactness(t *testing.T) {
 	for _, scalar := range []bool{false, true} {
 		name := "batch"
@@ -303,21 +306,31 @@ func TestBatchQueueDrainExactness(t *testing.T) {
 					qDrops++
 				}
 			})
-			// Fill the queue, then send again at exactly the instant the
-			// first slot frees (100 µs serialization): the release sorts
-			// before the send (lower seq), so the new packet must fit.
+			// Fill the queue, then probe both sides of the release
+			// boundary (100 µs serialization per packet): a control
+			// callback at exactly the release instant dispatches before
+			// the release (entity 0 sorts first), so its send still
+			// tail-drops; one nanosecond later the slot has freed.
 			for i := 0; i < 3; i++ {
 				n.Send(a, 0, &packet.Packet{Size: 1250, TTL: 8, Seq: uint64(i)})
 			}
 			n.Scheduler().At(100*time.Microsecond, func() {
 				n.Send(a, 0, &packet.Packet{Size: 1250, TTL: 8, Seq: 10})
 			})
+			n.Scheduler().At(100*time.Microsecond+time.Nanosecond, func() {
+				n.Send(a, 0, &packet.Packet{Size: 1250, TTL: 8, Seq: 11})
+			})
 			n.Scheduler().RunUntil(time.Second)
 			if len(sk.pkts) != 4 {
-				t.Errorf("delivered %d packets, want 4 (release precedes same-instant send)", len(sk.pkts))
+				t.Errorf("delivered %d packets, want 4 (seqs 0-2 and the post-release send)", len(sk.pkts))
 			}
-			if qDrops != 0 {
-				t.Errorf("queue drops = %d, want 0", qDrops)
+			for _, p := range sk.pkts {
+				if p.Seq == 10 {
+					t.Errorf("seq 10 delivered; a send at exactly the release instant must tail-drop")
+				}
+			}
+			if qDrops != 1 {
+				t.Errorf("queue drops = %d, want 1 (the at-boundary send)", qDrops)
 			}
 		})
 	}

@@ -20,7 +20,7 @@ import (
 // when at least dupThresh segments above it have been SACKed.
 // Spurious marks are undone via the receiver's DSACK signal.
 type SACKSender struct {
-	sched *simnet.Scheduler
+	sched simnet.Clock
 	edge  *edge.Edge
 	flow  packet.FlowID
 	cfg   Config
@@ -68,7 +68,7 @@ type SACKSender struct {
 func NewSACKFlow(net *simnet.Network, srcEdge, dstEdge *edge.Edge, flow packet.FlowID, cfg Config) (*SACKSender, *Receiver) {
 	cfg = cfg.Defaults()
 	s := &SACKSender{
-		sched:     net.Scheduler(),
+		sched:     net.ClockOf(srcEdge.Node()),
 		edge:      srcEdge,
 		flow:      flow,
 		cfg:       cfg,
@@ -83,7 +83,7 @@ func NewSACKFlow(net *simnet.Network, srcEdge, dstEdge *edge.Edge, flow packet.F
 	}
 	s.timerFn = s.timerFire
 	r := &Receiver{
-		sched:     net.Scheduler(),
+		sched:     net.ClockOf(dstEdge.Node()),
 		edge:      dstEdge,
 		flow:      flow,
 		cfg:       cfg,

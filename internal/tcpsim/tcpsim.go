@@ -158,7 +158,7 @@ func newReceiverCounters(reg *telemetry.Registry, flow packet.FlowID) receiverCo
 // models an iperf-style unlimited data source. Drive the simulation
 // scheduler after Start.
 type Sender struct {
-	sched *simnet.Scheduler
+	sched simnet.Clock
 	edge  *edge.Edge
 	flow  packet.FlowID
 	cfg   Config
@@ -221,7 +221,7 @@ type ReceiverStats struct {
 // Receiver is the TCP receiver endpoint at the egress edge. It sends
 // an immediate cumulative ACK for every data segment.
 type Receiver struct {
-	sched *simnet.Scheduler
+	sched simnet.Clock
 	edge  *edge.Edge
 	flow  packet.FlowID
 	cfg   Config
@@ -251,7 +251,7 @@ type Receiver struct {
 func NewFlow(net *simnet.Network, srcEdge, dstEdge *edge.Edge, flow packet.FlowID, cfg Config) (*Sender, *Receiver) {
 	cfg = cfg.Defaults()
 	s := &Sender{
-		sched: net.Scheduler(),
+		sched: net.ClockOf(srcEdge.Node()),
 		edge:  srcEdge,
 		flow:  flow,
 		cfg:   cfg,
@@ -264,7 +264,7 @@ func NewFlow(net *simnet.Network, srcEdge, dstEdge *edge.Edge, flow packet.FlowI
 	}
 	s.timerFn = s.timerFire
 	r := &Receiver{
-		sched: net.Scheduler(),
+		sched: net.ClockOf(dstEdge.Node()),
 		edge:  dstEdge,
 		flow:  flow,
 		cfg:   cfg,

@@ -32,7 +32,9 @@ func (c *Collector) Add(run string, reg *Registry, ev *EventLog) {
 	}
 	var events []Event
 	if ev != nil {
-		events = ev.Events()
+		// Canonical order: exported dumps must not depend on the
+		// arrival interleaving of concurrent shard lanes.
+		events = ev.SortedEvents()
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()

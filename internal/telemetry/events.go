@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 	"time"
 )
@@ -98,12 +99,32 @@ func (l *EventLog) SetTap(fn func(Event)) {
 	l.tap = fn
 }
 
+// HasTap reports whether a tap is attached. A sharded simulation uses
+// it to decide whether the total global event order must be preserved
+// (taps observe arrival order, which parallel windows do not define).
+func (l *EventLog) HasTap() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.tap != nil
+}
+
 // Record appends an event stamped at the current virtual time.
 func (l *EventLog) Record(kind, where, detail string) {
 	var at time.Duration
 	if l.now != nil {
 		at = l.now()
 	}
+	l.RecordAt(at, kind, where, detail)
+}
+
+// RecordAt appends an event with an explicit virtual timestamp.
+// Data-plane callers on sharded worlds must use it (with their node
+// Clock's now) instead of Record: the log's own clock is the control
+// lane's, which lags inside parallel windows. Combined with the
+// canonical sort of SortedEvents, an explicit correct timestamp is
+// what keeps exported event streams byte-identical across shard
+// counts.
+func (l *EventLog) RecordAt(at time.Duration, kind, where, detail string) {
 	e := Event{At: at, Kind: kind, Where: where, Detail: detail}
 	l.mu.Lock()
 	l.total++
@@ -155,9 +176,41 @@ func (l *EventLog) Evicted() int64 {
 	return l.evicted
 }
 
-// WriteJSON dumps the retained events as an indented JSON array.
+// SortedEvents returns the retained events in canonical export order:
+// by (At, Kind, Where, Detail). Within one virtual instant the
+// arrival order of records from concurrent shard lanes is scheduling
+// luck, but the *set* is deterministic, and identical records are
+// interchangeable — so sorting on export (here and in the Collector)
+// makes every dump byte-identical across shard counts. Events keeps
+// the raw arrival order for taps and tests.
+func (l *EventLog) SortedEvents() []Event {
+	out := l.Events()
+	sortEvents(out)
+	return out
+}
+
+// sortEvents orders events canonically; the sort is stable over fully
+// equal records by construction (every field participates in the key).
+func sortEvents(evs []Event) {
+	sort.Slice(evs, func(i, j int) bool {
+		a, b := evs[i], evs[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Where != b.Where {
+			return a.Where < b.Where
+		}
+		return a.Detail < b.Detail
+	})
+}
+
+// WriteJSON dumps the retained events as an indented JSON array in
+// canonical (At, Kind, Where, Detail) order.
 func (l *EventLog) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(l.Events())
+	return enc.Encode(l.SortedEvents())
 }

@@ -2,7 +2,11 @@ package topology
 
 import (
 	"fmt"
+	"hash/fnv"
 	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
 
 	"repro/internal/coprime"
 )
@@ -112,4 +116,327 @@ func Generate(cfg GenConfig) (*Graph, error) {
 		return nil, err
 	}
 	return g, nil
+}
+
+// FatTree builds the standard k-ary fat-tree datacenter fabric
+// (k even, k >= 2): k pods of k/2 aggregation and k/2 top-of-rack
+// switches, (k/2)^2 core-layer switches, and one KAR edge host per
+// ToR. Core group i connects to aggregation switch i of every pod;
+// every ToR connects to every aggregation switch in its pod. Switch
+// IDs are allocated pairwise-coprime smallest-first over the analytic
+// degree plan, so the graph is fully deterministic in k. Pod switches
+// are inserted pod-by-pod before the core layer, which keeps
+// contiguous region partitions (PartitionRegions) pod-aligned.
+func FatTree(k int) (*Graph, error) {
+	if k < 2 || k%2 != 0 {
+		return nil, fmt.Errorf("topology: fattree: k must be even and >= 2, got %d", k)
+	}
+	half := k / 2
+	nSwitches := k*k + half*half // k pods x (half agg + half tor) + core layer
+
+	// Analytic degree plan in insertion order: per pod, aggs then
+	// ToRs; core layer last. Agg: half up + half down. ToR: half up
+	// + one host. Core: one link per pod.
+	mins := make([]uint64, 0, nSwitches)
+	for p := 0; p < k; p++ {
+		for i := 0; i < half; i++ {
+			mins = append(mins, uint64(k)+1) // agg
+		}
+		for i := 0; i < half; i++ {
+			mins = append(mins, uint64(half)+2) // tor
+		}
+	}
+	for c := 0; c < half*half; c++ {
+		mins = append(mins, uint64(k)+1) // core
+	}
+	ids, err := coprime.Assign(mins)
+	if err != nil {
+		return nil, fmt.Errorf("topology: fattree: %w", err)
+	}
+
+	g := New(fmt.Sprintf("fattree-%d", k))
+	agg := make([][]string, k)
+	tor := make([][]string, k)
+	next := 0
+	for p := 0; p < k; p++ {
+		agg[p] = make([]string, half)
+		tor[p] = make([]string, half)
+		for i := 0; i < half; i++ {
+			agg[p][i] = fmt.Sprintf("A%d_%d", p, i)
+			if _, err := g.AddCore(agg[p][i], ids[next]); err != nil {
+				return nil, err
+			}
+			next++
+		}
+		for i := 0; i < half; i++ {
+			tor[p][i] = fmt.Sprintf("T%d_%d", p, i)
+			if _, err := g.AddCore(tor[p][i], ids[next]); err != nil {
+				return nil, err
+			}
+			next++
+		}
+	}
+	cores := make([]string, half*half)
+	for c := range cores {
+		cores[c] = fmt.Sprintf("C%d_%d", c/half, c%half)
+		if _, err := g.AddCore(cores[c], ids[next]); err != nil {
+			return nil, err
+		}
+		next++
+	}
+
+	// Hosts and intra-pod fabric, pod by pod; core uplinks last.
+	for p := 0; p < k; p++ {
+		for t := 0; t < half; t++ {
+			host := fmt.Sprintf("E%d", p*half+t)
+			if _, err := g.AddEdge(host); err != nil {
+				return nil, err
+			}
+			if _, err := g.Connect(host, tor[p][t], WithQueuePackets(HostQueuePackets)); err != nil {
+				return nil, err
+			}
+		}
+		for t := 0; t < half; t++ {
+			for a := 0; a < half; a++ {
+				if _, err := g.Connect(tor[p][t], agg[p][a]); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	for c, name := range cores {
+		group := c / half
+		for p := 0; p < k; p++ {
+			if _, err := g.Connect(name, agg[p][group]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// Clos builds a two-tier leaf-spine fabric: every leaf connects to
+// every spine, with one KAR edge host per leaf. Deterministic in
+// (leaves, spines).
+func Clos(leaves, spines int) (*Graph, error) {
+	if leaves < 2 || spines < 1 {
+		return nil, fmt.Errorf("topology: clos: need >= 2 leaves and >= 1 spine, got %d/%d", leaves, spines)
+	}
+	mins := make([]uint64, 0, leaves+spines)
+	for i := 0; i < leaves; i++ {
+		mins = append(mins, uint64(spines)+2) // spines up + one host
+	}
+	for i := 0; i < spines; i++ {
+		mins = append(mins, uint64(leaves)+1)
+	}
+	ids, err := coprime.Assign(mins)
+	if err != nil {
+		return nil, fmt.Errorf("topology: clos: %w", err)
+	}
+
+	g := New(fmt.Sprintf("clos-%d-%d", leaves, spines))
+	leaf := make([]string, leaves)
+	for i := range leaf {
+		leaf[i] = fmt.Sprintf("L%d", i)
+		if _, err := g.AddCore(leaf[i], ids[i]); err != nil {
+			return nil, err
+		}
+	}
+	spine := make([]string, spines)
+	for i := range spine {
+		spine[i] = fmt.Sprintf("S%d", i)
+		if _, err := g.AddCore(spine[i], ids[leaves+i]); err != nil {
+			return nil, err
+		}
+	}
+	for i, l := range leaf {
+		host := fmt.Sprintf("E%d", i)
+		if _, err := g.AddEdge(host); err != nil {
+			return nil, err
+		}
+		if _, err := g.Connect(host, l, WithQueuePackets(HostQueuePackets)); err != nil {
+			return nil, err
+		}
+		for _, s := range spine {
+			if _, err := g.Connect(l, s); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// ISP builds an ISP-like backbone by Barabási–Albert preferential
+// attachment: an (m+1)-clique seed, then each new switch attaches to
+// m distinct existing switches chosen proportionally to degree. hosts
+// KAR edge nodes attach to switches spread evenly across the
+// insertion order. Deterministic per seed.
+func ISP(cores, m, hosts int, seed int64) (*Graph, error) {
+	if m < 1 || cores < m+2 {
+		return nil, fmt.Errorf("topology: isp: need m >= 1 and cores >= m+2, got cores=%d m=%d", cores, m)
+	}
+	if hosts < 0 || hosts > cores {
+		return nil, fmt.Errorf("topology: isp: hosts %d out of range [0, %d]", hosts, cores)
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	type link struct{ a, b int }
+	var links []link
+	// Preferential-attachment urn: every link endpoint appears once.
+	urn := make([]int, 0, 2*(m*cores))
+	for a := 0; a <= m; a++ {
+		for b := a + 1; b <= m; b++ {
+			links = append(links, link{a, b})
+			urn = append(urn, a, b)
+		}
+	}
+	picked := make(map[int]bool, m)
+	for v := m + 1; v < cores; v++ {
+		for k := range picked {
+			delete(picked, k)
+		}
+		for len(picked) < m {
+			picked[urn[rng.Intn(len(urn))]] = true
+		}
+		// Deterministic link order for the chosen targets.
+		targets := make([]int, 0, m)
+		for t := range picked {
+			targets = append(targets, t)
+		}
+		sort.Ints(targets)
+		for _, t := range targets {
+			links = append(links, link{t, v})
+			urn = append(urn, t, v)
+		}
+	}
+
+	degree := make([]uint64, cores)
+	for _, l := range links {
+		degree[l.a]++
+		degree[l.b]++
+	}
+	hostAt := make([]int, hosts)
+	for i := range hostAt {
+		hostAt[i] = i * cores / max(hosts, 1)
+		degree[hostAt[i]]++
+	}
+	mins := make([]uint64, cores)
+	for i, d := range degree {
+		mins[i] = d + 1
+	}
+	ids, err := coprime.Assign(mins)
+	if err != nil {
+		return nil, fmt.Errorf("topology: isp: %w", err)
+	}
+
+	g := New(fmt.Sprintf("isp-%d-%d-%d", cores, m, seed))
+	names := make([]string, cores)
+	for i, id := range ids {
+		names[i] = fmt.Sprintf("SW%d", id)
+		if _, err := g.AddCore(names[i], id); err != nil {
+			return nil, err
+		}
+	}
+	for i, c := range hostAt {
+		host := fmt.Sprintf("E%d", i)
+		if _, err := g.AddEdge(host); err != nil {
+			return nil, err
+		}
+		if _, err := g.Connect(host, names[c], WithQueuePackets(HostQueuePackets)); err != nil {
+			return nil, err
+		}
+	}
+	for _, l := range links {
+		if _, err := g.Connect(names[l.a], names[l.b]); err != nil {
+			return nil, err
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// FromSpec builds a generated topology from a colon-separated spec:
+//
+//	rand:<cores>:<extra-links>:<edges>:<seed>
+//	fattree:<k>
+//	clos:<leaves>:<spines>
+//	isp:<cores>:<m>:<hosts>:<seed>
+//
+// These are the `-topo`/`-verify` names karsim accepts beyond the
+// canned scenario topologies.
+func FromSpec(spec string) (*Graph, error) {
+	kind, rest, _ := strings.Cut(spec, ":")
+	parts := strings.Split(rest, ":")
+	nums := make([]int64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseInt(p, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("topology: spec %q: %w", spec, err)
+		}
+		nums[i] = v
+	}
+	switch kind {
+	case "rand":
+		if len(nums) != 4 {
+			return nil, fmt.Errorf("topology: spec %q: want rand:<cores>:<extra-links>:<edges>:<seed>", spec)
+		}
+		return Generate(GenConfig{Cores: int(nums[0]), ExtraLinks: int(nums[1]), Edges: int(nums[2]), Seed: nums[3]})
+	case "fattree":
+		if len(nums) != 1 {
+			return nil, fmt.Errorf("topology: spec %q: want fattree:<k>", spec)
+		}
+		return FatTree(int(nums[0]))
+	case "clos":
+		if len(nums) != 2 {
+			return nil, fmt.Errorf("topology: spec %q: want clos:<leaves>:<spines>", spec)
+		}
+		return Clos(int(nums[0]), int(nums[1]))
+	case "isp":
+		if len(nums) != 4 {
+			return nil, fmt.Errorf("topology: spec %q: want isp:<cores>:<m>:<hosts>:<seed>", spec)
+		}
+		return ISP(int(nums[0]), int(nums[1]), int(nums[2]), nums[3])
+	default:
+		return nil, fmt.Errorf("topology: unknown generator spec %q", spec)
+	}
+}
+
+// IsSpec reports whether name looks like a FromSpec generator spec
+// rather than a canned topology name.
+func IsSpec(name string) bool {
+	kind, _, ok := strings.Cut(name, ":")
+	if !ok {
+		return false
+	}
+	switch kind {
+	case "rand", "fattree", "clos", "isp":
+		return true
+	}
+	return false
+}
+
+// Fingerprint returns a stable hash of the graph's full structure —
+// node names, kinds and IDs, plus every link's endpoints, ports, rate,
+// delay and queue depth. Two calls on structurally identical graphs
+// (same generator, same parameters, same seed) return the same value;
+// determinism tests byte-compare it across rebuilds.
+func (g *Graph) Fingerprint() string {
+	h := fnv.New64a()
+	for _, n := range g.Nodes() {
+		fmt.Fprintf(h, "n|%s|%d|%d|%d\n", n.Name(), n.Kind(), n.ID(), n.PortSpan())
+	}
+	for _, l := range g.Links() {
+		fmt.Fprintf(h, "l|%s|%d|%s|%d|%g|%d|%d\n",
+			l.A().Name(), l.PortOf(l.A()), l.B().Name(), l.PortOf(l.B()),
+			l.RateMbps(), l.Delay(), l.QueuePackets())
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
 }

@@ -1,0 +1,213 @@
+package topology
+
+import (
+	"testing"
+	"time"
+)
+
+// TestFatTreeShape pins the analytic shape of the k-ary fat-tree:
+// k*k pod switches + (k/2)^2 core-layer switches, one host per ToR,
+// and the standard link count.
+func TestFatTreeShape(t *testing.T) {
+	for _, k := range []int{4, 8} {
+		g, err := FatTree(k)
+		if err != nil {
+			t.Fatalf("FatTree(%d): %v", k, err)
+		}
+		half := k / 2
+		if got, want := len(g.CoreNodes()), k*k+half*half; got != want {
+			t.Errorf("FatTree(%d): %d switches, want %d", k, got, want)
+		}
+		if got, want := len(g.EdgeNodes()), k*half; got != want {
+			t.Errorf("FatTree(%d): %d hosts, want %d", k, got, want)
+		}
+		// Hosts + intra-pod (k * half*half) + core uplinks (half^2 * k).
+		if got, want := len(g.Links()), k*half+k*half*half+half*half*k; got != want {
+			t.Errorf("FatTree(%d): %d links, want %d", k, got, want)
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("FatTree(%d): validate: %v", k, err)
+		}
+	}
+	if _, err := FatTree(3); err == nil {
+		t.Error("FatTree(3): want error for odd k")
+	}
+}
+
+// TestFatTreeDatacenterScale pins the 1k-switch configuration the
+// scale experiment uses: k=28 gives 980 switches and 392 hosts, with
+// every switch ID small enough for the 16-bit batch reducer.
+func TestFatTreeDatacenterScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("datacenter-scale build")
+	}
+	g, err := FatTree(28)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(g.CoreNodes()); got != 980 {
+		t.Errorf("switches = %d, want 980", got)
+	}
+	if got := len(g.EdgeNodes()); got != 392 {
+		t.Errorf("hosts = %d, want 392", got)
+	}
+	for _, id := range g.SwitchIDs() {
+		if id >= 1<<16 {
+			t.Fatalf("switch ID %d does not fit the 16-bit reducer", id)
+		}
+	}
+}
+
+// TestClosShape: every leaf sees every spine plus one host.
+func TestClosShape(t *testing.T) {
+	g, err := Clos(6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(g.CoreNodes()); got != 9 {
+		t.Errorf("switches = %d, want 9", got)
+	}
+	if got := len(g.EdgeNodes()); got != 6 {
+		t.Errorf("hosts = %d, want 6", got)
+	}
+	if got := len(g.Links()); got != 6+6*3 {
+		t.Errorf("links = %d, want %d", got, 6+6*3)
+	}
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 3; j++ {
+			if _, ok := g.LinkBetween("L0", "S0"); !ok {
+				t.Fatalf("missing leaf-spine link L%d-S%d", i, j)
+			}
+		}
+	}
+}
+
+// TestISPShape: m links per non-seed switch, hosts spread across the
+// insertion order, connected and valid.
+func TestISPShape(t *testing.T) {
+	g, err := ISP(50, 2, 10, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(g.CoreNodes()); got != 50 {
+		t.Errorf("switches = %d, want 50", got)
+	}
+	if got := len(g.EdgeNodes()); got != 10 {
+		t.Errorf("hosts = %d, want 10", got)
+	}
+	// Seed clique m+1=3 has 3 links; 47 more switches add 2 each.
+	if got, want := len(g.Links()), 10+3+47*2; got != want {
+		t.Errorf("links = %d, want %d", got, want)
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("validate: %v", err)
+	}
+}
+
+// TestGeneratorDeterminism: building the same spec twice yields the
+// same fingerprint, and different parameters/seeds yield different
+// ones. The fingerprint covers names, kinds, IDs, ports, and link
+// attributes, so this is full structural identity.
+func TestGeneratorDeterminism(t *testing.T) {
+	specs := []string{
+		"fattree:4", "fattree:8",
+		"clos:6:3", "clos:8:4",
+		"isp:40:2:8:1", "isp:40:2:8:2", "isp:60:3:8:1",
+		"rand:12:4:6:9",
+	}
+	seen := make(map[string]string)
+	for _, spec := range specs {
+		a, err := FromSpec(spec)
+		if err != nil {
+			t.Fatalf("FromSpec(%q): %v", spec, err)
+		}
+		b, err := FromSpec(spec)
+		if err != nil {
+			t.Fatalf("FromSpec(%q) second build: %v", spec, err)
+		}
+		fa, fb := a.Fingerprint(), b.Fingerprint()
+		if fa != fb {
+			t.Errorf("%q: rebuild changed fingerprint: %s vs %s", spec, fa, fb)
+		}
+		if prev, dup := seen[fa]; dup {
+			t.Errorf("%q and %q collide on fingerprint %s", spec, prev, fa)
+		}
+		seen[fa] = spec
+	}
+}
+
+// TestFromSpecErrors: malformed specs fail loudly instead of building
+// something surprising.
+func TestFromSpecErrors(t *testing.T) {
+	for _, spec := range []string{
+		"fattree", "fattree:x", "fattree:4:4",
+		"clos:2", "isp:10:1:2", "rand:3:1:2", "mesh:4", "",
+	} {
+		if _, err := FromSpec(spec); err == nil {
+			t.Errorf("FromSpec(%q): want error", spec)
+		}
+	}
+	for spec, want := range map[string]bool{
+		"fattree:4": true, "clos:4:2": true, "isp:9:2:2:1": true,
+		"rand:4:0:2:1": true, "fig1": false, "rnp28": false, "mesh:4": false,
+	} {
+		if got := IsSpec(spec); got != want {
+			t.Errorf("IsSpec(%q) = %v, want %v", spec, got, want)
+		}
+	}
+}
+
+// TestPartitionRegionsFatTree: contiguous chunking over the pod-major
+// insertion order keeps pods whole, hosts land with their ToR's
+// region, and every region is non-empty.
+func TestPartitionRegionsFatTree(t *testing.T) {
+	g, err := FatTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 2, 4} {
+		regions := PartitionRegions(g, shards)
+		if len(regions) != len(g.Nodes()) {
+			t.Fatalf("shards=%d: %d region entries, want %d", shards, len(regions), len(g.Nodes()))
+		}
+		seen := make(map[int]bool)
+		for _, r := range regions {
+			if r < 0 || r >= shards {
+				t.Fatalf("shards=%d: region %d out of range", shards, r)
+			}
+			seen[r] = true
+		}
+		if len(seen) != shards {
+			t.Errorf("shards=%d: only %d regions populated", shards, len(seen))
+		}
+		// Host region == its ToR's region: the access link is never
+		// a cut link, so host traffic enters the fabric in-shard.
+		for _, h := range g.EdgeNodes() {
+			tor, ok := h.Neighbor(0)
+			if !ok {
+				t.Fatalf("host %s has no uplink", h.Name())
+			}
+			if regions[h.Index()] != regions[tor.Index()] {
+				t.Errorf("shards=%d: host %s in region %d, its ToR %s in region %d",
+					shards, h.Name(), regions[h.Index()], tor.Name(), regions[tor.Index()])
+			}
+		}
+	}
+}
+
+// TestGeneratedLinkDelaysPositive: conservative sharding derives its
+// lookahead from the minimum cross-region link delay, so generated
+// fabrics must never emit a zero-delay link.
+func TestGeneratedLinkDelaysPositive(t *testing.T) {
+	for _, spec := range []string{"fattree:4", "clos:4:2", "isp:10:2:4:3"} {
+		g, err := FromSpec(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, l := range g.Links() {
+			if l.Delay() <= 0 {
+				t.Errorf("%s: link %s has delay %v", spec, l.Name(), time.Duration(l.Delay()))
+			}
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package topology
+
+// PartitionRegions assigns every node of g to one of n regions for
+// sharded simulation (simnet.WithShards). The assignment is a pure
+// function of the graph's insertion order and n — no randomness, no
+// map iteration — so every run, on any machine, partitions a given
+// topology identically:
+//
+//   - Core nodes (switches) are split into n contiguous, balanced
+//     chunks by insertion index. Generators emit cores in locality
+//     order (a fat-tree pod's switches are adjacent, a random graph's
+//     neighborhoods are index-clustered), so contiguous chunks keep
+//     most links intra-region without a partitioning solver.
+//   - Edge nodes follow the lowest-indexed core they attach to: an
+//     edge and its ToR always share a region, so the host access link
+//     (the shortest-delay link class) never becomes a cut link and
+//     never drags the conservative lookahead window down.
+//   - Nodes attached to no core (degenerate graphs) land in region 0.
+//
+// The returned slice maps Node.Index() to region in [0, n). n is
+// clamped to [1, number of cores]; n ≤ 1 yields all zeros.
+func PartitionRegions(g *Graph, n int) []int {
+	nodes := g.Nodes()
+	out := make([]int, len(nodes))
+	cores := g.CoreNodes()
+	if n > len(cores) {
+		n = len(cores)
+	}
+	if n <= 1 {
+		return out
+	}
+	// Balanced contiguous chunks: region i gets cores
+	// [i*C/n, (i+1)*C/n).
+	for i, c := range cores {
+		out[c.Index()] = i * n / len(cores)
+	}
+	for _, node := range nodes {
+		if node.Kind() == KindCore {
+			continue
+		}
+		home := -1
+		for p := 0; p < node.PortSpan(); p++ {
+			nb, ok := node.Neighbor(p)
+			if !ok || nb.Kind() != KindCore {
+				continue
+			}
+			if home == -1 || nb.Index() < home {
+				home = nb.Index()
+			}
+		}
+		if home >= 0 {
+			out[node.Index()] = out[home]
+		}
+	}
+	return out
+}

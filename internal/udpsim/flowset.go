@@ -1,0 +1,375 @@
+package udpsim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/edge"
+	"repro/internal/packet"
+	"repro/internal/simnet"
+	"repro/internal/telemetry"
+)
+
+// Arrival selects the arrival process of a FlowSet.
+type Arrival int
+
+const (
+	// ArrivalPoisson superposes the set's flows into one Poisson
+	// process per src/dst pair: exponential inter-arrival times at the
+	// pair's aggregate rate, each packet assigned to a uniformly
+	// chosen flow. This is exactly the superposition of N independent
+	// per-flow Poisson processes, without N timers.
+	ArrivalPoisson Arrival = iota
+	// ArrivalOnOff emits flow bursts: exponential gaps between bursts,
+	// a uniformly chosen flow per burst, and a burst length drawn with
+	// mean BurstMean — the burst-level superposition of on-off
+	// sources.
+	ArrivalOnOff
+)
+
+func (a Arrival) String() string {
+	switch a {
+	case ArrivalPoisson:
+		return "poisson"
+	case ArrivalOnOff:
+		return "onoff"
+	default:
+		return fmt.Sprintf("Arrival(%d)", int(a))
+	}
+}
+
+// ParseArrival maps the CLI names onto Arrival values.
+func ParseArrival(s string) (Arrival, error) {
+	switch s {
+	case "", "poisson":
+		return ArrivalPoisson, nil
+	case "onoff", "on-off":
+		return ArrivalOnOff, nil
+	default:
+		return 0, fmt.Errorf("udpsim: unknown arrival process %q (want poisson or onoff)", s)
+	}
+}
+
+// Pair is one src→dst direction a FlowSet drives traffic over. The
+// forward route must be installed on Src before Start.
+type Pair struct {
+	Src *edge.Edge
+	Dst *edge.Edge
+}
+
+// SetConfig declares an entire population of flows in one block —
+// 10^5–10^6 logical flows cost a few flat arrays and one pump per
+// pair, never a Go object per flow.
+type SetConfig struct {
+	// Name labels the set's aggregate metrics (kar_flowset_*{set=Name}).
+	Name string
+	// Flows is the total number of logical flows, split evenly across
+	// the pairs.
+	Flows int
+	// Rate is the mean per-flow packet rate in packets per second.
+	Rate float64
+	// Size is the wire size per packet in bytes (default 1500).
+	Size int
+	// Arrival selects the arrival process.
+	Arrival Arrival
+	// BurstMean is the mean packets per burst for ArrivalOnOff
+	// (default 10; ignored for Poisson).
+	BurstMean float64
+	// Seed drives the per-pair RNGs. Pair i uses Seed + i*9973, so
+	// draw sequences are stable regardless of shard or worker count.
+	Seed int64
+	// Until stops injection at this virtual time (0: run until Stop).
+	Until time.Duration
+}
+
+func (c SetConfig) defaults() SetConfig {
+	if c.Name == "" {
+		c.Name = "flows"
+	}
+	if c.Size == 0 {
+		c.Size = 1500
+	}
+	if c.Rate == 0 {
+		c.Rate = 1
+	}
+	if c.BurstMean < 1 {
+		c.BurstMean = 10
+	}
+	return c
+}
+
+// FlowSet drives a declared flow population over a network. Per-flow
+// state lives in two flat arrays (packets sent / received per flow);
+// per-pair pumps run on their source edge's shard clock, so draws and
+// emissions are deterministic for any shard count; per-destination
+// receivers keep lane-local aggregates that Stats merges in sorted
+// name order.
+type FlowSet struct {
+	cfg     SetConfig
+	pumps   []*pairPump
+	rcvs    map[string]*setReceiver
+	sent    []uint32 // packets emitted, indexed by global flow ID
+	recv    []uint32 // packets delivered, indexed by global flow ID
+	stopped bool
+
+	cSent     *simnet.DeferredCounter
+	cReceived *simnet.DeferredCounter
+	cNoRoute  *telemetry.Counter
+	hLatency  *simnet.DeferredHistogram
+	hHops     *simnet.DeferredHistogram
+}
+
+// pairPump emits one pair's aggregate arrival process. It never
+// allocates per flow: the pair's flows are the index range
+// [flowBase, flowBase+nFlows) of the set's flat arrays.
+type pairPump struct {
+	set       *FlowSet
+	src       *edge.Edge
+	srcName   string
+	dstName   string
+	clock     simnet.Clock
+	rng       *rand.Rand
+	flowBase  uint32
+	nFlows    int
+	meanGapNs float64
+	tickFn    func()
+}
+
+// setReceiver terminates every set flow addressed to one destination
+// edge. Its plain fields are only touched on that edge's shard lane.
+type setReceiver struct {
+	set        *FlowSet
+	clock      simnet.Clock
+	received   int64
+	totalHops  int64
+	minHops    int
+	maxHops    int
+	lastArrive time.Duration
+}
+
+// NewFlowSet declares cfg.Flows logical flows over the given pairs
+// and wires pumps and receivers. Flow IDs are global indices assigned
+// pair-major, so the mapping is deterministic in (pairs, cfg) alone.
+func NewFlowSet(net *simnet.Network, pairs []Pair, cfg SetConfig) (*FlowSet, error) {
+	cfg = cfg.defaults()
+	if len(pairs) == 0 {
+		return nil, fmt.Errorf("udpsim: flow set %q has no pairs", cfg.Name)
+	}
+	if cfg.Flows < len(pairs) {
+		return nil, fmt.Errorf("udpsim: flow set %q: %d flows over %d pairs leaves idle pairs",
+			cfg.Name, cfg.Flows, len(pairs))
+	}
+	reg := net.Metrics()
+	reg.Help("kar_flowset_sent_total", "Packets emitted by a declared flow population.")
+	reg.Help("kar_flowset_received_total", "Packets delivered to a flow population's receivers.")
+	reg.Help("kar_flowset_noroute_total", "Flow-set injections refused for want of an installed route.")
+	reg.Help("kar_flowset_latency_us", "One-way delivery latency across a flow population (µs).")
+	reg.Help("kar_flowset_hops", "Hop counts of delivered flow-population packets.")
+	fs := &FlowSet{
+		cfg:       cfg,
+		rcvs:      make(map[string]*setReceiver),
+		sent:      make([]uint32, cfg.Flows),
+		recv:      make([]uint32, cfg.Flows),
+		cSent:     net.DeferCounter(reg.Counter("kar_flowset_sent_total", "set", cfg.Name)),
+		cReceived: net.DeferCounter(reg.Counter("kar_flowset_received_total", "set", cfg.Name)),
+		cNoRoute:  reg.Counter("kar_flowset_noroute_total", "set", cfg.Name),
+		hLatency:  net.DeferHistogram(reg.Histogram("kar_flowset_latency_us", telemetry.LatencyBucketsUs, "set", cfg.Name)),
+		hHops:     net.DeferHistogram(reg.Histogram("kar_flowset_hops", telemetry.HopBuckets, "set", cfg.Name)),
+	}
+
+	perPair := cfg.Flows / len(pairs)
+	extra := cfg.Flows % len(pairs)
+	base := uint32(0)
+	for i, p := range pairs {
+		n := perPair
+		if i < extra {
+			n++
+		}
+		pump := &pairPump{
+			set:      fs,
+			src:      p.Src,
+			srcName:  p.Src.Node().Name(),
+			dstName:  p.Dst.Node().Name(),
+			clock:    net.ClockOf(p.Src.Node()),
+			rng:      rand.New(rand.NewSource(cfg.Seed + int64(i)*9973)),
+			flowBase: base,
+			nFlows:   n,
+		}
+		pump.tickFn = pump.tick
+		// Aggregate pair rate: nFlows * Rate packets/s for Poisson;
+		// on-off spaces bursts of BurstMean packets at the same mean
+		// packet rate.
+		gap := 1e9 / (cfg.Rate * float64(n))
+		if cfg.Arrival == ArrivalOnOff {
+			gap *= cfg.BurstMean
+		}
+		pump.meanGapNs = gap
+		fs.pumps = append(fs.pumps, pump)
+		base += uint32(n)
+
+		dst := p.Dst.Node().Name()
+		if _, ok := fs.rcvs[dst]; !ok {
+			r := &setReceiver{set: fs, clock: net.ClockOf(p.Dst.Node())}
+			fs.rcvs[dst] = r
+			p.Dst.AttachDefault(edge.ReceiverFunc(r.onData))
+		}
+	}
+	return fs, nil
+}
+
+// Start schedules every pump's first arrival (each pair's phase is an
+// independent exponential draw, so pairs do not fire in lockstep).
+func (fs *FlowSet) Start() {
+	for _, p := range fs.pumps {
+		p.clock.After(p.nextGap(), p.tickFn)
+	}
+}
+
+// Stop halts emission at the current virtual time.
+func (fs *FlowSet) Stop() { fs.stopped = true }
+
+func (p *pairPump) nextGap() time.Duration {
+	d := time.Duration(p.rng.ExpFloat64() * p.meanGapNs)
+	if d < time.Nanosecond {
+		d = time.Nanosecond
+	}
+	return d
+}
+
+func (p *pairPump) tick() {
+	fs := p.set
+	if fs.stopped {
+		return
+	}
+	if fs.cfg.Until > 0 && p.clock.Now() >= fs.cfg.Until {
+		return
+	}
+	count := 1
+	if fs.cfg.Arrival == ArrivalOnOff {
+		count = 1 + int(p.rng.ExpFloat64()*(fs.cfg.BurstMean-1))
+	}
+	flow := p.flowBase + uint32(p.rng.Intn(p.nFlows))
+	for i := 0; i < count; i++ {
+		pkt := packet.Get()
+		pkt.Flow = packet.FlowID{Src: p.srcName, Dst: p.dstName, ID: flow}
+		pkt.Kind = packet.KindData
+		pkt.Seq = uint64(fs.sent[flow])
+		pkt.Size = fs.cfg.Size
+		pkt.SentAt = p.clock.Now()
+		fs.sent[flow]++
+		fs.cSent.Inc()
+		if err := p.src.Inject(pkt); err != nil {
+			fs.cNoRoute.Inc()
+			pkt.Release()
+		}
+	}
+	p.clock.After(p.nextGap(), p.tickFn)
+}
+
+// onData terminates a set packet: flat-array per-flow accounting plus
+// lane-local aggregates. Duplicate sequence detection is deliberately
+// skipped — a per-flow bitmap would dominate memory at 10^6 flows.
+func (r *setReceiver) onData(pkt *packet.Packet) {
+	defer pkt.Release()
+	fs := r.set
+	if int(pkt.Flow.ID) < len(fs.recv) {
+		fs.recv[pkt.Flow.ID]++
+	}
+	r.received++
+	r.totalHops += int64(pkt.Hops)
+	if r.received == 1 || pkt.Hops < r.minHops {
+		r.minHops = pkt.Hops
+	}
+	if pkt.Hops > r.maxHops {
+		r.maxHops = pkt.Hops
+	}
+	if now := r.clock.Now(); now > r.lastArrive {
+		r.lastArrive = now
+	}
+	fs.cReceived.Inc()
+	fs.hHops.Observe(float64(pkt.Hops))
+	if pkt.SentAt > 0 {
+		// Whole microseconds keep histogram sums integral and dumps
+		// byte-identical across shard and worker counts.
+		fs.hLatency.Observe(float64((r.clock.Now() - pkt.SentAt) / time.Microsecond))
+	}
+}
+
+// SetStats aggregates a flow population after a run.
+type SetStats struct {
+	Flows          int
+	ActiveFlows    int // flows that emitted at least one packet
+	DeliveredFlows int // flows with at least one delivery
+	Sent           int64
+	Received       int64
+	NoRoute        int64
+	MinHops        int
+	MaxHops        int
+	TotalHops      int64
+	LastArrive     time.Duration
+}
+
+// DeliveryRatio returns received/sent.
+func (s SetStats) DeliveryRatio() float64 {
+	if s.Sent == 0 {
+		return 0
+	}
+	return float64(s.Received) / float64(s.Sent)
+}
+
+// MeanHops returns the average hop count of delivered packets.
+func (s SetStats) MeanHops() float64 {
+	if s.Received == 0 {
+		return 0
+	}
+	return float64(s.TotalHops) / float64(s.Received)
+}
+
+// Stats merges every receiver's lane-local aggregates (in sorted
+// destination order) with the flat per-flow arrays. Call it only when
+// the network is quiescent — between RunUntil calls, not from
+// simulation callbacks.
+func (fs *FlowSet) Stats() SetStats {
+	st := SetStats{
+		Flows:    fs.cfg.Flows,
+		Sent:     fs.cSent.Value(),
+		Received: fs.cReceived.Value(),
+		NoRoute:  fs.cNoRoute.Value(),
+	}
+	for _, n := range fs.sent {
+		if n > 0 {
+			st.ActiveFlows++
+		}
+	}
+	for _, n := range fs.recv {
+		if n > 0 {
+			st.DeliveredFlows++
+		}
+	}
+	dsts := make([]string, 0, len(fs.rcvs))
+	for d := range fs.rcvs {
+		dsts = append(dsts, d)
+	}
+	sort.Strings(dsts)
+	first := true
+	for _, d := range dsts {
+		r := fs.rcvs[d]
+		if r.received == 0 {
+			continue
+		}
+		if first || r.minHops < st.MinHops {
+			st.MinHops = r.minHops
+		}
+		first = false
+		if r.maxHops > st.MaxHops {
+			st.MaxHops = r.maxHops
+		}
+		st.TotalHops += r.totalHops
+		if r.lastArrive > st.LastArrive {
+			st.LastArrive = r.lastArrive
+		}
+	}
+	return st
+}

@@ -46,7 +46,7 @@ func (c Config) Defaults() Config {
 
 // Sender emits CBR packets from an edge.
 type Sender struct {
-	sched *simnet.Scheduler
+	clock simnet.Clock
 	edge  *edge.Edge
 	flow  packet.FlowID
 	cfg   Config
@@ -88,7 +88,7 @@ func (s Stats) MeanHops() float64 {
 
 // Receiver terminates a CBR flow and records metrics.
 type Receiver struct {
-	sched   *simnet.Scheduler
+	clock   simnet.Clock
 	highSeq uint64
 	gotAny  bool
 	// seen is a duplicate-detection bitmap indexed by sequence number
@@ -113,12 +113,12 @@ func NewFlow(net *simnet.Network, srcEdge, dstEdge *edge.Edge, flow packet.FlowI
 	reg := net.Metrics()
 	f := flow.String()
 	s := &Sender{
-		sched: net.Scheduler(), edge: srcEdge, flow: flow, cfg: cfg,
+		clock: net.ClockOf(srcEdge.Node()), edge: srcEdge, flow: flow, cfg: cfg,
 		cSent: net.DeferCounter(reg.Counter("kar_udp_sent_total", "flow", f)),
 	}
 	s.tickFn = s.tick
 	r := &Receiver{
-		sched:      net.Scheduler(),
+		clock:      net.ClockOf(dstEdge.Node()),
 		cReceived:  net.DeferCounter(reg.Counter("kar_udp_received_total", "flow", f)),
 		cReordered: reg.Counter("kar_udp_reordered_total", "flow", f),
 		cDups:      reg.Counter("kar_udp_dup_total", "flow", f),
@@ -150,14 +150,14 @@ func (s *Sender) tick() {
 		pkt.Kind = packet.KindData
 		pkt.Seq = uint64(s.sent)
 		pkt.Size = s.cfg.Size
-		pkt.SentAt = s.sched.Now()
+		pkt.SentAt = s.clock.Now()
 		s.sent++
 		s.cSent.Inc()
 		if err := s.edge.Inject(pkt); err != nil {
 			pkt.Release()
 		}
 	}
-	s.sched.After(s.cfg.Interval, s.tickFn)
+	s.clock.After(s.cfg.Interval, s.tickFn)
 }
 
 // onData terminates the flow: it records stats and, as the packet's
@@ -184,12 +184,12 @@ func (r *Receiver) onData(pkt *packet.Packet) {
 	if pkt.Hops > st.MaxHops {
 		st.MaxHops = pkt.Hops
 	}
-	lat := r.sched.Now() - pkt.SentAt
+	lat := r.clock.Now() - pkt.SentAt
 	st.Latency = append(st.Latency, lat)
 	// Whole microseconds keep the histogram sum integral, preserving
 	// byte-determinism of merged dumps.
 	r.hLatency.Observe(float64(lat / time.Microsecond))
-	st.LastArrive = r.sched.Now()
+	st.LastArrive = r.clock.Now()
 	if r.gotAny && pkt.Seq < r.highSeq {
 		r.cReordered.Inc()
 	}

@@ -214,6 +214,53 @@ cmp -s "$tmp/t1.trace.json" "$tmp/tsc.trace.json" || {
 }
 echo "batch data plane identity OK"
 
+echo "==> shard determinism (scale experiment, -shards 1/2/4, -workers 1/4, -batch on/off)"
+# The sharded engine's contract (DESIGN.md): the same seed produces
+# byte-identical metric dumps and trace exports for every shard count,
+# both data planes, any worker count. The metrics-only runs exercise
+# the parallel window driver (no total-order observer attached); the
+# -trace-export runs force and check the serialized global-merge
+# driver against the same reference.
+scale_args="-exp scale -topo fattree:4 -flows 20000 -pairs 16 -rate 20 -duration 500ms -fail-links 2 -seed 3"
+"$tmp/karsim" $scale_args -shards 1 -metrics "$tmp/sh1.prom" > /dev/null
+"$tmp/karsim" $scale_args -shards 2 -metrics "$tmp/sh2.prom" > /dev/null
+"$tmp/karsim" $scale_args -shards 4 -metrics "$tmp/sh4.prom" > /dev/null
+"$tmp/karsim" $scale_args -shards 4 -workers 4 -metrics "$tmp/sh4w.prom" > /dev/null
+"$tmp/karsim" $scale_args -shards 4 -batch=false -metrics "$tmp/sh4s.prom" > /dev/null
+"$tmp/karsim" $scale_args -shards 2 -batch=false -workers 4 -metrics "$tmp/sh2sw.prom" > /dev/null
+for v in sh2 sh4 sh4w sh4s sh2sw; do
+    cmp -s "$tmp/sh1.prom" "$tmp/$v.prom" || {
+        echo "FAIL: $v metrics dump differs from the 1-shard reference" >&2
+        exit 1
+    }
+    cmp -s "$tmp/sh1.prom.json" "$tmp/$v.prom.json" || {
+        echo "FAIL: $v JSON dump differs from the 1-shard reference" >&2
+        exit 1
+    }
+done
+grep -q '^kar_flowset_received_total{' "$tmp/sh1.prom" || {
+    echo "FAIL: scale dump carries no flow-set delivery counters" >&2
+    exit 1
+}
+"$tmp/karsim" $scale_args -shards 1 -trace-export "$tmp/st1" > /dev/null
+"$tmp/karsim" $scale_args -shards 4 -trace-export "$tmp/st4" > /dev/null
+grep -q '"kind":"hop"' "$tmp/st1.jsonl" || {
+    echo "FAIL: scale trace export carries no hop records" >&2
+    exit 1
+}
+cmp -s "$tmp/st1.jsonl" "$tmp/st4.jsonl" || {
+    echo "FAIL: scale trace exports differ across shard counts" >&2
+    exit 1
+}
+cmp -s "$tmp/st1.trace.json" "$tmp/st4.trace.json" || {
+    echo "FAIL: scale Perfetto exports differ across shard counts" >&2
+    exit 1
+}
+echo "shard determinism OK"
+
+echo "==> go test -race ./internal/simnet/... (sharded engine focused)"
+go test -race -run 'Shard|Window|ClockOf|Determinism' ./internal/simnet/ ./internal/udpsim/
+
 echo "==> go test -race (batch data plane focused)"
 # The batched hot path (trains, deferred counters/histograms, burst
 # forwarding) runs single-goroutine per world by contract; this line
