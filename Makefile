@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench check scenarios verify
+.PHONY: all build test vet race bench check scenarios verify serve-smoke load
 
 all: vet build test
 
@@ -31,6 +31,17 @@ verify:
 	$(GO) run ./cmd/karsim -verify net15 -verify-protection full \
 	    -verify-routes AS1:AS2,AS1:AS3,AS2:AS3,AS3:AS2 \
 	    -verify-policies avp,nip -verify-min 1.0
+
+# Serve-daemon smoke: start `karsim serve`, byte-compare its verdict
+# and verify documents against the batch CLI at workers 1 vs 4, check
+# /metrics and /healthz, and require a clean SIGTERM drain.
+serve-smoke:
+	sh scripts/serve_smoke.sh
+
+# Serve-daemon load test: 200 concurrent scenario jobs through the
+# full submit/stream/result lifecycle, zero dropped results.
+load:
+	sh scripts/load.sh
 
 # Full quality gates: vet + gofmt + build + race tests + telemetry
 # smoke test (fig4 -metrics dump well-formed and byte-identical across

@@ -1,0 +1,371 @@
+// Command karload is the serve daemon's client and load driver. It
+// has three modes:
+//
+//	karload -addr HOST:PORT -probe /readyz
+//	    GET a path, print the body, exit non-zero on a non-2xx status
+//	    (the scripts' curl replacement).
+//
+//	karload -addr HOST:PORT -post /v1/scenarios -body req.json -result out.json
+//	    POST one job request, follow it to a terminal state, write the
+//	    result document verbatim; exit non-zero unless it ends "done".
+//
+//	karload -addr HOST:PORT -n 200 -c 32
+//	    Load mode: drive -n scenario jobs at concurrency -c through the
+//	    full lifecycle (submit with 429 retry, stream events to the
+//	    terminal state, fetch the result), then print a throughput and
+//	    latency report. Every job must return a result — a dropped one
+//	    fails the run.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// defaultSpec is the embedded load scenario: small enough to finish in
+// tens of milliseconds, real enough to exercise flows, phases, an
+// injection and the deflection machinery.
+const defaultSpec = `{
+  "name": "karload",
+  "topology": "net15",
+  "policy": "nip",
+  "seed": 1,
+  "runs": 1,
+  "duration": "20ms",
+  "drain": "10ms",
+  "flows": [
+    {"src": "AS1", "dst": "AS3", "interval": "1ms"}
+  ],
+  "phases": [
+    {"name": "steady", "until": "10ms"},
+    {"name": "tail", "until": "20ms"}
+  ],
+  "injections": [
+    {"kind": "link_cut", "link": ["SW7", "SW13"], "start": "5ms", "duration": "5ms"}
+  ]
+}`
+
+type jobStatus struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	Error string `json:"error,omitempty"`
+}
+
+func terminal(state string) bool {
+	return state == "done" || state == "failed" || state == "cancelled"
+}
+
+type client struct {
+	base string
+	http *http.Client
+}
+
+// submit POSTs a job request, retrying while the queue is full
+// (honouring Retry-After). It returns the accepted job and how many
+// 429s it absorbed.
+func (c *client) submit(path string, body []byte) (jobStatus, int, error) {
+	retries := 0
+	for {
+		resp, err := c.http.Post(c.base+path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return jobStatus{}, retries, err
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return jobStatus{}, retries, err
+		}
+		switch resp.StatusCode {
+		case http.StatusAccepted, http.StatusOK:
+			var st jobStatus
+			if err := json.Unmarshal(data, &st); err != nil {
+				return jobStatus{}, retries, fmt.Errorf("submit response: %w", err)
+			}
+			return st, retries, nil
+		case http.StatusTooManyRequests:
+			retries++
+			delay := 100 * time.Millisecond
+			if ra := resp.Header.Get("Retry-After"); ra != "" {
+				if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+					// Cap the documented wait: the queue usually clears
+					// far faster than whole seconds.
+					delay = time.Duration(secs) * 250 * time.Millisecond
+				}
+			}
+			time.Sleep(delay)
+		default:
+			return jobStatus{}, retries, fmt.Errorf("submit %s: %d: %s", path, resp.StatusCode, strings.TrimSpace(string(data)))
+		}
+	}
+}
+
+// follow streams the job's NDJSON events to the terminal state.
+func (c *client) follow(id string) (string, error) {
+	resp, err := c.http.Get(c.base + "/v1/jobs/" + id + "/events?format=ndjson")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("events %s: %d", id, resp.StatusCode)
+	}
+	last := ""
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		var ev struct {
+			State string `json:"state"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			continue
+		}
+		if terminal(ev.State) {
+			last = ev.State
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return "", err
+	}
+	if last == "" {
+		return "", fmt.Errorf("events %s: stream ended without a terminal state", id)
+	}
+	return last, nil
+}
+
+// result fetches the job's result document verbatim.
+func (c *client) result(id string) ([]byte, error) {
+	resp, err := c.http.Get(c.base + "/v1/jobs/" + id + "/result")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("result %s: %d: %s", id, resp.StatusCode, strings.TrimSpace(string(data)))
+	}
+	return data, nil
+}
+
+// loadReport is the load-mode summary, also written as -report JSON.
+type loadReport struct {
+	Jobs        int     `json:"jobs"`
+	Concurrency int     `json:"concurrency"`
+	DurationS   float64 `json:"duration_s"`
+	JobsPerS    float64 `json:"jobs_per_s"`
+	P50Ms       float64 `json:"p50_ms"`
+	P95Ms       float64 `json:"p95_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+	MaxMs       float64 `json:"max_ms"`
+	Retries429  int     `json:"retries_429"`
+	Dropped     int     `json:"dropped"`
+	ResultBytes int64   `json:"result_bytes"`
+}
+
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8377", "daemon address")
+	probe := flag.String("probe", "", "GET this path, print the body, exit per status")
+	post := flag.String("post", "", "POST one job request to this path and follow it to completion")
+	bodyFile := flag.String("body", "", "request body file for -post")
+	resultFile := flag.String("result", "", "write the followed job's result document to this path")
+	scenarioFile := flag.String("scenario", "", "scenario spec file for load mode (default: embedded 20ms net15 scenario)")
+	n := flag.Int("n", 200, "load mode: total jobs")
+	c := flag.Int("c", 32, "load mode: concurrent in-flight jobs")
+	workers := flag.Int("workers", 1, "load mode: per-job simulation workers")
+	collect := flag.Bool("collect", false, "load mode: retain per-job telemetry on the daemon's /metrics")
+	seedStride := flag.Int64("seed-stride", 1, "load mode: job i runs with spec seed + i*stride (0: all jobs share the spec seed)")
+	reportFile := flag.String("report", "", "load mode: write the throughput/latency report as JSON to this path")
+	flag.Parse()
+
+	cl := &client{base: "http://" + *addr, http: &http.Client{}}
+	var err error
+	switch {
+	case *probe != "":
+		err = runProbe(cl, *probe)
+	case *post != "":
+		err = runPost(cl, *post, *bodyFile, *resultFile)
+	default:
+		err = runLoad(cl, *scenarioFile, *n, *c, *workers, *collect, *seedStride, *reportFile)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "karload:", err)
+		os.Exit(1)
+	}
+}
+
+func runProbe(cl *client, path string) error {
+	resp, err := cl.http.Get(cl.base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	os.Stdout.Write(data)
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return fmt.Errorf("GET %s: %d", path, resp.StatusCode)
+	}
+	return nil
+}
+
+func runPost(cl *client, path, bodyFile, resultFile string) error {
+	if bodyFile == "" {
+		return fmt.Errorf("-post needs -body")
+	}
+	body, err := os.ReadFile(bodyFile)
+	if err != nil {
+		return err
+	}
+	st, _, err := cl.submit(path, body)
+	if err != nil {
+		return err
+	}
+	state, err := cl.follow(st.ID)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("job %s: %s\n", st.ID, state)
+	if state != "done" {
+		return fmt.Errorf("job %s ended %s", st.ID, state)
+	}
+	if resultFile != "" {
+		result, err := cl.result(st.ID)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(resultFile, result, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runLoad(cl *client, scenarioFile string, n, conc, workers int, collect bool, seedStride int64, reportFile string) error {
+	spec := []byte(defaultSpec)
+	if scenarioFile != "" {
+		var err error
+		spec, err = os.ReadFile(scenarioFile)
+		if err != nil {
+			return err
+		}
+	}
+	var specDoc struct {
+		Seed int64 `json:"seed"`
+	}
+	if err := json.Unmarshal(spec, &specDoc); err != nil {
+		return fmt.Errorf("scenario spec: %w", err)
+	}
+
+	type outcome struct {
+		latency time.Duration
+		retries int
+		bytes   int
+		err     error
+	}
+	outcomes := make([]outcome, n)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, conc)
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			req := map[string]any{
+				"spec":    json.RawMessage(spec),
+				"workers": workers,
+				"collect": collect,
+			}
+			if seedStride != 0 {
+				req["seed"] = specDoc.Seed + int64(i)*seedStride
+			}
+			body, _ := json.Marshal(req)
+			t0 := time.Now()
+			st, retries, err := cl.submit("/v1/scenarios", body)
+			if err != nil {
+				outcomes[i] = outcome{err: err}
+				return
+			}
+			state, err := cl.follow(st.ID)
+			if err == nil && state != "done" {
+				err = fmt.Errorf("job %s ended %s", st.ID, state)
+			}
+			if err != nil {
+				outcomes[i] = outcome{retries: retries, err: err}
+				return
+			}
+			result, err := cl.result(st.ID)
+			outcomes[i] = outcome{
+				latency: time.Since(t0), retries: retries, bytes: len(result), err: err,
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := loadReport{Jobs: n, Concurrency: conc, DurationS: elapsed.Seconds()}
+	var lats []float64
+	for i, o := range outcomes {
+		rep.Retries429 += o.retries
+		if o.err != nil || o.bytes == 0 {
+			rep.Dropped++
+			if o.err != nil {
+				fmt.Fprintf(os.Stderr, "karload: job %d: %v\n", i, o.err)
+			}
+			continue
+		}
+		lats = append(lats, float64(o.latency.Milliseconds()))
+		rep.ResultBytes += int64(o.bytes)
+	}
+	sort.Float64s(lats)
+	rep.JobsPerS = float64(n-rep.Dropped) / elapsed.Seconds()
+	rep.P50Ms = quantile(lats, 0.50)
+	rep.P95Ms = quantile(lats, 0.95)
+	rep.P99Ms = quantile(lats, 0.99)
+	if len(lats) > 0 {
+		rep.MaxMs = lats[len(lats)-1]
+	}
+
+	fmt.Printf("karload: %d jobs at concurrency %d in %.2fs: %.1f jobs/s, latency p50=%.0fms p95=%.0fms p99=%.0fms max=%.0fms, %d 429-retries, %d dropped\n",
+		rep.Jobs, rep.Concurrency, rep.DurationS, rep.JobsPerS, rep.P50Ms, rep.P95Ms, rep.P99Ms, rep.MaxMs, rep.Retries429, rep.Dropped)
+
+	if reportFile != "" {
+		var buf bytes.Buffer
+		enc := json.NewEncoder(&buf)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return err
+		}
+		if err := os.WriteFile(reportFile, buf.Bytes(), 0o644); err != nil {
+			return err
+		}
+	}
+	if rep.Dropped > 0 {
+		return fmt.Errorf("%d of %d jobs dropped a result", rep.Dropped, rep.Jobs)
+	}
+	return nil
+}

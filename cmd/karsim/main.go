@@ -62,6 +62,8 @@ type options struct {
 	traceSample float64
 	traceMax    int
 
+	verdictJSON string
+
 	verify           string
 	verifyProtection string
 	verifyPolicies   string
@@ -79,6 +81,11 @@ type options struct {
 }
 
 func run(args []string) error {
+	// Subcommands come before the flag grammar: `karsim serve` turns
+	// the batch simulator into the long-running scenario/verify daemon.
+	if len(args) > 0 && args[0] == "serve" {
+		return runServe(args[1:])
+	}
 	fs := flag.NewFlagSet("karsim", flag.ContinueOnError)
 	opts := options{}
 	fs.StringVar(&opts.exp, "exp", "all", "experiment: table1, fig4, fig5, fig7, fig8, table2, coverage, ablation, reaction, scale, all")
@@ -108,6 +115,7 @@ func run(args []string) error {
 	fs.Float64Var(&opts.verifyMin, "verify-min", -1, "fail (exit non-zero) if any route's single-failure survive fraction drops below this")
 	fs.IntVar(&opts.verifyPairs, "verify-pairs", 0, "additionally sample this many two-link failure pairs (seeded by -seed)")
 	fs.StringVar(&opts.verifyJSON, "verify-json", "", "write the -verify report as JSON to this path")
+	fs.StringVar(&opts.verdictJSON, "verdict-json", "", "write the -scenario verdict as JSON to this path (byte-identical to the serve daemon's result for the same spec and seed)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}

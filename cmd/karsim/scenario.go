@@ -1,7 +1,9 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
 
 	"repro/internal/measure"
 	"repro/internal/scenario"
@@ -55,6 +57,22 @@ func runScenario(opts options) (*scenario.Verdict, error) {
 		fmt.Println("\nverdict: PASS")
 	} else {
 		fmt.Println("\nverdict: FAIL")
+	}
+
+	// The encoder settings here define the batch half of the
+	// daemon/CLI byte-identity contract (internal/serve uses the
+	// same); scripts/serve_smoke.sh compares the two documents.
+	if opts.verdictJSON != "" {
+		f, err := os.Create(opts.verdictJSON)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(v); err != nil {
+			return nil, err
+		}
 	}
 	return v, nil
 }

@@ -83,11 +83,9 @@ func runVerify(opts options) (*resilience.Report, error) {
 
 // buildVerifyTopology accepts the scenario topology names plus every
 // topology.FromSpec generator spec ("rand:...", "fattree:<k>",
-// "clos:<leaves>:<spines>", "isp:<cores>:<m>:<hosts>:<seed>").
+// "clos:<leaves>:<spines>", "isp:<cores>:<m>:<hosts>:<seed>") —
+// scenario.BuildTopology resolves both through the shared graph cache.
 func buildVerifyTopology(name string) (*topology.Graph, error) {
-	if topology.IsSpec(name) {
-		return topology.FromSpec(name)
-	}
 	return scenario.BuildTopology(name)
 }
 
@@ -104,38 +102,13 @@ func verifyProtectionPairs(topo, level string) ([][2]string, error) {
 }
 
 // parseVerifyRoutes parses "src:dst[,src:dst...]"; empty means every
-// ordered edge pair.
+// ordered edge pair. Both grammars live in internal/resilience, shared
+// with the serve daemon's /v1/verify endpoint.
 func parseVerifyRoutes(g *topology.Graph, spec string) ([]resilience.RouteSpec, error) {
 	if spec == "" {
-		var routes []resilience.RouteSpec
-		for _, a := range g.EdgeNodes() {
-			for _, b := range g.EdgeNodes() {
-				if a != b {
-					routes = append(routes, resilience.RouteSpec{Src: a.Name(), Dst: b.Name()})
-				}
-			}
-		}
-		if len(routes) == 0 {
-			return nil, fmt.Errorf("verify: topology %s has fewer than two edge nodes", g.Name())
-		}
-		return routes, nil
+		return resilience.AllPairRoutes(g)
 	}
-	var routes []resilience.RouteSpec
-	for _, part := range strings.Split(spec, ",") {
-		part = strings.TrimSpace(part)
-		if part == "" {
-			continue
-		}
-		src, dst, ok := strings.Cut(part, ":")
-		if !ok {
-			return nil, fmt.Errorf("verify: route %q: want src:dst", part)
-		}
-		routes = append(routes, resilience.RouteSpec{Src: src, Dst: dst})
-	}
-	if len(routes) == 0 {
-		return nil, fmt.Errorf("verify: -verify-routes %q names no routes", spec)
-	}
-	return routes, nil
+	return resilience.ParseRoutes(spec)
 }
 
 func scoreTable(rep *resilience.Report) *measure.Table {

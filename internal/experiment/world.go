@@ -6,6 +6,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -222,6 +223,39 @@ func (w *World) FailLinkBetween(a, b string, from, duration time.Duration) error
 // simnet.Network.RunUntil); unsharded worlds run the single scheduler
 // directly.
 func (w *World) Run(until time.Duration) { w.Net.RunUntil(until) }
+
+// RunContext drives the world to until in legs, checking ctx between
+// them: the run stops (with ctx.Err()) at the first boundary after
+// cancellation. boundaries are ascending virtual instants — scenario
+// phase edges, typically — and RunContext adds nothing between them,
+// so a run with no boundaries is cancellable only before it starts.
+//
+// Segmenting is free for determinism: RunUntil(a) then RunUntil(b)
+// dispatches exactly the event sequence of RunUntil(b) (the heap is
+// retained, boundaries derive from configuration, and the epilogue
+// flushes fold commutative deferred counters), so a job run under the
+// daemon is byte-identical to the same spec run in one batch call.
+func (w *World) RunContext(ctx context.Context, until time.Duration, boundaries ...time.Duration) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var last time.Duration
+	for _, b := range boundaries {
+		if b <= last || b >= until {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		w.Net.RunUntil(b)
+		last = b
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	w.Net.RunUntil(until)
+	return nil
+}
 
 // PolicyByName resolves a deflection policy or fails loudly; it exists
 // so experiment definitions can be table-driven on policy names.

@@ -1,0 +1,114 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/topology"
+)
+
+// settleGoroutines polls until the goroutine count is back at or below
+// base (a small tolerance covers runtime helpers), failing after a
+// generous deadline.
+func settleGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.Gosched()
+		n := runtime.NumGoroutine()
+		if n <= base+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d now vs %d at baseline", n, base)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestSweepContextCancelStopsPromptly(t *testing.T) {
+	g, err := topology.Net15()
+	if err != nil {
+		t.Fatal(err)
+	}
+	routes, err := AllPairRoutes(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	// Cancel mid-sweep, from the first progress callback: every worker
+	// must stop at its next case boundary and the pool must drain.
+	cfg := Config{
+		Policies: []string{"none", "hp", "avp", "nip"},
+		Pairs:    50,
+		Workers:  4,
+		Progress: func(done, total int) {
+			if done == 1 {
+				cancel()
+			}
+		},
+	}
+	rep, err := SweepContext(ctx, g, routes, cfg)
+	if rep != nil {
+		t.Fatal("cancelled sweep returned a partial report")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	settleGoroutines(t, base)
+}
+
+func TestSweepContextNilAndBackgroundComplete(t *testing.T) {
+	g, err := topology.Net15()
+	if err != nil {
+		t.Fatal(err)
+	}
+	routes := []RouteSpec{{Src: "AS1", Dst: "AS3"}}
+	repA, err := SweepContext(nil, g, routes, Config{Policies: []string{"none"}, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repB, err := Sweep(g, routes, Config{Policies: []string{"none"}, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repA.Cases != repB.Cases || len(repA.Scores) != len(repB.Scores) {
+		t.Fatalf("context sweep diverged: %d/%d cases, %d/%d scores",
+			repA.Cases, repB.Cases, len(repA.Scores), len(repB.Scores))
+	}
+	for i := range repA.Scores {
+		if repA.Scores[i] != repB.Scores[i] {
+			t.Fatalf("score %d differs across Sweep and SweepContext", i)
+		}
+	}
+}
+
+func TestSweepProgressReachesTotal(t *testing.T) {
+	g, err := topology.Net15()
+	if err != nil {
+		t.Fatal(err)
+	}
+	routes := []RouteSpec{{Src: "AS1", Dst: "AS3"}, {Src: "AS1", Dst: "AS2"}}
+	var last int
+	rep, err := Sweep(g, routes, Config{
+		Policies: []string{"none", "nip"},
+		Workers:  1, // single worker keeps the callback sequential
+		Progress: func(done, total int) {
+			if done > total {
+				t.Errorf("progress overflow: %d/%d", done, total)
+			}
+			last = done
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last != rep.Cases {
+		t.Fatalf("progress reached %d, want %d cases", last, rep.Cases)
+	}
+}

@@ -20,11 +20,13 @@
 package resilience
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -87,6 +89,12 @@ type Config struct {
 	Workers int
 	// Registry receives the kar_verify_* counters (nil: private).
 	Registry *telemetry.Registry
+	// Progress, when set, is called after every analyzed case with the
+	// running completion count and the total. Calls come from worker
+	// goroutines concurrently and in no deterministic order — it is a
+	// liveness channel (the serve daemon streams it), never an input to
+	// the report, which stays byte-identical with or without it.
+	Progress func(done, total int)
 }
 
 // RouteScore aggregates every case of one (route, policy).
@@ -187,6 +195,18 @@ type caseResult struct {
 // order, every re-encode pair pre-warmed) so the parallel case
 // analyses only ever read shared state.
 func Sweep(g *topology.Graph, routes []RouteSpec, cfg Config) (*Report, error) {
+	return SweepContext(context.Background(), g, routes, cfg)
+}
+
+// SweepContext is Sweep under a cancellation context: when ctx is
+// cancelled, every worker stops at its next case boundary, the pool
+// drains, and ctx.Err() is returned with no partial report — a
+// cancelled sweep leaves no goroutines behind. A nil ctx means
+// context.Background().
+func SweepContext(ctx context.Context, g *topology.Graph, routes []RouteSpec, cfg Config) (*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(routes) == 0 {
 		return nil, errors.New("resilience: no routes to verify")
 	}
@@ -280,6 +300,13 @@ func Sweep(g *topology.Graph, routes []RouteSpec, cfg Config) (*Report, error) {
 		results[i] = cr
 	}
 
+	var done atomic.Int64
+	progress := func() {
+		if cfg.Progress != nil {
+			cfg.Progress(int(done.Add(1)), len(jobs))
+		}
+	}
+
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -289,7 +316,11 @@ func Sweep(g *topology.Graph, routes []RouteSpec, cfg Config) (*Report, error) {
 	}
 	if workers <= 1 {
 		for i := range jobs {
+			if ctx.Err() != nil {
+				break
+			}
 			compute(i)
+			progress()
 		}
 	} else {
 		var next atomic.Int64
@@ -298,16 +329,20 @@ func Sweep(g *topology.Graph, routes []RouteSpec, cfg Config) (*Report, error) {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				for {
+				for ctx.Err() == nil {
 					i := int(next.Add(1)) - 1
 					if i >= len(jobs) {
 						return
 					}
 					compute(i)
+					progress()
 				}
 			}()
 		}
 		wg.Wait()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 
 	// Sequential merge: scores, impacts and telemetry in job order.
@@ -532,6 +567,46 @@ func enumerateFailures(g *topology.Graph, pairs int, pairSeed int64) ([]failure,
 		drawn++
 	}
 	return out, drawn
+}
+
+// AllPairRoutes returns a RouteSpec for every ordered edge pair of g —
+// the default route set of `karsim -verify` and the serve daemon's
+// /v1/verify endpoint.
+func AllPairRoutes(g *topology.Graph) ([]RouteSpec, error) {
+	var routes []RouteSpec
+	for _, a := range g.EdgeNodes() {
+		for _, b := range g.EdgeNodes() {
+			if a != b {
+				routes = append(routes, RouteSpec{Src: a.Name(), Dst: b.Name()})
+			}
+		}
+	}
+	if len(routes) == 0 {
+		return nil, fmt.Errorf("resilience: topology %s has fewer than two edge nodes", g.Name())
+	}
+	return routes, nil
+}
+
+// ParseRoutes parses a "src:dst[,src:dst...]" route list (the -verify
+// flag grammar). Node names are validated later, when the sweep
+// installs the routes.
+func ParseRoutes(spec string) ([]RouteSpec, error) {
+	var routes []RouteSpec
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		src, dst, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("resilience: route %q: want src:dst", part)
+		}
+		routes = append(routes, RouteSpec{Src: src, Dst: dst})
+	}
+	if len(routes) == 0 {
+		return nil, fmt.Errorf("resilience: %q names no routes", spec)
+	}
+	return routes, nil
 }
 
 // connected reports whether dst is reachable from src over non-failed

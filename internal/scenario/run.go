@@ -1,7 +1,9 @@
 package scenario
 
 import (
+	"context"
 	"fmt"
+	"sort"
 	"strconv"
 	"sync"
 	"time"
@@ -34,6 +36,51 @@ type RunOptions struct {
 	Trace *trace.Collector
 	// Scalar disables the batched data plane (results are identical).
 	Scalar bool
+	// MetricPrefix is prepended to every collector run label (e.g.
+	// "job=j000042/" under the serve daemon), keeping concurrent jobs'
+	// event streams separable in one collector. Empty for the CLI.
+	MetricPrefix string
+	// ExtraRunLabels are additional constant key/value pairs attached
+	// to every metric of every run's world, on top of the scenario/run
+	// labels — the daemon passes ("job", id) so same-named jobs stay
+	// distinct series in the live /metrics exposition.
+	ExtraRunLabels []string
+	// Progress, when set, receives live execution milestones: run
+	// starts, phase completions, injector activations, run verdicts and
+	// resilience-sweep progress. Calls may come concurrently from
+	// worker goroutines; the callback must be safe for that. Progress
+	// never feeds back into the Verdict, which stays byte-identical
+	// with or without it.
+	Progress func(ProgressEvent)
+}
+
+// ProgressEvent is one live milestone of a scenario execution, emitted
+// through RunOptions.Progress while the job runs.
+type ProgressEvent struct {
+	// Kind is one of "run_start", "phase", "inject", "run_done",
+	// "sweep".
+	Kind string `json:"kind"`
+	// Run and Seed identify the repetition (all kinds except "sweep").
+	Run  int   `json:"run"`
+	Seed int64 `json:"seed,omitempty"`
+	// Phase carries the completed phase's traffic delta (kind "phase").
+	Phase *PhaseStats `json:"phase,omitempty"`
+	// Result carries the finished run's verdict (kind "run_done").
+	Result *RunResult `json:"result,omitempty"`
+	// Injection describes one injector activation recorded on the
+	// run's virtual timeline (kind "inject").
+	Injection string `json:"injection,omitempty"`
+	// SweepDone/SweepTotal report resilience-sweep case completion
+	// (kind "sweep").
+	SweepDone  int `json:"sweep_done,omitempty"`
+	SweepTotal int `json:"sweep_total,omitempty"`
+}
+
+// emit invokes the progress callback when one is configured.
+func (o *RunOptions) emit(ev ProgressEvent) {
+	if o.Progress != nil {
+		o.Progress(ev)
+	}
 }
 
 // FlowResult is one flow's end-of-run traffic accounting.
@@ -108,6 +155,20 @@ type Verdict struct {
 // collector labels derive from configuration only, so the merged
 // telemetry dump is byte-identical per seed regardless of Workers.
 func Run(spec *Spec, opts RunOptions) (*Verdict, error) {
+	return RunContext(context.Background(), spec, opts)
+}
+
+// RunContext is Run under a cancellation context: a cancelled job
+// stops at the next run or phase boundary — workers stop pulling new
+// run indices, and an in-flight world halts at its next phase edge
+// (see runOne) — and ctx.Err() is returned with no partial verdict.
+// Every goroutine the pool started has exited by the time RunContext
+// returns. A nil ctx means context.Background(); with an
+// uncancellable context the behaviour and outputs are exactly Run's.
+func RunContext(ctx context.Context, spec *Spec, opts RunOptions) (*Verdict, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -132,7 +193,11 @@ func Run(spec *Spec, opts RunOptions) (*Verdict, error) {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				res, err := runOne(spec, i, opts.Metrics, opts.Trace, opts.Scalar)
+				if ctx.Err() != nil {
+					errs[i] = ctx.Err()
+					continue
+				}
+				res, err := runOne(ctx, spec, i, &opts)
 				if err != nil {
 					errs[i] = err
 					continue
@@ -146,6 +211,9 @@ func Run(spec *Spec, opts RunOptions) (*Verdict, error) {
 	}
 	close(jobs)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -159,7 +227,7 @@ func Run(spec *Spec, opts RunOptions) (*Verdict, error) {
 		}
 	}
 	if spec.Verify != nil {
-		vr, err := runVerifySweep(spec, opts)
+		vr, err := runVerifySweep(ctx, spec, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -176,7 +244,7 @@ func Run(spec *Spec, opts RunOptions) (*Verdict, error) {
 // single-link failure, under the scenario's protection set. Its
 // counters land in the collector under scenario/<name>/verify —
 // configuration-derived, so dumps stay byte-identical per seed.
-func runVerifySweep(spec *Spec, opts RunOptions) (*VerifyResult, error) {
+func runVerifySweep(ctx context.Context, spec *Spec, opts RunOptions) (*VerifyResult, error) {
 	g, err := BuildTopology(spec.Topology)
 	if err != nil {
 		return nil, err
@@ -205,7 +273,7 @@ func runVerifySweep(spec *Spec, opts RunOptions) (*VerifyResult, error) {
 	}
 
 	reg := telemetry.NewRegistry()
-	rep, err := resilience.Sweep(g, routes, resilience.Config{
+	rep, err := resilience.SweepContext(ctx, g, routes, resilience.Config{
 		Policies:        policies,
 		Protection:      protection,
 		ProtectionLabel: label,
@@ -213,11 +281,17 @@ func runVerifySweep(spec *Spec, opts RunOptions) (*VerifyResult, error) {
 		PairSeed:        spec.Seed,
 		Workers:         opts.Workers,
 		Registry:        reg,
+		Progress: func(done, total int) {
+			opts.emit(ProgressEvent{Kind: "sweep", SweepDone: done, SweepTotal: total})
+		},
 	})
 	if err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		return nil, fmt.Errorf("scenario %s: verify: %w", spec.Name, err)
 	}
-	opts.Metrics.Add("scenario/"+spec.Name+"/verify", reg, nil)
+	opts.Metrics.Add(opts.MetricPrefix+"scenario/"+spec.Name+"/verify", reg, nil)
 
 	res := &VerifyResult{Report: rep}
 	for _, sc := range rep.Scores {
@@ -245,7 +319,8 @@ func RunFile(path string, opts RunOptions) (*Verdict, error) {
 	return Run(spec, opts)
 }
 
-func runOne(spec *Spec, idx int, coll *telemetry.Collector, traces *trace.Collector, scalar bool) (*RunResult, error) {
+func runOne(ctx context.Context, spec *Spec, idx int, opts *RunOptions) (*RunResult, error) {
+	coll, traces, scalar := opts.Metrics, opts.Trace, opts.Scalar
 	seed := spec.Seed + int64(idx)*1_000_003
 	g, err := BuildTopology(spec.Topology)
 	if err != nil {
@@ -260,8 +335,10 @@ func runOne(spec *Spec, idx int, coll *telemetry.Collector, traces *trace.Collec
 		return nil, err
 	}
 
+	labels := []string{"scenario", spec.Name, "run", strconv.Itoa(idx)}
+	labels = append(labels, opts.ExtraRunLabels...)
 	worldOpts := []experiment.WorldOption{
-		experiment.WithWorldMetricLabels("scenario", spec.Name, "run", strconv.Itoa(idx)),
+		experiment.WithWorldMetricLabels(labels...),
 	}
 	det := spec.Detection
 	if det != nil {
@@ -341,17 +418,28 @@ func runOne(spec *Spec, idx int, coll *telemetry.Collector, traces *trace.Collec
 	}
 
 	// Sample cumulative traffic counters at each phase boundary; the
-	// per-phase deltas come out after the run.
+	// per-phase deltas come out after the run. The callback also emits
+	// the phase's delta live: samples fill in Until order, so the
+	// previous entry is complete when phase i fires.
 	reg := w.Net.Metrics()
 	type sample struct{ sent, received int64 }
 	samples := make([]sample, len(spec.Phases))
 	for i, p := range spec.Phases {
-		i := i
+		i, p := i, p
 		sched.At(p.Until.D(), func() {
 			samples[i] = sample{
 				sent:     reg.SumCounter("kar_udp_sent_total"),
 				received: reg.SumCounter("kar_udp_received_total"),
 			}
+			var prev sample
+			if i > 0 {
+				prev = samples[i-1]
+			}
+			opts.emit(ProgressEvent{Kind: "phase", Run: idx, Seed: seed, Phase: &PhaseStats{
+				Name: p.Name, Until: p.Until,
+				Sent:     samples[i].sent - prev.sent,
+				Received: samples[i].received - prev.received,
+			}})
 		})
 	}
 
@@ -359,7 +447,30 @@ func runOne(spec *Spec, idx int, coll *telemetry.Collector, traces *trace.Collec
 	if drain <= 0 {
 		drain = DefaultDrain
 	}
-	w.Run(spec.Duration.D() + drain)
+	opts.emit(ProgressEvent{Kind: "run_start", Run: idx, Seed: seed})
+	// Phase edges double as cancellation points: the world runs in legs
+	// and a cancelled job stops at the next boundary instead of
+	// finishing the full duration.
+	boundaries := make([]time.Duration, 0, len(spec.Phases)+1)
+	for _, p := range spec.Phases {
+		boundaries = append(boundaries, p.Until.D())
+	}
+	boundaries = append(boundaries, spec.Duration.D())
+	sort.Slice(boundaries, func(a, b int) bool { return boundaries[a] < boundaries[b] })
+	if err := w.RunContext(ctx, spec.Duration.D()+drain, boundaries...); err != nil {
+		return nil, err
+	}
+
+	// Replay injector activations off the run's recorded timeline, in
+	// virtual-time order (the event log is already sorted per world).
+	if opts.Progress != nil {
+		for _, ev := range w.Net.Events().SortedEvents() {
+			if ev.Kind == telemetry.EventFaultInject {
+				opts.emit(ProgressEvent{Kind: "inject", Run: idx, Seed: seed,
+					Injection: fmt.Sprintf("%s at %s: %s", ev.Where, ev.At, ev.Detail)})
+			}
+		}
+	}
 
 	res := &RunResult{Run: idx, Seed: seed}
 	for _, lf := range flows {
@@ -386,9 +497,10 @@ func runOne(spec *Spec, idx int, coll *telemetry.Collector, traces *trace.Collec
 	res.Deflections = reg.SumCounter("kar_switch_deflections_total")
 	spec.Expect.evaluate(res)
 
-	label := fmt.Sprintf("scenario/%s/run=%d/seed=%d", spec.Name, idx, seed)
+	label := fmt.Sprintf("%sscenario/%s/run=%d/seed=%d", opts.MetricPrefix, spec.Name, idx, seed)
 	coll.Add(label, w.Net.Metrics(), w.Net.Events())
 	traces.Commit(label, recorder)
+	opts.emit(ProgressEvent{Kind: "run_done", Run: idx, Seed: seed, Result: res})
 	return res, nil
 }
 

@@ -301,16 +301,23 @@ func (inj Injection) build(runSeed int64, idx int) (fault.Injector, error) {
 	}
 }
 
-// BuildTopology resolves a scenario topology name to a fresh graph.
+// BuildTopology resolves a scenario topology name to a graph, shared
+// through topology.SharedGraphs: graphs are immutable after
+// construction (all runtime link/queue state lives in simnet), so
+// every run and every concurrent job on the same topology reuses one
+// instance instead of re-running the generator and its coprime-key
+// allocation per world.
 func BuildTopology(name string) (*topology.Graph, error) {
 	if topology.IsSpec(name) {
-		return topology.FromSpec(name)
+		return topology.SharedGraphs.Get(name, func() (*topology.Graph, error) {
+			return topology.FromSpec(name)
+		})
 	}
 	b, ok := topologies[name]
 	if !ok {
 		return nil, fmt.Errorf("scenario: unknown topology %q (want one of %v or a generator spec)", name, TopologyNames())
 	}
-	return b()
+	return topology.SharedGraphs.Get(name, b)
 }
 
 var topologies = map[string]func() (*topology.Graph, error){

@@ -1,0 +1,71 @@
+package serve
+
+import (
+	"encoding/json"
+	"sync"
+
+	"repro/internal/scenario"
+)
+
+// jobEvent is one line of a job's progress stream: either a state
+// transition (kind "state") or a live execution milestone forwarded
+// from the scenario/sweep engine (run_start, phase, inject, run_done,
+// sweep).
+type jobEvent struct {
+	Job   string   `json:"job"`
+	State JobState `json:"state,omitempty"`
+	scenario.ProgressEvent
+}
+
+// eventBuf is an append-only broadcast buffer: every streamer reads
+// the full history from its own cursor, and a closed notify channel
+// wakes all of them when new events land. finish marks the stream
+// complete — streamers drain the tail and stop instead of waiting.
+type eventBuf struct {
+	mu     sync.Mutex
+	events [][]byte
+	notify chan struct{}
+	done   bool
+}
+
+func newEventBuf() *eventBuf { return &eventBuf{notify: make(chan struct{})} }
+
+// append marshals ev onto the stream and wakes every waiter. Appends
+// after finish are dropped.
+func (b *eventBuf) append(ev any) {
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.done {
+		return
+	}
+	b.events = append(b.events, data)
+	close(b.notify)
+	b.notify = make(chan struct{})
+}
+
+// finish ends the stream. The notify channel stays closed so late
+// subscribers return immediately after draining history.
+func (b *eventBuf) finish() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.done {
+		return
+	}
+	b.done = true
+	close(b.notify)
+}
+
+// next returns the events at and after cursor from, a channel that
+// closes on the next append, and whether the stream has ended.
+func (b *eventBuf) next(from int) ([][]byte, <-chan struct{}, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if from > len(b.events) {
+		from = len(b.events)
+	}
+	return b.events[from:], b.notify, b.done
+}

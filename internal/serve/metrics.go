@@ -1,0 +1,63 @@
+package serve
+
+import (
+	"runtime"
+
+	"repro/internal/telemetry"
+)
+
+// jobLatencyBounds buckets job wall-clock seconds from millisecond
+// smoke scenarios to minute-scale resilience sweeps.
+var jobLatencyBounds = []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60, 120}
+
+// serveMetrics is the daemon's own instrumentation, exposed on
+// /metrics alongside the collected per-job simulation telemetry.
+type serveMetrics struct {
+	queueDepth *telemetry.Gauge
+	queueCap   *telemetry.Gauge
+	rejected   *telemetry.Counter
+	latency    *telemetry.Histogram
+	states     map[JobState]*telemetry.Gauge
+	reg        *telemetry.Registry
+}
+
+func newServeMetrics(reg *telemetry.Registry, version string) *serveMetrics {
+	reg.Help("kar_serve_queue_depth", "Jobs waiting in the admission queue.")
+	reg.Help("kar_serve_queue_capacity", "Admission queue bound; submissions beyond it are rejected with 429.")
+	reg.Help("kar_serve_jobs", "Jobs currently held by the daemon, by state.")
+	reg.Help("kar_serve_jobs_total", "Jobs ever admitted, by kind.")
+	reg.Help("kar_serve_rejected_total", "Submissions refused because the queue was full.")
+	reg.Help("kar_serve_job_seconds", "Wall-clock execution time of finished jobs.")
+	reg.Help("kar_serve_build_info", "Constant 1; the labels carry the daemon build.")
+	m := &serveMetrics{
+		queueDepth: reg.Gauge("kar_serve_queue_depth"),
+		queueCap:   reg.Gauge("kar_serve_queue_capacity"),
+		rejected:   reg.Counter("kar_serve_rejected_total"),
+		latency:    reg.Histogram("kar_serve_job_seconds", jobLatencyBounds),
+		states:     make(map[JobState]*telemetry.Gauge, len(jobStates)),
+		reg:        reg,
+	}
+	for _, st := range jobStates {
+		m.states[st] = reg.Gauge("kar_serve_jobs", "state", string(st))
+	}
+	reg.Gauge("kar_serve_build_info", "version", version, "go", runtime.Version()).Set(1)
+	return m
+}
+
+// admitted counts a job entering the queue.
+func (m *serveMetrics) admitted(kind JobKind) {
+	m.reg.Counter("kar_serve_jobs_total", "kind", string(kind)).Inc()
+	m.states[StateQueued].Add(1)
+}
+
+// transition moves one job between state gauges.
+func (m *serveMetrics) transition(from, to JobState) {
+	if from == to {
+		return
+	}
+	m.states[from].Add(-1)
+	m.states[to].Add(1)
+}
+
+// evicted drops a retired job from its terminal-state gauge.
+func (m *serveMetrics) evicted(st JobState) { m.states[st].Add(-1) }

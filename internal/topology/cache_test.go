@@ -1,0 +1,102 @@
+package topology
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestGraphCacheHitReturnsSamePointer(t *testing.T) {
+	c := NewGraphCache(4)
+	build := func() (*Graph, error) { return FromSpec("fattree:4") }
+	a, err := c.Get("fattree:4", build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Get("fattree:4", build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("second Get built a new graph instead of hitting the cache")
+	}
+	if a.Fingerprint() == "" {
+		t.Fatal("cached graph has no fingerprint")
+	}
+}
+
+func TestGraphCacheEvictsLRU(t *testing.T) {
+	c := NewGraphCache(2)
+	mk := func(name string) func() (*Graph, error) {
+		return func() (*Graph, error) {
+			g := New(name)
+			if _, err := g.AddCore("SW1", 5); err != nil {
+				return nil, err
+			}
+			if _, err := g.AddEdge("A"); err != nil {
+				return nil, err
+			}
+			if _, err := g.AddEdge("B"); err != nil {
+				return nil, err
+			}
+			if _, err := g.Connect("A", "SW1"); err != nil {
+				return nil, err
+			}
+			if _, err := g.Connect("B", "SW1"); err != nil {
+				return nil, err
+			}
+			return g, nil
+		}
+	}
+	a1, _ := c.Get("a", mk("a"))
+	c.Get("b", mk("b"))
+	c.Get("a", mk("a")) // refresh a; b is now LRU
+	c.Get("c", mk("c")) // evicts b
+	if c.Len() != 2 {
+		t.Fatalf("cache holds %d entries, want 2", c.Len())
+	}
+	a2, _ := c.Get("a", mk("a"))
+	if a1 != a2 {
+		t.Fatal("a was evicted but b was least recently used")
+	}
+	builds := 0
+	c.Get("b", func() (*Graph, error) { builds++; return mk("b")() })
+	if builds != 1 {
+		t.Fatalf("b should have been rebuilt after eviction (builds=%d)", builds)
+	}
+}
+
+func TestGraphCacheError(t *testing.T) {
+	c := NewGraphCache(2)
+	wantErr := fmt.Errorf("boom")
+	if _, err := c.Get("x", func() (*Graph, error) { return nil, wantErr }); err != wantErr {
+		t.Fatalf("error not propagated: %v", err)
+	}
+	if c.Len() != 0 {
+		t.Fatal("failed build was cached")
+	}
+}
+
+func TestGraphCacheConcurrent(t *testing.T) {
+	c := NewGraphCache(8)
+	var wg sync.WaitGroup
+	got := make([]*Graph, 16)
+	for i := range got {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			g, err := c.Get("fattree:4", func() (*Graph, error) { return FromSpec("fattree:4") })
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			got[i] = g
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(got); i++ {
+		if got[i] != got[0] {
+			t.Fatal("concurrent Gets returned different graphs for one key")
+		}
+	}
+}

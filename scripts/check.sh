@@ -300,6 +300,15 @@ grep -q '^kar_verify_cases_total{' "$tmp/v.prom" || {
 }
 echo "resilience verifier OK"
 
+echo "==> go test -race ./internal/serve/ (service plane focused)"
+# The daemon multiplexes jobs, SSE streamers and drain over shared
+# state; this focused line keeps the full lifecycle race-clean.
+go test -race ./internal/serve/
+
+echo "==> serve daemon smoke (byte identity vs batch CLI, drain)"
+go build -o "$tmp/karload" ./cmd/karload
+sh scripts/serve_smoke.sh "$tmp/karsim" "$tmp/karload"
+
 echo "==> scenario smoke (examples/scenarios)"
 sh scripts/scenarios.sh "$tmp/karsim"
 

@@ -1,0 +1,55 @@
+#!/bin/sh
+# Serve-daemon load test: start `karsim serve`, drive N concurrent
+# scenario jobs through the full lifecycle (submit with 429 retry,
+# stream events, fetch results) and report throughput and latency.
+# Every job must return a result; a dropped one fails the run.
+#
+# Usage: load.sh [jobs] [concurrency] [report.json]
+set -eu
+
+cd "$(dirname "$0")/.."
+
+JOBS="${1:-200}"
+CONC="${2:-32}"
+REPORT="${3:-}"
+
+tmp="$(mktemp -d)"
+SERVE_PID=""
+cleanup() {
+    [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+go build -o "$tmp/karsim" ./cmd/karsim
+go build -o "$tmp/karload" ./cmd/karload
+
+# Queue smaller than the job count so admission backpressure (429 +
+# retry) is part of what the test exercises; collect stays off so
+# daemon memory is bounded by the job store, not by telemetry.
+"$tmp/karsim" serve -addr 127.0.0.1:0 -addr-file "$tmp/addr" \
+    -queue 64 -workers 4 -retain 128 > "$tmp/serve.log" 2>&1 &
+SERVE_PID=$!
+i=0
+while [ ! -s "$tmp/addr" ]; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && { echo "FAIL: daemon never bound" >&2; cat "$tmp/serve.log" >&2; exit 1; }
+    sleep 0.1
+done
+ADDR="$(tr -d '\n' < "$tmp/addr")"
+
+report_flag=""
+[ -n "$REPORT" ] && report_flag="-report $REPORT"
+"$tmp/karload" -addr "$ADDR" -n "$JOBS" -c "$CONC" -workers 1 $report_flag
+
+# The daemon must still be healthy and its queue empty afterwards.
+"$tmp/karload" -addr "$ADDR" -probe /readyz > /dev/null
+"$tmp/karload" -addr "$ADDR" -probe /metrics | grep -q '^kar_serve_queue_depth 0$' || {
+    echo "FAIL: queue not drained after load" >&2
+    exit 1
+}
+
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+echo "load test OK"
