@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/controller"
 	"repro/internal/core"
+	"repro/internal/deflect"
 	"repro/internal/experiment"
 	"repro/internal/packet"
 	"repro/internal/rns"
@@ -179,6 +180,73 @@ func BenchmarkForwardModuloWideDiv(b *testing.B) {
 	if sink < 0 {
 		b.Fatal("impossible sink")
 	}
+}
+
+// benchDtreeSwitchID is a runtime variable like benchSwitchID: the
+// dtree decision benchmarks must pay the same non-constant reduction
+// the data plane does.
+var benchDtreeSwitchID uint64 = 7
+
+// benchView is a fixed 8-port switch state for the dtree decision
+// benchmarks: ports 2 and 5 down, port 6 edge-facing. Its modulus 7
+// keeps every residue inside the port span, so which arm runs is
+// chosen by the benchmark, not by residue overflow.
+type benchView struct{ red rns.Reducer }
+
+func (benchView) SwitchID() uint64 { return benchDtreeSwitchID }
+func (v benchView) Forward(r rns.RouteID) int {
+	if u, ok := r.Uint64(); ok {
+		return int(v.red.Mod64(u))
+	}
+	return core.ForwardReduced(v.red, r)
+}
+func (benchView) NumPorts() int       { return 8 }
+func (benchView) PortUp(i int) bool   { return i != 2 && i != 5 }
+func (benchView) EdgePort(i int) bool { return i == 6 }
+
+// dtreeIDs builds 8 distinct route IDs that all reduce to the same
+// residue mod benchDtreeSwitchID, so an arm's branch outcome is fixed
+// while the reduction argument still varies per iteration (a constant
+// argument would let the compiler hoist the whole call).
+func dtreeIDs(residue uint64) [8]rns.RouteID {
+	var ids [8]rns.RouteID
+	for i := range ids {
+		ids[i] = rns.RouteIDFromUint64(residue + benchDtreeSwitchID*(629875+uint64(i)*977))
+	}
+	return ids
+}
+
+// BenchmarkForwardDtree measures the structured-failover decision on
+// both of its arms: "onpath" is the common case (encoded port healthy,
+// identical predicate to NIP, what the batched fast path runs per
+// train), "fallback" forces the encoded port down so every call pays
+// the deterministic circular scan with edge-port skipping. Neither arm
+// may allocate or touch an RNG (Decide is passed nil).
+func BenchmarkForwardDtree(b *testing.B) {
+	// Box the view once: the switch holds its SwitchView for its whole
+	// lifetime, so per-call interface conversion would charge the
+	// benchmark an allocation the data plane never pays.
+	var view deflect.SwitchView = benchView{red: rns.NewReducer(benchDtreeSwitchID)}
+	run := func(b *testing.B, ids [8]rns.RouteID, inPort int, deflected bool, wantDeflect bool) {
+		sink := 0
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			d := deflect.DTree{}.Decide(view, ids[i&7], inPort, deflected, nil)
+			if d.Drop || d.Deflected != wantDeflect {
+				b.Fatalf("arm mis-set: decision %+v", d)
+			}
+			sink += d.Port
+		}
+		if sink < 0 {
+			b.Fatal("impossible sink")
+		}
+	}
+	// Residue 3: port 3 is up and not the input port — taken directly.
+	b.Run("onpath", func(b *testing.B) { run(b, dtreeIDs(3), 1, false, false) })
+	// Residue 2: port 2 is down — the anchored scan (skipping the down
+	// ports, the input port and the edge port) resolves every call.
+	b.Run("fallback", func(b *testing.B) { run(b, dtreeIDs(2), 1, true, true) })
 }
 
 // BenchmarkSchedulerSteadyState measures one schedule+dispatch cycle

@@ -109,8 +109,8 @@ func run(args []string) error {
 	fs.Float64Var(&opts.traceSample, "trace-sample", 1, "per-flow sampling probability for -trace-export (deterministic flow hash, not an RNG)")
 	fs.IntVar(&opts.traceMax, "trace-max", 0, "retained flight-recorder records per run (0 = default 65536)")
 	fs.StringVar(&opts.verify, "verify", "", "run the exhaustive failure-sweep resilience verifier on this topology (net15, rnp28, rnp28-fig8, fig1, or rand:<cores>:<extra-links>:<edges>:<seed>) instead of -exp")
-	fs.StringVar(&opts.verifyProtection, "verify-protection", "none", "protection level for -verify: none, partial or full")
-	fs.StringVar(&opts.verifyPolicies, "verify-policies", "none,hp,avp,nip", "comma-separated deflection policies for -verify")
+	fs.StringVar(&opts.verifyProtection, "verify-protection", "none", "protection level for -verify: none, partial, full or auto (per-destination planned trees)")
+	fs.StringVar(&opts.verifyPolicies, "verify-policies", "none,hp,avp,nip", "comma-separated deflection policies for -verify (none, hp, avp, nip, dtree)")
 	fs.StringVar(&opts.verifyRoutes, "verify-routes", "", "comma-separated src:dst routes for -verify (default: every ordered edge pair)")
 	fs.Float64Var(&opts.verifyMin, "verify-min", -1, "fail (exit non-zero) if any route's single-failure survive fraction drops below this")
 	fs.IntVar(&opts.verifyPairs, "verify-pairs", 0, "additionally sample this many two-link failure pairs (seeded by -seed)")

@@ -42,6 +42,7 @@ func runVerify(opts options) (*resilience.Report, error) {
 	rep, err := resilience.Sweep(g, routes, resilience.Config{
 		Policies:        policies,
 		Protection:      protection,
+		AutoProtect:     scenario.AutoProtection(opts.verifyProtection),
 		ProtectionLabel: opts.verifyProtection,
 		Pairs:           opts.verifyPairs,
 		PairSeed:        opts.seed,
@@ -61,6 +62,10 @@ func runVerify(opts options) (*resilience.Report, error) {
 	}
 	fmt.Printf(", %d cases)\n", rep.Cases)
 	emit(opts, scoreTable(rep))
+	if len(rep.Totals) > 0 {
+		fmt.Println()
+		emit(opts, totalsTable(rep))
+	}
 	if len(rep.Impacts) > 0 {
 		fmt.Println()
 		emit(opts, impactTable(rep))
@@ -90,13 +95,15 @@ func buildVerifyTopology(name string) (*topology.Graph, error) {
 }
 
 // verifyProtectionPairs resolves a protection level against the canned
-// per-topology sets; generated topologies only support "none".
+// per-topology sets. "auto" works on any topology (the controller
+// plans per-destination trees, no static pair list); generated
+// topologies support only "none" and "auto".
 func verifyProtectionPairs(topo, level string) ([][2]string, error) {
-	if level == "" || level == "none" {
+	if level == "" || level == "none" || scenario.AutoProtection(level) {
 		return nil, nil
 	}
 	if topology.IsSpec(topo) {
-		return nil, fmt.Errorf("verify: generated topologies have no canned %q protection set", level)
+		return nil, fmt.Errorf("verify: generated topologies have no canned %q protection set (use \"auto\")", level)
 	}
 	return scenario.ProtectionPairs(topo, level)
 }
@@ -138,6 +145,30 @@ func scoreTable(rep *resilience.Report) *measure.Table {
 	}
 	if rep.PairsDrawn > 0 {
 		tbl.Headers = append(tbl.Headers, "pairs")
+	}
+	return tbl
+}
+
+func totalsTable(rep *resilience.Report) *measure.Table {
+	tbl := &measure.Table{
+		Title:   "Per-policy totals (k=1 exhaustive, k=2 sampled pairs)",
+		Headers: []string{"policy", "k1-cases", "k1-survived", "k1-fraction"},
+	}
+	for _, tot := range rep.Totals {
+		row := []string{
+			tot.Policy,
+			fmt.Sprintf("%d", tot.Singles),
+			fmt.Sprintf("%d", tot.Survived),
+			fmt.Sprintf("%.4f", tot.SurviveFraction),
+		}
+		if rep.PairsDrawn > 0 {
+			row = append(row, fmt.Sprintf("%d/%d", tot.PairSurvived, tot.PairCases),
+				fmt.Sprintf("%.4f", tot.PairSurviveFraction))
+		}
+		tbl.AddRow(row...)
+	}
+	if rep.PairsDrawn > 0 {
+		tbl.Headers = append(tbl.Headers, "k2-pairs", "k2-fraction")
 	}
 	return tbl
 }

@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/controller"
 	"repro/internal/core"
+	"repro/internal/deflect"
 	"repro/internal/rns"
 	"repro/internal/topology"
 )
@@ -67,7 +68,7 @@ type Analyzer struct {
 // controller's topology. Install routes on the controller first.
 func New(ctrl *controller.Controller, policy string, failed []*topology.Link) (*Analyzer, error) {
 	switch policy {
-	case "none", "hp", "avp", "nip":
+	case "none", "hp", "avp", "nip", "dtree":
 	default:
 		return nil, fmt.Errorf("%q: %w", policy, ErrPolicyUnsupported)
 	}
@@ -103,12 +104,13 @@ type edgeProb struct {
 	p  float64
 }
 
-// Analyze computes the walk properties for the installed route
-// src→dst under the analyzer's failure set.
-func (a *Analyzer) Analyze(src, dst string) (Result, error) {
+// buildChain expands the full reachable state space for the installed
+// route src→dst, returning the chain and the start state (the packet's
+// arrival at the first core switch).
+func (a *Analyzer) buildChain(src, dst string) (*chain, int, *core.Route, error) {
 	route, ok := a.ctrl.Route(src, dst)
 	if !ok {
-		return Result{}, fmt.Errorf("analysis: no installed route %s->%s", src, dst)
+		return nil, 0, nil, fmt.Errorf("analysis: no installed route %s->%s", src, dst)
 	}
 	c := &chain{
 		a:      a,
@@ -120,12 +122,22 @@ func (a *Analyzer) Analyze(src, dst string) (Result, error) {
 	first := route.Path.Nodes[1]
 	inPort, ok := first.PortToward(route.Path.Nodes[0].Name())
 	if !ok {
-		return Result{}, fmt.Errorf("analysis: %s has no port toward %s", first, route.Path.Nodes[0])
+		return nil, 0, nil, fmt.Errorf("analysis: %s has no port toward %s", first, route.Path.Nodes[0])
 	}
 	start := c.intern(state{routeID: route.ID.String(), node: first, inPort: inPort, deflected: false})
 	c.routes[route.ID.String()] = route.ID
 
 	if err := c.expand(); err != nil {
+		return nil, 0, nil, err
+	}
+	return c, start, route, nil
+}
+
+// Analyze computes the walk properties for the installed route
+// src→dst under the analyzer's failure set.
+func (a *Analyzer) Analyze(src, dst string) (Result, error) {
+	c, start, route, err := a.buildChain(src, dst)
+	if err != nil {
 		return Result{}, err
 	}
 	c.markTrapped()
@@ -149,6 +161,96 @@ func (a *Analyzer) Analyze(src, dst string) (Result, error) {
 	return res, nil
 }
 
+// DeliverWithin computes the exact probability that the walk delivers
+// under the simulator's TTL discipline: the packet leaves an edge with
+// a budget of ttl, every core switch decrements the budget and kills
+// the packet when it hits zero, edges never decrement, and a
+// wrong-edge re-encode refreshes the budget to ttl (edge.Inject and
+// the re-encode path both stamp packet.DefaultTTL). Analyze's PDeliver
+// is the ttl→∞ limit of this quantity; the difference is exactly the
+// trajectory mass the TTL truncates, which is what a tight
+// cross-validation band against the packet simulator needs.
+//
+// The computation is a finite-horizon value iteration over the same
+// chain Analyze solves: d_t(s) = Σ T(s,s')·d_{t-1}(s') for core
+// states, with edge states holding budget-independent values (they
+// refresh the budget on exit). The refresh couples edge values to
+// d_ttl of their successors, so an outer fixpoint iterates the edge
+// values upward from zero — monotone and bounded, it converges
+// geometrically in the number of re-encode rounds a trajectory can
+// take.
+func (a *Analyzer) DeliverWithin(src, dst string, ttl int) (float64, error) {
+	if ttl <= 0 {
+		return 0, fmt.Errorf("analysis: ttl %d must be positive", ttl)
+	}
+	c, start, _, err := a.buildChain(src, dst)
+	if err != nil {
+		return 0, err
+	}
+	n := len(c.states)
+	isEdge := make([]bool, n)
+	for i, s := range c.states {
+		isEdge[i] = s.node.Kind() == topology.KindEdge
+	}
+	// fixed holds the budget-independent values: 1 on delivery, 0 on
+	// drops, the current outer-iteration estimate on transient edges.
+	fixed := make([]float64, n)
+	for i := range fixed {
+		if c.deliver[i] {
+			fixed[i] = 1
+		}
+	}
+	val := func(i int, prev []float64) float64 {
+		if c.deliver[i] || c.dropped[i] || isEdge[i] {
+			return fixed[i]
+		}
+		return prev[i]
+	}
+	cur, prev := make([]float64, n), make([]float64, n)
+	for iter := 0; iter < 1<<20; iter++ {
+		// Inner DP: d_t for core states, t = 1..ttl. A core arriving
+		// with budget t forwards only if t-1 > 0.
+		for i := range prev {
+			prev[i] = 0
+		}
+		for t := 1; t <= ttl; t++ {
+			for i := range c.states {
+				if c.deliver[i] || c.dropped[i] || isEdge[i] {
+					continue
+				}
+				var sum float64
+				if t > 1 {
+					for _, e := range c.trans[i] {
+						sum += e.p * val(e.to, prev)
+					}
+				}
+				cur[i] = sum
+			}
+			cur, prev = prev, cur
+		}
+		// prev now holds d_ttl. Refresh transient edge values: a
+		// re-encode hands the successor a full budget.
+		var delta float64
+		for i := range c.states {
+			if !isEdge[i] || c.deliver[i] || c.dropped[i] {
+				continue
+			}
+			var v float64
+			for _, e := range c.trans[i] {
+				v += e.p * val(e.to, prev)
+			}
+			if d := v - fixed[i]; d > delta {
+				delta = d
+			}
+			fixed[i] = v
+		}
+		if delta < 1e-13 {
+			break
+		}
+	}
+	return val(start, prev), nil
+}
+
 func (c *chain) intern(s state) int {
 	if i, ok := c.index[s]; ok {
 		return i
@@ -163,6 +265,22 @@ func (c *chain) intern(s state) int {
 }
 
 func (c *chain) linkUp(l *topology.Link) bool { return l != nil && !c.a.failed[l] }
+
+// chainView adapts one chain node to deflect.SwitchView so the dtree
+// expansion runs the exact policy code the simulated switch does.
+type chainView struct {
+	c    *chain
+	node *topology.Node
+}
+
+func (v chainView) SwitchID() uint64          { return v.node.ID() }
+func (v chainView) Forward(r rns.RouteID) int { return core.Forward(r, v.node.ID()) }
+func (v chainView) NumPorts() int             { return v.node.PortSpan() }
+func (v chainView) PortUp(i int) bool         { return v.c.portUp(v.node, i) }
+func (v chainView) EdgePort(i int) bool {
+	l, ok := v.node.PortLink(i)
+	return ok && l.Other(v.node).Kind() == topology.KindEdge
+}
 
 func (c *chain) portUp(n *topology.Node, i int) bool {
 	l, ok := n.PortLink(i)
@@ -267,6 +385,18 @@ func (c *chain) expandCore(i int, s state) error {
 			return nil
 		}
 		c.uniform(i, s, candidates(false), step)
+	case "dtree":
+		// Deterministic structured failover: delegate to the very
+		// same deflect.DTree decision procedure the data plane runs
+		// (no RNG is consumed), so the chain cannot drift from the
+		// switch implementation. Exactly one successor per state —
+		// the chain collapses to a walk, and PDeliver is 0 or 1.
+		d := deflect.DTree{}.Decide(chainView{c: c, node: s.node}, id, s.inPort, s.deflected, nil)
+		if d.Drop {
+			c.dropped[i] = true
+			return nil
+		}
+		c.trans[i] = []edgeProb{step(d.Port, d.Deflected, 1)}
 	}
 	return nil
 }

@@ -55,6 +55,14 @@ type Controller struct {
 	workers         int
 	failed          map[*topology.Link]bool
 
+	// autoProtect plans per-destination protection for every route
+	// installed without explicit hops: planner caches one
+	// destination-rooted tree per destination core, so A→B and B→A
+	// both get a tree pointing at their own destination.
+	autoProtect bool
+	autoOpts    core.PlanOptions
+	planner     *core.Planner
+
 	entries map[pair]*routeEntry
 	// byLink inverts the route table: for every link, the pairs whose
 	// current primary path crosses it. NotifyFailure consults it to
@@ -99,6 +107,24 @@ func WithWeight(w topology.WeightFunc) Option {
 // experiments deliberately ignore notifications).
 func WithFailureReaction() Option {
 	return func(c *Controller) { c.reactToFailures = true }
+}
+
+// WithAutoProtection makes the controller plan driven-deflection
+// protection per destination: any route installed (or re-encoded, or
+// rerouted) without explicit protection hops receives a set planned
+// from a shortest-path tree rooted at the route's own destination core
+// switch. This fixes the destination-rooted protection asymmetry of
+// hand-listed sets — one tree rooted at one destination protects only
+// the routes toward it — by giving every direction its own tree. Trees
+// are cached per destination (core.Planner), so all-pairs installs
+// cost one Dijkstra per destination, not per route. opts bounds the
+// per-route encoding budget (zero MaxBits: complete protection —
+// every reachable off-route core switch gets a residue).
+func WithAutoProtection(opts core.PlanOptions) Option {
+	return func(c *Controller) {
+		c.autoProtect = true
+		c.autoOpts = opts
+	}
 }
 
 // WithWorkers bounds the reroute recomputation pool (0 or unset: one
@@ -154,7 +180,24 @@ func New(g *topology.Graph, opts ...Option) *Controller {
 	for _, opt := range opts {
 		opt(c)
 	}
+	if c.autoProtect {
+		// Protection trees use the base weight, never the failure-priced
+		// one: like the canned sets, planned protection is static state
+		// the data plane deflects over, not a reactive detour.
+		c.planner = core.NewPlanner(c.g, c.weight)
+	}
 	return c
+}
+
+// autoProtection plans the per-destination protection set for path
+// when auto-protection is on and the caller supplied no explicit hops.
+// Safe for concurrent use (the planner locks its tree cache); reroute
+// recomputation calls it from pool workers.
+func (c *Controller) autoProtection(path topology.Path, explicit []core.Hop) ([]core.Hop, error) {
+	if !c.autoProtect || len(explicit) > 0 {
+		return explicit, nil
+	}
+	return c.planner.Plan(path, c.autoOpts)
 }
 
 // Graph returns the controller's topology.
@@ -234,6 +277,9 @@ func (c *Controller) InstallRoute(src, dst string, protection []core.Hop) (*core
 	if err != nil {
 		return nil, fmt.Errorf("controller: route %s->%s: %w", src, dst, err)
 	}
+	if protection, err = c.autoProtection(path, protection); err != nil {
+		return nil, fmt.Errorf("controller: route %s->%s: %w", src, dst, err)
+	}
 	route, err := c.enc.EncodeRoute(path, protection)
 	if err != nil {
 		return nil, fmt.Errorf("controller: route %s->%s: %w", src, dst, err)
@@ -266,6 +312,10 @@ func (c *Controller) InstallRouteOnPath(nodeNames []string, protection []core.Ho
 		nodes[i] = n
 	}
 	path := topology.Path{Nodes: nodes}
+	protection, err := c.autoProtection(path, protection)
+	if err != nil {
+		return nil, fmt.Errorf("controller: explicit route %s: %w", path, err)
+	}
 	route, err := c.enc.EncodeRoute(path, protection)
 	if err != nil {
 		return nil, fmt.Errorf("controller: explicit route %s: %w", path, err)
@@ -330,13 +380,24 @@ func (c *Controller) reencode(fromEdge, dstEdge string, at *time.Duration) (rns.
 		}
 		return e.route.ID, port, nil
 	}
-	protection := c.protectionToward(dstEdge)
 	c.cComputes.Inc()
 	path, err := topology.ShortestPath(c.g, fromEdge, dstEdge, c.pathWeight())
 	if err != nil {
 		return rns.RouteID{}, 0, fmt.Errorf("controller: re-encode %s->%s: %w", fromEdge, dstEdge, err)
 	}
-	route, err := c.enc.EncodeRoute(path, filterHops(protection, path))
+	var protection []core.Hop
+	if c.autoProtect {
+		// Per-destination planning applies to re-encoded routes too: the
+		// fresh route gets a tree rooted at its own destination instead
+		// of borrowing whatever protected route happens to end there.
+		protection, err = c.autoProtection(path, nil)
+		if err != nil {
+			return rns.RouteID{}, 0, fmt.Errorf("controller: re-encode %s->%s: %w", fromEdge, dstEdge, err)
+		}
+	} else {
+		protection = filterHops(c.protectionToward(dstEdge), path)
+	}
+	route, err := c.enc.EncodeRoute(path, protection)
 	if err != nil {
 		return rns.RouteID{}, 0, fmt.Errorf("controller: re-encode %s->%s: %w", fromEdge, dstEdge, err)
 	}
@@ -476,7 +537,16 @@ func (c *Controller) reroute(affected []pair) error {
 			results[i] = result{err: err, unreachable: true}
 			return
 		}
-		route, err := c.enc.EncodeRoute(path, filterHops(e.protection, path))
+		hops := filterHops(e.protection, path)
+		if c.autoProtect {
+			// The new path has a new on-route set; re-plan from the cached
+			// destination tree instead of filtering the old plan.
+			if hops, err = c.autoProtection(path, nil); err != nil {
+				results[i] = result{err: err}
+				return
+			}
+		}
+		route, err := c.enc.EncodeRoute(path, hops)
 		if err != nil {
 			results[i] = result{err: err}
 			return
@@ -531,7 +601,11 @@ func (c *Controller) reroute(affected []pair) error {
 			}
 			continue // keep the old route
 		}
-		c.install(k, res.route, c.entries[k].protection)
+		kept := c.entries[k].protection
+		if c.autoProtect {
+			kept = res.route.Protection
+		}
+		c.install(k, res.route, kept)
 		c.events.Record(telemetry.EventReroute, k.src,
 			fmt.Sprintf("%s->%s ok bits=%d", k.src, k.dst, res.route.BitLength()))
 	}

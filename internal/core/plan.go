@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/big"
 	"sort"
+	"sync"
 
 	"repro/internal/topology"
 )
@@ -36,15 +37,65 @@ type PlanOptions struct {
 //
 // The returned hops never duplicate a route switch.
 func PlanProtection(g *topology.Graph, path topology.Path, opts PlanOptions) ([]Hop, error) {
+	return NewPlanner(g, opts.Weight).Plan(path, opts)
+}
+
+// Planner plans destination-rooted protection with a keyed cache of
+// shortest-path trees: one tree per destination core switch, built on
+// first use and shared by every route toward that destination. A
+// controller installing all-pairs routes touches each destination many
+// times (one per source); the cache makes per-destination protection
+// cost one Dijkstra per root instead of one per route.
+//
+// Planner is safe for concurrent use — reroute recomputation fans
+// plans out across a worker pool.
+type Planner struct {
+	g      *topology.Graph
+	weight topology.WeightFunc
+
+	mu    sync.Mutex
+	trees map[string]map[*topology.Node]*topology.Link
+}
+
+// NewPlanner builds a planner over g. The weight scores links when
+// building protection trees (HopWeight when nil) and applies to every
+// cached tree, so a planner is bound to one metric.
+func NewPlanner(g *topology.Graph, weight topology.WeightFunc) *Planner {
+	return &Planner{g: g, weight: weight, trees: make(map[string]map[*topology.Node]*topology.Link)}
+}
+
+// Tree returns the destination-rooted shortest-path tree for root,
+// computing and caching it on first use.
+func (p *Planner) Tree(root string) (map[*topology.Node]*topology.Link, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if t, ok := p.trees[root]; ok {
+		return t, nil
+	}
+	t, err := topology.ShortestPathTree(p.g, root, p.weight)
+	if err != nil {
+		return nil, err
+	}
+	p.trees[root] = t
+	return t, nil
+}
+
+// Plan is PlanProtection against the planner's tree cache: the
+// protection set for path is rooted at path's own destination core, so
+// every route gets a tree pointing at its own destination — A→B and
+// B→A receive symmetric guarantees. opts.Weight is ignored; the
+// planner's weight applies.
+func (p *Planner) Plan(path topology.Path, opts PlanOptions) ([]Hop, error) {
 	primary, err := primaryHops(path)
 	if err != nil {
 		return nil, err
 	}
 	dstCore := primary[len(primary)-1].Switch
-	tree, err := topology.ShortestPathTree(g, dstCore.Name(), opts.Weight)
+	tree, err := p.Tree(dstCore.Name())
 	if err != nil {
 		return nil, err
 	}
+	g := p.g
 
 	onRoute := make(map[*topology.Node]bool, len(primary))
 	product := big.NewInt(1)

@@ -11,6 +11,17 @@
 //   - NIP (Not the Input Port): AVP, additionally excluding the input
 //     port both when validating the modulo result and when drawing a
 //     random port (Algorithm 1).
+//   - DTree (Destination Tree): fully deterministic structured
+//     failover. The modulo residue — which per-destination protection
+//     planning points along a destination-rooted tree on every switch
+//     — is the primary choice; when it is unusable the packet follows
+//     a fixed circular fallback scan anchored just past the input
+//     port (edge-facing ports deferred to a second pass, odd-ID
+//     switches scanning descending once deflected to break cycle
+//     symmetry), never the input port unless it is the only healthy
+//     port left (then it bounces rather than drops). No RNG is ever
+//     consumed, so a DTree trajectory is a pure function of the
+//     failure set and delivery is all-or-nothing.
 //
 // Policies are pure decision functions over a SwitchView; all
 // randomness comes from the *rand.Rand the caller injects, keeping
@@ -39,6 +50,12 @@ type SwitchView interface {
 	NumPorts() int
 	// PortUp reports whether port i exists, is attached and healthy.
 	PortUp(i int) bool
+	// EdgePort reports whether port i attaches an edge function
+	// (host-facing) rather than another core switch. Switches know
+	// this from link-local discovery; structured failover uses it to
+	// keep fallback traffic inside the core when any core port is
+	// available.
+	EdgePort(i int) bool
 }
 
 // Decision is the outcome of a forwarding decision.
@@ -70,6 +87,7 @@ var (
 	_ Policy = HotPotato{}
 	_ Policy = AnyValidPort{}
 	_ Policy = NotInputPort{}
+	_ Policy = DTree{}
 )
 
 // ByName returns the policy with the given short name.
@@ -83,14 +101,16 @@ func ByName(name string) (Policy, bool) {
 		return AnyValidPort{}, true
 	case "nip":
 		return NotInputPort{}, true
+	case "dtree":
+		return DTree{}, true
 	default:
 		return nil, false
 	}
 }
 
-// All returns the four policies in presentation order.
+// All returns the five policies in presentation order.
 func All() []Policy {
-	return []Policy{None{}, HotPotato{}, AnyValidPort{}, NotInputPort{}}
+	return []Policy{None{}, HotPotato{}, AnyValidPort{}, NotInputPort{}, DTree{}}
 }
 
 // None is the no-deflection baseline: pure modulo forwarding, packets
@@ -169,6 +189,83 @@ func (NotInputPort) Decide(view SwitchView, routeID rns.RouteID, inPort int, was
 		return Decision{Drop: true}
 	}
 	return Decision{Port: port, Deflected: true}
+}
+
+// DTree implements deterministic structured failover over
+// destination-rooted trees. It assumes per-destination protection
+// planning (the controller's auto-protection mode): every core switch
+// then carries a residue pointing toward the packet's own destination
+// — on-route switches along the primary path, off-route switches along
+// the destination-rooted shortest-path tree. The decision is:
+//
+//  1. The encoded port, when healthy and not the input port, is taken
+//     (identical on-path predicate to NIP, so the batched fast path
+//     applies unchanged).
+//  2. Otherwise the fallback is a circular port scan anchored just
+//     past the input port, skipping down ports, the input port, and —
+//     on a first pass — edge-facing ports, so fallback traffic stays
+//     in the core while any core port is available; a second pass
+//     admits edge ports (a misdelivered packet is re-encoded by the
+//     edge, which can rescue it). The scan normally ascends; when the
+//     packet was already deflected and the encoded port is down (it is
+//     wandering a region whose tree links are broken, the state where
+//     deterministic cycles form), odd-ID switches scan descending —
+//     ID-parity symmetry breaking, so adjacent switches sweep in
+//     opposite orientations and cycles unwind.
+//  3. When the input port is the only healthy port, the packet bounces
+//     back on it (the upstream switch sees its own encoded port as the
+//     input port and is forced into its fallback order, so two-node
+//     loops resolve after one bounce). Only a switch with no healthy
+//     port at all drops.
+//
+// No step consumes randomness: the walk is a pure function of
+// (route ID, failure set), making k-resilience a checkable property
+// rather than a probability — internal/resilience scores it with a
+// deterministic walk, and delivery is always 0 or 1.
+type DTree struct{}
+
+// Name implements Policy.
+func (DTree) Name() string { return "dtree" }
+
+// Decide implements Policy. rng is never touched and may be nil.
+func (DTree) Decide(view SwitchView, routeID rns.RouteID, inPort int, wasDeflected bool, rng *rand.Rand) Decision {
+	port := view.Forward(routeID)
+	span := view.NumPorts()
+	if port < span && view.PortUp(port) && port != inPort {
+		return Decision{Port: port}
+	}
+	if span > 0 {
+		// port can exceed span (invalid residue); reduce it so the
+		// anchor stays well-defined. Packets originated by a local
+		// edge function (inPort -1) anchor at the residue instead.
+		anchor := port % span
+		if inPort >= 0 && inPort < span {
+			anchor = inPort
+		}
+		dir := 1
+		if wasDeflected && port != inPort && view.SwitchID()%2 == 1 {
+			dir = -1
+		}
+		for pass := 0; pass < 2; pass++ {
+			for i := 1; i <= span; i++ {
+				cand := (anchor + dir*i) % span
+				if cand < 0 {
+					cand += span
+				}
+				if cand == inPort || !view.PortUp(cand) {
+					continue
+				}
+				if pass == 0 && view.EdgePort(cand) {
+					continue
+				}
+				return Decision{Port: cand, Deflected: true}
+			}
+		}
+	}
+	if inPort >= 0 && inPort < span && view.PortUp(inPort) {
+		return Decision{Port: inPort, Deflected: true}
+	}
+	return Decision{Drop: true}
 }
 
 // randomPort draws uniformly among healthy ports, excluding exclude

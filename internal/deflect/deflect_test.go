@@ -7,10 +7,12 @@ import (
 	"repro/internal/rns"
 )
 
-// fakeView is a test SwitchView: a switch ID plus per-port health.
+// fakeView is a test SwitchView: a switch ID plus per-port health and
+// optional edge-facing port marks.
 type fakeView struct {
 	id    uint64
 	ports []bool // up/down per port; length = NumPorts
+	edges []bool // true when the port faces an edge function; nil = all core
 }
 
 func (f fakeView) SwitchID() uint64 { return f.id }
@@ -21,11 +23,14 @@ func (f fakeView) NumPorts() int { return len(f.ports) }
 func (f fakeView) PortUp(i int) bool {
 	return i >= 0 && i < len(f.ports) && f.ports[i]
 }
+func (f fakeView) EdgePort(i int) bool {
+	return f.edges != nil && i >= 0 && i < len(f.edges) && f.edges[i]
+}
 
 func rid(v uint64) rns.RouteID { return rns.RouteIDFromUint64(v) }
 
 func TestByName(t *testing.T) {
-	for _, name := range []string{"none", "hp", "avp", "nip"} {
+	for _, name := range []string{"none", "hp", "avp", "nip", "dtree"} {
 		p, ok := ByName(name)
 		if !ok {
 			t.Fatalf("ByName(%q) not found", name)
@@ -37,8 +42,8 @@ func TestByName(t *testing.T) {
 	if _, ok := ByName("bogus"); ok {
 		t.Error("ByName(bogus) succeeded")
 	}
-	if got := len(All()); got != 4 {
-		t.Errorf("All() returned %d policies, want 4", got)
+	if got := len(All()); got != 5 {
+		t.Errorf("All() returned %d policies, want 5", got)
 	}
 }
 
@@ -217,6 +222,97 @@ func TestAllPoliciesDropWhenNoPortViable(t *testing.T) {
 	// AVP can still bounce it back.
 	if d := (AnyValidPort{}).Decide(onlyInput, rid(660), 0, false, rng); d.Drop || d.Port != 0 {
 		t.Errorf("AVP with only the input port healthy: decision = %+v, want bounce to port 0", d)
+	}
+}
+
+// TestOnlyHealthyPortIsInput pins the policy split when the single
+// healthy port is the packet's input port: NIP must drop (it may never
+// reuse the input port), AVP and DTree must bounce the packet back out
+// of it, and None's verdict depends only on whether the modulo result
+// happens to be that port. The degenerate 1-port switch is the same
+// situation in its purest form.
+func TestOnlyHealthyPortIsInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	// R=660 at SW7 → encoded port 2. Ports 1 and 2 down; only the
+	// input port 0 survives.
+	only := fakeView{id: 7, ports: []bool{true, false, false}}
+	// R=660 at SW11 → encoded port 0: the 1-port switch's only port,
+	// which is also the input port.
+	onePort := fakeView{id: 11, ports: []bool{true}}
+	cases := []struct {
+		name       string
+		policy     Policy
+		view       fakeView
+		inPort     int
+		wantDrop   bool
+		wantPort   int
+		wantBounce bool
+	}{
+		{"nip/only-input", NotInputPort{}, only, 0, true, 0, false},
+		{"avp/only-input", AnyValidPort{}, only, 0, false, 0, true},
+		{"dtree/only-input", DTree{}, only, 0, false, 0, true},
+		{"hp/only-input", HotPotato{}, only, 0, false, 0, true},
+		{"none/only-input", None{}, only, 0, true, 0, false}, // encoded port 2 is down
+		{"nip/one-port", NotInputPort{}, onePort, 0, true, 0, false},
+		{"avp/one-port", AnyValidPort{}, onePort, 0, false, 0, false}, // encoded==0 is up: plain forward
+		{"dtree/one-port", DTree{}, onePort, 0, false, 0, true},       // encoded==input: bounce
+		{"none/one-port", None{}, onePort, 0, false, 0, false},        // no input-port exclusion at all
+	}
+	for _, tc := range cases {
+		d := tc.policy.Decide(tc.view, rid(660), tc.inPort, false, rng)
+		if d.Drop != tc.wantDrop {
+			t.Errorf("%s: drop = %v, want %v (decision %+v)", tc.name, d.Drop, tc.wantDrop, d)
+			continue
+		}
+		if !tc.wantDrop && d.Port != tc.wantPort {
+			t.Errorf("%s: port = %d, want %d", tc.name, d.Port, tc.wantPort)
+		}
+		if !tc.wantDrop && d.Deflected != tc.wantBounce {
+			t.Errorf("%s: deflected = %v, want %v", tc.name, d.Deflected, tc.wantBounce)
+		}
+	}
+}
+
+// TestDTreeDeterministicFallback pins the structured-failover scan:
+// anchored just past the input port, core ports before edge ports,
+// descending on odd switch IDs once the packet is already deflected
+// and the encoded port is down. rng is nil throughout — DTree may
+// never consume randomness.
+func TestDTreeDeterministicFallback(t *testing.T) {
+	// R=660 at SW7 → encoded port 2 (down). Input port 0. Healthy: 0,1,3.
+	v := fakeView{id: 7, ports: []bool{true, true, false, true}}
+	// Fresh packet: scan ascends from input+1 → port 1.
+	if d := (DTree{}).Decide(v, rid(660), 0, false, nil); d.Drop || d.Port != 1 || !d.Deflected {
+		t.Errorf("fresh fallback: %+v, want deflect to port 1", d)
+	}
+	// Already-deflected packet on an odd-ID switch: scan descends from
+	// input-1 → span-1 = port 3.
+	if d := (DTree{}).Decide(v, rid(660), 0, true, nil); d.Drop || d.Port != 3 {
+		t.Errorf("deflected fallback (odd ID): %+v, want port 3", d)
+	}
+	// Same state on an even-ID switch ascends: 660 mod 10 = 0 = input;
+	// that is the bounce case, which ascends regardless of parity —
+	// use input 1 instead (encoded 0 down to force the scan).
+	ve := fakeView{id: 10, ports: []bool{false, true, true, true}}
+	if d := (DTree{}).Decide(ve, rid(660), 1, true, nil); d.Drop || d.Port != 2 {
+		t.Errorf("deflected fallback (even ID): %+v, want port 2", d)
+	}
+	// Edge ports lose to core ports: mark port 1 edge-facing; the
+	// ascending scan must skip to port 3.
+	vSkip := fakeView{id: 7, ports: []bool{true, true, false, true}, edges: []bool{false, true, false, false}}
+	if d := (DTree{}).Decide(vSkip, rid(660), 0, false, nil); d.Drop || d.Port != 3 {
+		t.Errorf("edge-skip fallback: %+v, want port 3", d)
+	}
+	// ...but an edge port is taken when it is the only alternative
+	// (second pass): re-encoding at a wrong edge can rescue the packet.
+	vOnlyEdge := fakeView{id: 7, ports: []bool{true, true, false, false}, edges: []bool{false, true, false, false}}
+	if d := (DTree{}).Decide(vOnlyEdge, rid(660), 0, false, nil); d.Drop || d.Port != 1 {
+		t.Errorf("edge-only fallback: %+v, want port 1", d)
+	}
+	// Bounce (encoded == input) keeps ascending on odd IDs too.
+	vb := fakeView{id: 7, ports: []bool{true, true, true}}
+	if d := (DTree{}).Decide(vb, rid(660), 2, true, nil); d.Drop || d.Port != 0 {
+		t.Errorf("bounce-case scan: %+v, want port 0", d)
 	}
 }
 

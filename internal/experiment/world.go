@@ -66,6 +66,9 @@ func NewWorld(g *topology.Graph, policy deflect.Policy, seed int64, opts ...Worl
 	if cfg.reactToFailures {
 		ctrlOpts = append(ctrlOpts, controller.WithFailureReaction())
 	}
+	if cfg.autoProtect {
+		ctrlOpts = append(ctrlOpts, controller.WithAutoProtection(core.PlanOptions{}))
+	}
 	w.Ctrl = controller.New(g, ctrlOpts...)
 	w.Switches = kswitch.InstallAll(w.Net, policy, seed)
 	w.Edges = make(map[string]*edge.Edge, len(g.EdgeNodes()))
@@ -85,6 +88,7 @@ type worldConfig struct {
 	scalarDataPlane bool
 	shards          int
 	eventCap        int
+	autoProtect     bool
 }
 
 // WorldOption tunes world assembly.
@@ -100,6 +104,16 @@ func WithReencodeDelay(d time.Duration) WorldOption {
 // non-paper baseline).
 func WithFailureReaction() WorldOption {
 	return func(c *worldConfig) { c.reactToFailures = true }
+}
+
+// WithAutoProtection builds the controller with per-destination
+// protection planning (controller.WithAutoProtection, complete
+// coverage): every installed route gets driven-deflection residues
+// along a tree rooted at its own destination, so explicit protection
+// pair lists become unnecessary and the guarantee is symmetric in
+// direction.
+func WithAutoProtection() WorldOption {
+	return func(c *worldConfig) { c.autoProtect = true }
 }
 
 // WithControlWorkers bounds the controller's reroute worker pool

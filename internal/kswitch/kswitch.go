@@ -110,7 +110,7 @@ const (
 	fastOff = iota // unknown policy: always run Decide
 	fastAny        // none, avp: encoded port up
 	fastHP         // hp: encoded port up and never deflected
-	fastNIP        // nip: encoded port up and not the input port
+	fastNIP        // nip, dtree: encoded port up and not the input port
 )
 
 // Compile-time interface compliance.
@@ -150,7 +150,10 @@ func New(net *simnet.Network, node *topology.Node, policy deflect.Policy, seed i
 		s.fastKind = fastAny
 	case deflect.HotPotato:
 		s.fastKind = fastHP
-	case deflect.NotInputPort:
+	case deflect.NotInputPort, deflect.DTree:
+		// dtree shares NIP's on-path predicate (encoded port up and not
+		// the input port); its fallback arm is deterministic, so the
+		// batch peel-out costs nothing in RNG alignment either way.
 		s.fastKind = fastNIP
 	}
 	s.portLines = make([]*simnet.Line, node.PortSpan())
@@ -182,6 +185,10 @@ func (v view) Forward(r rns.RouteID) int {
 func (v view) NumPorts() int { return v.s.node.PortSpan() }
 func (v view) PortUp(i int) bool {
 	return v.s.net.PortUp(v.s.node, i)
+}
+func (v view) EdgePort(i int) bool {
+	l, ok := v.s.node.PortLink(i)
+	return ok && l.Other(v.s.node).Kind() == topology.KindEdge
 }
 
 // HandlePacket implements simnet.Handler: decrement TTL, decide the

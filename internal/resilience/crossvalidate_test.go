@@ -19,11 +19,15 @@ import (
 // full data plane, and require the measured delivery ratio to sit in
 // a band around the Markov-chain prediction.
 //
-// The band accounts for the one modeling gap the chain has: it walks
-// forever while real packets carry a TTL (refreshed on wrong-edge
-// re-encode). By Markov's inequality the truncated mass is at most
-// E[hops]/TTL, so the simulated ratio may undershoot the closed form
-// by at most that much; it may never overshoot beyond sampling noise.
+// The chain's one modeling gap used to force a loose one-sided band:
+// Analyze walks forever while real packets carry a TTL, so the
+// simulation could undershoot by up to the Markov bound E[hops]/TTL —
+// on hp that bound swallowed almost the whole unit interval.
+// DeliverWithin closes the gap: it computes the exact TTL-truncated
+// delivery probability under the simulator's discipline (cores
+// decrement, edges refresh on re-encode), so the band is just sampling
+// noise, symmetric, and asserted on both sides — an overshoot fails
+// the same way an undershoot does.
 
 type xvCase struct {
 	name       string
@@ -108,7 +112,7 @@ func stillConnected(g *topology.Graph, src, dst string, without *topology.Link) 
 
 func TestClosedFormMatchesSimulation(t *testing.T) {
 	for _, tc := range xvCases(t) {
-		for _, pol := range []string{"none", "hp", "avp", "nip"} {
+		for _, pol := range []string{"none", "hp", "avp", "nip", "dtree"} {
 			t.Run(tc.name+"/"+pol, func(t *testing.T) {
 				g, err := tc.graph()
 				if err != nil {
@@ -158,19 +162,35 @@ func TestClosedFormMatchesSimulation(t *testing.T) {
 					t.Fatal(err)
 				}
 
-				sigma := math.Sqrt(res.PDeliver * (1 - res.PDeliver) / float64(st.Sent))
-				slack := 3*sigma + 0.01
-				trunc := 0.0
+				pTTL, err := a.DeliverWithin(tc.src, tc.dst, packet.DefaultTTL)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Truncation can only remove trajectory mass, and the
+				// removed mass obeys the Markov bound — two internal
+				// consistency checks on the exact computation itself.
+				const eps = 1e-9
+				if pTTL > res.PDeliver+eps {
+					t.Errorf("DeliverWithin %.6f exceeds untruncated PDeliver %.6f", pTTL, res.PDeliver)
+				}
 				if res.PDeliver > 0 {
-					trunc = math.Min(1, res.ExpectedHops/float64(packet.DefaultTTL))
+					if bound := math.Min(1, res.ExpectedHops/float64(packet.DefaultTTL)); res.PDeliver-pTTL > bound+eps {
+						t.Errorf("truncated mass %.6f exceeds Markov bound %.6f", res.PDeliver-pTTL, bound)
+					}
 				}
-				lo, hi := res.PDeliver-trunc-slack, res.PDeliver+slack
+
+				// Two-sided band around the exact truncated probability:
+				// binomial sampling noise plus a hair for the finite
+				// trailing window, nothing else.
+				sigma := math.Sqrt(pTTL * (1 - pTTL) / float64(st.Sent))
+				slack := 3*sigma + 0.005
+				lo, hi := pTTL-slack, pTTL+slack
 				if sim < lo || sim > hi {
-					t.Errorf("simulated delivery %.4f outside [%.4f, %.4f] around closed form %.4f (E[hops]=%.1f)",
-						sim, lo, hi, res.PDeliver, res.ExpectedHops)
+					t.Errorf("simulated delivery %.4f outside [%.4f, %.4f] around exact TTL-truncated %.4f (untruncated %.4f, E[hops]=%.1f)",
+						sim, lo, hi, pTTL, res.PDeliver, res.ExpectedHops)
 				}
-				t.Log(fmt.Sprintf("closed=%.4f sim=%.4f band=[%.4f,%.4f] E[hops]=%.1f",
-					res.PDeliver, sim, lo, hi, res.ExpectedHops))
+				t.Log(fmt.Sprintf("exact(ttl)=%.4f closed=%.4f sim=%.4f band=[%.4f,%.4f] E[hops]=%.1f",
+					pTTL, res.PDeliver, sim, lo, hi, res.ExpectedHops))
 			})
 		}
 	}

@@ -33,7 +33,9 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/controller"
 	"repro/internal/core"
+	"repro/internal/deflect"
 	"repro/internal/packet"
+	"repro/internal/rns"
 	"repro/internal/telemetry"
 	"repro/internal/topology"
 )
@@ -76,8 +78,14 @@ type Config struct {
 	// installed on every route (hops landing on a route's own path are
 	// filtered per route, as the controller does on reroute).
 	Protection [][2]string
+	// AutoProtect plans protection per destination instead of using a
+	// hand-listed pair set: the sweep's controller runs with
+	// controller.WithAutoProtection, so every route (and every
+	// re-encode) gets a complete protection set rooted at its own
+	// destination core. Mutually exclusive with Protection.
+	AutoProtect bool
 	// ProtectionLabel names the protection set in the report ("none",
-	// "partial", "full", ...).
+	// "partial", "full", "auto", ...).
 	ProtectionLabel string
 	// Pairs samples this many distinct two-link failure pairs on top
 	// of the exhaustive single-failure sweep (0: singles only).
@@ -132,6 +140,23 @@ type LinkImpact struct {
 	MinPDeliver float64 `json:"min_p_deliver"`
 }
 
+// PolicyTotal aggregates one policy across every route: the k=1
+// (exhaustive single-failure) and k=2 (sampled failure-pair) survival
+// census the per-policy comparison reads off directly.
+type PolicyTotal struct {
+	Policy string `json:"policy"`
+
+	// k=1: connected single-failure cases summed over all routes.
+	Singles         int     `json:"single_failures"`
+	Survived        int     `json:"survived"`
+	SurviveFraction float64 `json:"survive_fraction"`
+
+	// k=2: connected sampled-pair cases (when Config.Pairs > 0).
+	PairCases           int     `json:"pair_cases,omitempty"`
+	PairSurvived        int     `json:"pair_survived,omitempty"`
+	PairSurviveFraction float64 `json:"pair_survive_fraction,omitempty"`
+}
+
 // Report is the sweep's structured outcome. Scores are ordered by
 // (src, dst) then by the configured policy order; Impacts by
 // descending blast radius (link name breaking ties) — deterministic
@@ -145,8 +170,19 @@ type Report struct {
 	PairsDrawn int      `json:"pairs_drawn,omitempty"`
 	Cases      int      `json:"cases"`
 
-	Scores  []RouteScore `json:"scores"`
-	Impacts []LinkImpact `json:"impacts,omitempty"`
+	Scores  []RouteScore  `json:"scores"`
+	Impacts []LinkImpact  `json:"impacts,omitempty"`
+	Totals  []PolicyTotal `json:"policy_totals"`
+}
+
+// Total returns the aggregate row for policy, if present.
+func (r *Report) Total(policy string) (*PolicyTotal, bool) {
+	for i := range r.Totals {
+		if r.Totals[i].Policy == policy {
+			return &r.Totals[i], true
+		}
+	}
+	return nil, false
 }
 
 // Score returns the score row for (src, dst, policy), if present.
@@ -216,10 +252,13 @@ func SweepContext(ctx context.Context, g *topology.Graph, routes []RouteSpec, cf
 	}
 	for _, p := range policies {
 		switch p {
-		case "none", "hp", "avp", "nip":
+		case "none", "hp", "avp", "nip", "dtree":
 		default:
 			return nil, fmt.Errorf("resilience: %q: %w", p, analysis.ErrPolicyUnsupported)
 		}
+	}
+	if cfg.AutoProtect && len(cfg.Protection) > 0 {
+		return nil, errors.New("resilience: AutoProtect and an explicit Protection set are mutually exclusive")
 	}
 
 	routes = append([]RouteSpec(nil), routes...)
@@ -235,7 +274,7 @@ func SweepContext(ctx context.Context, g *topology.Graph, routes []RouteSpec, cf
 		}
 	}
 
-	ctrl, ingress, err := buildController(g, routes, cfg.Protection)
+	ctrl, ingress, err := buildController(g, routes, cfg.Protection, cfg.AutoProtect)
 	if err != nil {
 		return nil, err
 	}
@@ -274,9 +313,12 @@ func SweepContext(ctx context.Context, g *topology.Graph, routes []RouteSpec, cf
 		}
 		var res analysis.Result
 		var caseErr error
-		if pol == "none" {
-			res, caseErr = walkNone(ctrl, rt.Src, rt.Dst, failed)
-		} else {
+		switch pol {
+		case "none", "dtree":
+			// Deterministic policies score by direct walk — exact, and
+			// far cheaper than expanding and solving the chain.
+			res, caseErr = walkDeterministic(ctrl, pol, rt.Src, rt.Dst, failed)
+		default:
 			var a *analysis.Analyzer
 			a, caseErr = analysis.New(ctrl, pol, fl.links)
 			if caseErr == nil {
@@ -434,6 +476,26 @@ func SweepContext(ctx context.Context, g *topology.Graph, routes []RouteSpec, cf
 			sc.SurviveFraction = float64(sc.Survived) / float64(sc.Singles)
 		}
 	}
+	totals := make([]PolicyTotal, len(policies))
+	for p := range policies {
+		totals[p].Policy = policies[p]
+		for r := range routes {
+			sc := &scores[r*len(policies)+p]
+			totals[p].Singles += sc.Singles
+			totals[p].Survived += sc.Survived
+			totals[p].PairCases += sc.PairCases
+			totals[p].PairSurvived += sc.PairSurvived
+		}
+		t := &totals[p]
+		if t.Singles == 0 {
+			t.SurviveFraction = 1
+		} else {
+			t.SurviveFraction = float64(t.Survived) / float64(t.Singles)
+		}
+		if t.PairCases > 0 {
+			t.PairSurviveFraction = float64(t.PairSurvived) / float64(t.PairCases)
+		}
+	}
 	impacts := make([]LinkImpact, 0, len(impact))
 	for _, im := range impact {
 		impacts = append(impacts, *im)
@@ -455,6 +517,7 @@ func SweepContext(ctx context.Context, g *topology.Graph, routes []RouteSpec, cf
 		Cases:      len(jobs),
 		Scores:     scores,
 		Impacts:    impacts,
+		Totals:     totals,
 	}, nil
 }
 
@@ -471,13 +534,19 @@ func bindHelp(reg *telemetry.Registry) {
 // protection filtering) on a fresh non-reactive controller and
 // pre-warms the re-encode cache for every ordered edge pair, so the
 // concurrent case analyses only ever hit the controller's read-only
-// cache path. Returns the per-route ingress link alongside.
-func buildController(g *topology.Graph, routes []RouteSpec, protection [][2]string) (*controller.Controller, []*topology.Link, error) {
+// cache path. Returns the per-route ingress link alongside. With auto
+// set, the controller plans per-destination protection itself and the
+// pair set must be empty.
+func buildController(g *topology.Graph, routes []RouteSpec, protection [][2]string, auto bool) (*controller.Controller, []*topology.Link, error) {
 	hops, err := core.HopsFromPairs(g, protection)
 	if err != nil {
 		return nil, nil, fmt.Errorf("resilience: protection: %w", err)
 	}
-	ctrl := controller.New(g)
+	var opts []controller.Option
+	if auto {
+		opts = append(opts, controller.WithAutoProtection(core.PlanOptions{}))
+	}
+	ctrl := controller.New(g, opts...)
 	ingress := make([]*topology.Link, len(routes))
 	for i, rt := range routes {
 		names := rt.Path
@@ -643,20 +712,66 @@ func connected(g *topology.Graph, src, dst string, failed map[*topology.Link]boo
 	return false
 }
 
-// walkNone follows the installed route deterministically under the
-// "none" policy: forward by route-ID residue at every core, drop on a
-// dead or invalid port, re-encode at wrong edges, deliver at dst —
-// exactly the data plane's behaviour, TTL included. PDeliver is 0 or
-// 1 by construction.
-func walkNone(ctrl *controller.Controller, src, dst string, failed map[*topology.Link]bool) (analysis.Result, error) {
+// walkView adapts one topology node plus a failure set to
+// deflect.SwitchView, so the deterministic walk runs the very same
+// policy code the data plane does.
+type walkView struct {
+	node   *topology.Node
+	failed map[*topology.Link]bool
+}
+
+func (v walkView) SwitchID() uint64 { return v.node.ID() }
+func (v walkView) Forward(r rns.RouteID) int {
+	return core.Forward(r, v.node.ID())
+}
+func (v walkView) NumPorts() int { return v.node.PortSpan() }
+func (v walkView) PortUp(i int) bool {
+	l, ok := v.node.PortLink(i)
+	return ok && !v.failed[l]
+}
+func (v walkView) EdgePort(i int) bool {
+	l, ok := v.node.PortLink(i)
+	return ok && l.Other(v.node).Kind() == topology.KindEdge
+}
+
+// walkDeterministic follows the installed route under a deterministic
+// policy ("none" or "dtree"): decide at every core exactly as the data
+// plane's switch would (the dtree walk literally calls
+// deflect.DTree.Decide — no RNG is ever consumed), drop on a dead or
+// invalid port, re-encode at wrong edges with a TTL refresh, deliver
+// at dst. PDeliver is 0 or 1 by construction; a TTL death counts as a
+// loss, exactly like the simulator's ttl_expired drop.
+func walkDeterministic(ctrl *controller.Controller, pol, src, dst string, failed map[*topology.Link]bool) (analysis.Result, error) {
 	route, ok := ctrl.Route(src, dst)
 	if !ok {
 		return analysis.Result{}, fmt.Errorf("no installed route %s->%s", src, dst)
 	}
+	policy, ok := deflect.ByName(pol)
+	if !ok {
+		return analysis.Result{}, fmt.Errorf("%q: %w", pol, analysis.ErrPolicyUnsupported)
+	}
 	res := analysis.Result{BaselineHops: route.Path.Hops(), PDrop: 1}
 	id := route.ID
 	node := route.Path.Nodes[1]
+	ingress, ok := node.PortToward(route.Path.Nodes[0].Name())
+	if !ok {
+		return analysis.Result{}, fmt.Errorf("%s has no port toward %s", node, route.Path.Nodes[0])
+	}
+	inPort := ingress
+	deflected := false
 	hops := 1 // the ingress edge→first-node traversal
+	// Cycle guard: the walk is deterministic, so revisiting a full
+	// (route ID, node, inPort, deflected) state proves an infinite
+	// loop. Within one encoding the TTL already bounds it; the guard
+	// additionally bounds livelock across wrong-edge re-encodes, which
+	// refresh the TTL.
+	type walkState struct {
+		id        string
+		node      *topology.Node
+		inPort    int
+		deflected bool
+	}
+	seen := make(map[walkState]bool)
 	for ttl := packet.DefaultTTL; ttl > 0; ttl-- {
 		if node.Kind() == topology.KindEdge {
 			if node.Name() == dst {
@@ -664,8 +779,14 @@ func walkNone(ctrl *controller.Controller, src, dst string, failed map[*topology
 				res.ExpectedHops = float64(hops)
 				return res, nil
 			}
+			if s := (walkState{id: id.String(), node: node, inPort: inPort}); seen[s] {
+				return res, nil // deterministic re-encode livelock
+			} else {
+				seen[s] = true
+			}
 			// Misdelivery: the controller re-encodes from this edge
-			// (cache pre-warmed; a miss means the pair is unreachable).
+			// (cache pre-warmed; a miss means the pair is unreachable)
+			// and the packet leaves with a fresh TTL.
 			nid, port, err := ctrl.ReencodeRoute(node.Name(), dst)
 			if err != nil {
 				return res, nil
@@ -675,16 +796,26 @@ func walkNone(ctrl *controller.Controller, src, dst string, failed map[*topology
 				return res, nil
 			}
 			id = nid
-			node = l.Other(node)
+			next := l.Other(node)
+			inPort = l.PortOf(next)
+			node = next
+			deflected = false
 			hops++
+			ttl = packet.DefaultTTL
 			continue
 		}
-		port := core.Forward(id, node.ID())
-		l, ok := node.PortLink(port)
+		d := policy.Decide(walkView{node: node, failed: failed}, id, inPort, deflected, nil)
+		if d.Drop {
+			return res, nil
+		}
+		deflected = deflected || d.Deflected
+		l, ok := node.PortLink(d.Port)
 		if !ok || failed[l] {
 			return res, nil
 		}
-		node = l.Other(node)
+		next := l.Other(node)
+		inPort = l.PortOf(next)
+		node = next
 		hops++
 	}
 	return res, nil // TTL exhausted: a deterministic loop

@@ -24,22 +24,23 @@ func allPairRoutes(g *topology.Graph) []RouteSpec {
 	return routes
 }
 
-// The headline acceptance case: Net15 under full protection must
-// survive every connected single-link failure with certainty under
-// avp and nip, for every route the protection tree covers. KAR
-// protection is destination-rooted — Net15FullProtection funnels
-// deflections toward SW29, so the guarantee applies to SW29-bound
-// routes (dst AS2 or AS3); AS1-bound traffic would need a SW10-rooted
-// tree, and the sweep must expose exactly that gap.
+// The headline acceptance case: Net15 under per-destination
+// auto-protection must survive every connected single-link failure
+// with certainty, for EVERY route — including the AS1-bound direction
+// that the hand-listed Net15FullProtection (rooted only at SW29) used
+// to leave exposed. The controller plans a destination-rooted tree per
+// route, so there is no privileged root and no asymmetric gap, whether
+// deflections are resolved randomly (nip) or deterministically along
+// the trees (dtree).
 func TestNet15FullProtectionSurvivesAllSingles(t *testing.T) {
 	g, err := topology.Net15()
 	if err != nil {
 		t.Fatal(err)
 	}
 	rep, err := Sweep(g, allPairRoutes(g), Config{
-		Policies:        []string{"avp", "nip"},
-		Protection:      topology.Net15FullProtection,
-		ProtectionLabel: "full",
+		Policies:        []string{"nip", "dtree"},
+		AutoProtect:     true,
+		ProtectionLabel: "auto",
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -51,23 +52,52 @@ func TestNet15FullProtectionSurvivesAllSingles(t *testing.T) {
 		if sc.Singles == 0 {
 			t.Errorf("%s->%s policy=%s: no connected single-failure cases", sc.Src, sc.Dst, sc.Policy)
 		}
-		if sc.Dst != "AS1" {
-			if sc.SurviveFraction != 1 {
-				t.Errorf("%s->%s policy=%s: survive fraction %v (worst %v at %s), want 1",
-					sc.Src, sc.Dst, sc.Policy, sc.SurviveFraction, sc.WorstPDeliver, sc.WorstPDeliverFailure)
-			}
-		} else if sc.SurviveFraction == 1 {
-			t.Errorf("%s->%s policy=%s: survived everything, but no protection tree is rooted at SW10",
-				sc.Src, sc.Dst, sc.Policy)
+		if sc.SurviveFraction != 1 {
+			t.Errorf("%s->%s policy=%s: survive fraction %v (worst %v at %s), want 1",
+				sc.Src, sc.Dst, sc.Policy, sc.SurviveFraction, sc.WorstPDeliver, sc.WorstPDeliverFailure)
 		}
 	}
-	// The blast radius must localize the gap to AS1-side corridor links.
-	if len(rep.Impacts) == 0 {
-		t.Fatal("no blast-radius entries for the unprotected AS1-bound direction")
-	}
+	// Nothing degraded or lost, so no link may have a blast radius.
 	for _, im := range rep.Impacts {
-		if im.Link == "SW27-SW29" || im.Link == "SW19-SW27" {
-			t.Errorf("protected corridor link %s in blast radius", im.Link)
+		t.Errorf("link %s has blast radius %d despite full survival", im.Link, im.Affected)
+	}
+}
+
+// The fix is symmetric by construction: A->B and B->A must earn the
+// same single-failure survive fraction under auto-protection, on both
+// canned topologies. Before per-destination planning, the reverse of a
+// protected route was quietly unprotected (the tree was rooted at one
+// end only).
+func TestAutoProtectionSymmetric(t *testing.T) {
+	for _, mk := range []struct {
+		name string
+		fn   func() (*topology.Graph, error)
+	}{
+		{"net15", topology.Net15},
+		{"rnp28", topology.RNP28},
+	} {
+		g, err := mk.fn()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Sweep(g, allPairRoutes(g), Config{
+			Policies:        []string{"nip", "dtree"},
+			AutoProtect:     true,
+			ProtectionLabel: "auto",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sc := range rep.Scores {
+			rev, ok := rep.Score(sc.Dst, sc.Src, sc.Policy)
+			if !ok {
+				t.Fatalf("%s: no reverse score for %s->%s", mk.name, sc.Src, sc.Dst)
+			}
+			if sc.SurviveFraction != rev.SurviveFraction {
+				t.Errorf("%s policy=%s: %s->%s survives %v but %s->%s survives %v",
+					mk.name, sc.Policy, sc.Src, sc.Dst, sc.SurviveFraction,
+					rev.Src, rev.Dst, rev.SurviveFraction)
+			}
 		}
 	}
 }
@@ -146,7 +176,7 @@ func TestWalkNoneMatchesChain(t *testing.T) {
 		t.Fatal(err)
 	}
 	routes := allPairRoutes(g)
-	ctrl, ingress, err := buildController(g, routes, topology.Net15PartialProtection)
+	ctrl, ingress, err := buildController(g, routes, topology.Net15PartialProtection, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,11 +186,101 @@ func TestWalkNoneMatchesChain(t *testing.T) {
 			if !connected(g, rt.Src, rt.Dst, failed) || l == ingress[ri] {
 				continue
 			}
-			walk, err := walkNone(ctrl, rt.Src, rt.Dst, failed)
+			walk, err := walkDeterministic(ctrl, "none", rt.Src, rt.Dst, failed)
 			if err != nil {
 				t.Fatalf("%s->%s fail=%s: walk: %v", rt.Src, rt.Dst, l.Name(), err)
 			}
 			a, err := analysis.New(ctrl, "none", []*topology.Link{l})
+			if err != nil {
+				t.Fatal(err)
+			}
+			chain, err := a.Analyze(rt.Src, rt.Dst)
+			if err != nil {
+				t.Fatalf("%s->%s fail=%s: chain: %v", rt.Src, rt.Dst, l.Name(), err)
+			}
+			if walk.PDeliver != chain.PDeliver {
+				t.Errorf("%s->%s fail=%s: walk PDeliver=%v, chain=%v",
+					rt.Src, rt.Dst, l.Name(), walk.PDeliver, chain.PDeliver)
+			}
+			if walk.PDeliver == 1 && walk.ExpectedHops != chain.ExpectedHops {
+				t.Errorf("%s->%s fail=%s: walk hops=%v, chain=%v",
+					rt.Src, rt.Dst, l.Name(), walk.ExpectedHops, chain.ExpectedHops)
+			}
+		}
+	}
+}
+
+// The headline k=2 comparison: under auto protection both policies
+// survive every single failure, but on sampled two-link failures the
+// structured failover must beat NIP's random walk strictly, on both
+// canned topologies — the deterministic fallback order never traps
+// itself in a broken region the way an unlucky walk can.
+func TestDtreeBeatsNIPOnFailurePairs(t *testing.T) {
+	for _, mk := range []struct {
+		name string
+		fn   func() (*topology.Graph, error)
+	}{
+		{"net15", topology.Net15},
+		{"rnp28", topology.RNP28},
+	} {
+		g, err := mk.fn()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Sweep(g, allPairRoutes(g), Config{
+			Policies:        []string{"nip", "dtree"},
+			AutoProtect:     true,
+			ProtectionLabel: "auto",
+			Pairs:           200,
+			PairSeed:        7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nip, ok1 := rep.Total("nip")
+		dtree, ok2 := rep.Total("dtree")
+		if !ok1 || !ok2 {
+			t.Fatalf("%s: missing policy totals", mk.name)
+		}
+		if nip.SurviveFraction != 1 || dtree.SurviveFraction != 1 {
+			t.Errorf("%s: k=1 fractions nip=%v dtree=%v, want 1 and 1",
+				mk.name, nip.SurviveFraction, dtree.SurviveFraction)
+		}
+		if nip.PairCases != dtree.PairCases {
+			t.Fatalf("%s: pair case counts differ (%d vs %d)", mk.name, nip.PairCases, dtree.PairCases)
+		}
+		if dtree.PairSurvived <= nip.PairSurvived {
+			t.Errorf("%s: dtree survives %d/%d pairs, nip %d/%d — want strictly more",
+				mk.name, dtree.PairSurvived, dtree.PairCases, nip.PairSurvived, nip.PairCases)
+		}
+	}
+}
+
+// The deterministic walk for "dtree" must agree with the Markov chain
+// run under the same policy — the chain delegates to deflect.DTree, so
+// a mismatch means the walk semantics (TTL, re-encode, cycle guard)
+// drifted from the analytical model.
+func TestWalkDtreeMatchesChain(t *testing.T) {
+	g, err := topology.Net15()
+	if err != nil {
+		t.Fatal(err)
+	}
+	routes := allPairRoutes(g)
+	ctrl, ingress, err := buildController(g, routes, nil, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ri, rt := range routes {
+		for _, l := range g.Links() {
+			failed := map[*topology.Link]bool{l: true}
+			if !connected(g, rt.Src, rt.Dst, failed) || l == ingress[ri] {
+				continue
+			}
+			walk, err := walkDeterministic(ctrl, "dtree", rt.Src, rt.Dst, failed)
+			if err != nil {
+				t.Fatalf("%s->%s fail=%s: walk: %v", rt.Src, rt.Dst, l.Name(), err)
+			}
+			a, err := analysis.New(ctrl, "dtree", []*topology.Link{l})
 			if err != nil {
 				t.Fatal(err)
 			}

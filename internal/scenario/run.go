@@ -276,6 +276,7 @@ func runVerifySweep(ctx context.Context, spec *Spec, opts RunOptions) (*VerifyRe
 	rep, err := resilience.SweepContext(ctx, g, routes, resilience.Config{
 		Policies:        policies,
 		Protection:      protection,
+		AutoProtect:     AutoProtection(spec.Protection),
 		ProtectionLabel: label,
 		Pairs:           spec.Verify.Pairs,
 		PairSeed:        spec.Seed,
@@ -351,6 +352,9 @@ func runOne(ctx context.Context, spec *Spec, idx int, opts *RunOptions) (*RunRes
 	}
 	if scalar {
 		worldOpts = append(worldOpts, experiment.WithScalarDataPlane())
+	}
+	if AutoProtection(spec.Protection) {
+		worldOpts = append(worldOpts, experiment.WithAutoProtection())
 	}
 	if spec.Shards > 1 {
 		worldOpts = append(worldOpts, experiment.WithShards(spec.Shards))

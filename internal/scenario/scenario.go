@@ -55,11 +55,14 @@ type Spec struct {
 	// Results are byte-identical for every value; this is a wall-clock
 	// knob only.
 	Shards int `json:"shards,omitempty"`
-	// Policy is the deflection policy (none/hp/avp/nip).
+	// Policy is the deflection policy (none/hp/avp/nip/dtree).
 	Policy string `json:"policy"`
-	// Protection selects a canned driven-deflection set for the
-	// topology: "none" (default), "partial" (net15, rnp28) or "full"
-	// (net15).
+	// Protection selects the protection installed with each route:
+	// a canned driven-deflection set for the topology — "none"
+	// (default), "partial" (net15, rnp28) or "full" (net15) — or
+	// "auto", which has the controller plan a complete
+	// destination-rooted protection tree per route on any topology
+	// (required for dtree to earn its guarantee).
 	Protection string `json:"protection,omitempty"`
 	// Seed is the base seed; run i uses Seed + i*1_000_003.
 	Seed int64 `json:"seed"`
@@ -243,7 +246,7 @@ func (s *Spec) Validate() error {
 	if v := s.Verify; v != nil {
 		for _, p := range v.Policies {
 			switch p {
-			case "none", "hp", "avp", "nip":
+			case "none", "hp", "avp", "nip", "dtree":
 			default:
 				return fmt.Errorf("scenario %s: verify: unknown policy %q", s.Name, p)
 			}
@@ -338,10 +341,14 @@ func TopologyNames() []string {
 }
 
 // ProtectionPairs resolves a canned protection level for a topology to
-// its driven-deflection (switch, neighbour) hop pairs.
+// its driven-deflection (switch, neighbour) hop pairs. The "auto"
+// level has no static pair list — the controller plans a
+// destination-rooted tree per installed route (see AutoProtection) —
+// so it resolves to nil like "none"; callers distinguish the two with
+// AutoProtection.
 func ProtectionPairs(topo, level string) ([][2]string, error) {
 	switch level {
-	case "", "none":
+	case "", "none", "auto":
 		return nil, nil
 	case "partial":
 		switch topo {
@@ -355,7 +362,11 @@ func ProtectionPairs(topo, level string) ([][2]string, error) {
 			return topology.Net15FullProtection, nil
 		}
 	default:
-		return nil, fmt.Errorf("unknown protection level %q (want none, partial or full)", level)
+		return nil, fmt.Errorf("unknown protection level %q (want none, partial, full or auto)", level)
 	}
 	return nil, fmt.Errorf("no %q protection set for topology %q", level, topo)
 }
+
+// AutoProtection reports whether level asks the controller to plan
+// per-destination protection trees instead of installing a canned set.
+func AutoProtection(level string) bool { return level == "auto" }

@@ -271,6 +271,42 @@ func TestVerifyBlock(t *testing.T) {
 	}
 }
 
+// Auto protection + dtree through the scenario runner: both flow
+// directions — including the reverse direction that canned "full"
+// protection left exposed — must survive every connected single
+// failure, and the sampled pairs beat min_survival 0 trivially but are
+// exercised for coverage.
+func TestVerifyBlockDtreeAuto(t *testing.T) {
+	js := `{
+	  "name": "v-dtree",
+	  "topology": "net15",
+	  "policy": "dtree",
+	  "protection": "auto",
+	  "seed": 5,
+	  "duration": "50ms",
+	  "flows": [
+	    {"src": "AS1", "dst": "AS3", "interval": "2ms"},
+	    {"src": "AS3", "dst": "AS1", "interval": "2ms"}
+	  ],
+	  "expect": {"min_delivered": 1},
+	  "verify": {"policies": ["nip", "dtree"], "pairs": 8, "min_survival": 1.0}
+	}`
+	spec, err := Parse(strings.NewReader(js))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := Run(spec, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Verify == nil || !v.Verify.Pass || !v.Pass {
+		t.Fatalf("auto-protection dtree verify failed: %+v", v.Verify)
+	}
+	if v.Verify.Report.Protection != "auto" {
+		t.Errorf("report protection = %q, want auto", v.Verify.Report.Protection)
+	}
+}
+
 // Bad verify blocks are rejected at parse time.
 func TestVerifyValidation(t *testing.T) {
 	base := `{"name":"x","topology":"net15","policy":"nip","duration":"1s","flows":[{"src":"AS1","dst":"AS3"}],"verify":%s}`

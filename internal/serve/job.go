@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/deflect"
 	"repro/internal/resilience"
 	"repro/internal/scenario"
 	"repro/internal/telemetry"
@@ -78,7 +79,9 @@ type VerifyRequest struct {
 	// Policies to score (default: none, hp, avp, nip).
 	Policies []string `json:"policies,omitempty"`
 	// Protection names a canned driven-deflection set ("none",
-	// "partial", "full"); generated topologies support only "none".
+	// "partial", "full") or "auto" for controller-planned
+	// per-destination trees; generated topologies support only "none"
+	// and "auto".
 	Protection string `json:"protection,omitempty"`
 	// Pairs samples this many two-link failures on top of the
 	// exhaustive single-failure sweep; Seed pins the sample.
@@ -226,10 +229,18 @@ func buildVerifyJob(req *VerifyRequest) (func(ctx context.Context, s *Server, j 
 	if err != nil {
 		return nil, err
 	}
+	// Reject unknown policies at admission (HTTP 400), not at job
+	// runtime where the client would have to poll a failed job to see
+	// the typo.
+	for _, p := range req.Policies {
+		if _, ok := deflect.ByName(p); !ok {
+			return nil, fmt.Errorf("serve: unknown policy %q (want none, hp, avp, nip or dtree)", p)
+		}
+	}
 	var protection [][2]string
-	if req.Protection != "" && req.Protection != "none" {
+	if req.Protection != "" && req.Protection != "none" && !scenario.AutoProtection(req.Protection) {
 		if topology.IsSpec(req.Topology) {
-			return nil, fmt.Errorf("serve: generated topologies have no canned %q protection set", req.Protection)
+			return nil, fmt.Errorf("serve: generated topologies have no canned %q protection set (use \"auto\")", req.Protection)
 		}
 		protection, err = scenario.ProtectionPairs(req.Topology, req.Protection)
 		if err != nil {
@@ -248,6 +259,7 @@ func buildVerifyJob(req *VerifyRequest) (func(ctx context.Context, s *Server, j 
 		rep, err := resilience.SweepContext(ctx, g, routes, resilience.Config{
 			Policies:        cfg.Policies,
 			Protection:      protection,
+			AutoProtect:     scenario.AutoProtection(cfg.Protection),
 			ProtectionLabel: cfg.Protection,
 			Pairs:           cfg.Pairs,
 			PairSeed:        cfg.Seed,

@@ -217,6 +217,88 @@ func TestVerifyJobMatchesDirectSweep(t *testing.T) {
 	}
 }
 
+// The dtree round trip: a verify job under auto protection must
+// byte-match the direct sweep the CLI runs, at any worker count — the
+// structured-failover path through the daemon introduces no
+// nondeterminism.
+func TestVerifyDtreeAutoRoundTrip(t *testing.T) {
+	g, err := topology.Net15()
+	if err != nil {
+		t.Fatal(err)
+	}
+	routes := []resilience.RouteSpec{{Src: "AS1", Dst: "AS3"}, {Src: "AS3", Dst: "AS1"}}
+	ref, err := resilience.Sweep(g, routes, resilience.Config{
+		Policies: []string{"nip", "dtree"}, AutoProtect: true,
+		ProtectionLabel: "auto", Pairs: 16, PairSeed: 9, Workers: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := encodeResult(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := startServer(t, Config{})
+	for _, workers := range []int{1, 4} {
+		body := fmt.Sprintf(`{"topology": "net15", "routes": "AS1:AS3,AS3:AS1", "policies": ["nip", "dtree"], "protection": "auto", "pairs": 16, "seed": 9, "workers": %d}`, workers)
+		resp, data := postJSON(t, ts.URL+"/v1/verify", bytes.NewReader([]byte(body)))
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit: %d: %s", resp.StatusCode, data)
+		}
+		var st JobStatus
+		json.Unmarshal(data, &st)
+		if fin := waitTerminal(t, ts.URL, st.ID); fin.State != StateDone {
+			t.Fatalf("verify job %s (%s)", fin.State, fin.Error)
+		}
+		_, got := getBody(t, ts.URL+"/v1/jobs/"+st.ID+"/result")
+		if !bytes.Equal(got, want) {
+			t.Fatalf("workers=%d: daemon dtree verify report diverged from direct sweep", workers)
+		}
+	}
+}
+
+// A dtree scenario (auto protection) must run to done through the
+// daemon and lose at most the single packet already in flight on the
+// link when the cut lands — every packet that reaches a switch after
+// the failure is deflected home along the destination-rooted tree.
+func TestScenarioDtreeAutoRunsToDone(t *testing.T) {
+	const dtreeSpec = `{
+	  "name": "serve-dtree",
+	  "topology": "net15",
+	  "policy": "dtree",
+	  "protection": "auto",
+	  "seed": 3,
+	  "duration": "20ms",
+	  "drain": "10ms",
+	  "flows": [
+	    {"src": "AS3", "dst": "AS1", "interval": "1ms"}
+	  ],
+	  "injections": [
+	    {"kind": "link_cut", "link": ["SW10", "SW7"], "start": "5ms"}
+	  ],
+	  "expect": {"max_loss_fraction": 0.051, "min_deflections": 1}
+	}`
+	_, ts := startServer(t, Config{})
+	resp, data := postJSON(t, ts.URL+"/v1/scenarios",
+		bytes.NewReader([]byte(`{"spec": `+dtreeSpec+`}`)))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d: %s", resp.StatusCode, data)
+	}
+	var st JobStatus
+	json.Unmarshal(data, &st)
+	if fin := waitTerminal(t, ts.URL, st.ID); fin.State != StateDone {
+		t.Fatalf("job %s (%s)", fin.State, fin.Error)
+	}
+	_, got := getBody(t, ts.URL+"/v1/jobs/"+st.ID+"/result")
+	var verdict scenario.Verdict
+	if err := json.Unmarshal(got, &verdict); err != nil {
+		t.Fatal(err)
+	}
+	if !verdict.Pass {
+		t.Fatalf("dtree scenario failed: %s", got)
+	}
+}
+
 // blockingServer wires an execHook whose jobs block until released.
 func blockingServer(t *testing.T, cfg Config) (*Server, *httptest.Server, chan struct{}) {
 	s, ts := startServer(t, cfg)
@@ -577,6 +659,7 @@ func TestBadRequestsRejected(t *testing.T) {
 		{"/v1/verify", `{}`},                                              // no topology
 		{"/v1/verify", `{"topology": "net15", "routes": "x"}`},            // bad route syntax
 		{"/v1/verify", `{"topology": "fattree:4", "protection": "full"}`}, // generated + protection
+		{"/v1/verify", `{"topology": "net15", "policies": ["dtreee"]}`},   // unknown policy
 	}
 	for _, c := range cases {
 		resp, data := postJSON(t, ts.URL+c.path, strings.NewReader(c.body))

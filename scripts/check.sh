@@ -300,6 +300,62 @@ grep -q '^kar_verify_cases_total{' "$tmp/v.prom" || {
 }
 echo "resilience verifier OK"
 
+echo "==> structured failover determinism (dtree, auto protection)"
+# dtree is fully deterministic: the verify sweep under per-destination
+# auto protection must (a) prove 100% single-failure delivery on every
+# route INCLUDING the AS1-bound reverse direction the canned full set
+# left exposed, (b) emit byte-identical reports at any worker count,
+# and (c) stay byte-identical through the packet-level scenario engine
+# with batching on and off.
+dtree_args="-verify net15 -verify-protection auto -verify-policies nip,dtree -verify-pairs 64"
+"$tmp/karsim" $dtree_args -verify-min 1.0 -workers 1 -verify-json "$tmp/d1.json" > "$tmp/d1.out"
+"$tmp/karsim" $dtree_args -verify-min 1.0 -workers 4 -verify-json "$tmp/d4.json" > "$tmp/d4.out"
+cmp -s "$tmp/d1.out" "$tmp/d4.out" || {
+    echo "FAIL: dtree verify tables differ across worker counts" >&2
+    exit 1
+}
+cmp -s "$tmp/d1.json" "$tmp/d4.json" || {
+    echo "FAIL: dtree verify JSON reports differ across worker counts" >&2
+    exit 1
+}
+cat > "$tmp/dtree.json" <<'EOF'
+{
+  "name": "check-dtree",
+  "topology": "net15",
+  "policy": "dtree",
+  "protection": "auto",
+  "seed": 17,
+  "duration": "40ms",
+  "drain": "10ms",
+  "flows": [
+    {"src": "AS1", "dst": "AS3", "interval": "1ms"},
+    {"src": "AS3", "dst": "AS1", "interval": "1ms"}
+  ],
+  "injections": [
+    {"kind": "link_cut", "link": ["SW7", "SW13"], "start": "10ms"}
+  ],
+  "expect": {"min_delivered": 1, "min_deflections": 1}
+}
+EOF
+"$tmp/karsim" -scenario "$tmp/dtree.json" -workers 1 -verdict-json "$tmp/dv1.json" > /dev/null
+"$tmp/karsim" -scenario "$tmp/dtree.json" -workers 4 -verdict-json "$tmp/dv4.json" > /dev/null
+"$tmp/karsim" -scenario "$tmp/dtree.json" -workers 4 -batch=false -verdict-json "$tmp/dvs.json" > /dev/null
+cmp -s "$tmp/dv1.json" "$tmp/dv4.json" || {
+    echo "FAIL: dtree scenario verdicts differ across worker counts" >&2
+    exit 1
+}
+cmp -s "$tmp/dv1.json" "$tmp/dvs.json" || {
+    echo "FAIL: dtree scenario verdict differs between batched and scalar data planes" >&2
+    exit 1
+}
+echo "structured failover determinism OK"
+
+echo "==> go test -race (deflection + resilience focused)"
+# The deterministic dtree walk and the sweep's worker pool share the
+# planner's memoized destination trees; this focused line keeps that
+# sharing race-clean.
+go test -race ./internal/deflect/ ./internal/resilience/
+
 echo "==> go test -race ./internal/serve/ (service plane focused)"
 # The daemon multiplexes jobs, SSE streamers and drain over shared
 # state; this focused line keeps the full lifecycle race-clean.
